@@ -1,0 +1,116 @@
+//! # ART / P-ART — Adaptive Radix Tree and its RECIPE conversion (Condition #3)
+//!
+//! The Adaptive Radix Tree (Leis et al.) adapts node fanout (4/16/48/256) to the
+//! number of live children and compresses single-child paths into per-node prefixes.
+//! Readers are non-blocking and never retry; writers take per-node locks (§6.4 of the
+//! RECIPE paper).
+//!
+//! * **Non-SMO operations** (inserting into a node with room, updating a value,
+//!   deleting) commit through a single atomic store — Condition #1.
+//! * **The path-compression split** mutates the tree in two ordered atomic steps
+//!   (install new branch node in the parent; truncate the old node's prefix). Readers
+//!   can detect and tolerate the intermediate state via the immutable `level` field,
+//!   and writers can detect it, but the DRAM ART has no helper to *fix* it —
+//!   Condition #3. The conversion therefore adds permanent-inconsistency detection
+//!   (`try_lock`: success means no concurrent writer, so the inconsistency was left by
+//!   a crash) and a helper that recomputes and persists the correct prefix, plus the
+//!   usual flushes and fences. The paper reports 52 modified LOC for this conversion.
+//!
+//! Instantiations: [`DramArt`] (`Art<Dram>`) is the original DRAM index and [`PArt`]
+//! (`Art<Pmem>`) is the converted persistent index.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod tree;
+
+pub use tree::Art;
+
+use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::persist::{Dram, PersistMode, Pmem};
+
+/// The unconverted DRAM Adaptive Radix Tree.
+pub type DramArt = Art<Dram>;
+/// P-ART: the RECIPE-converted persistent Adaptive Radix Tree.
+pub type PArt = Art<Pmem>;
+
+impl<P: PersistMode> ConcurrentIndex for Art<P> {
+    fn insert(&self, key: &[u8], value: u64) -> bool {
+        Art::insert(self, key, value)
+    }
+
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        if Art::get(self, key).is_some() {
+            Art::insert(self, key, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        Art::get(self, key)
+    }
+
+    fn remove(&self, key: &[u8]) -> bool {
+        Art::remove(self, key)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        Art::scan(self, start, count)
+    }
+
+    fn supports_scan(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        if P::PERSISTENT { "P-ART".into() } else { "ART".into() }
+    }
+}
+
+impl<P: PersistMode> Recoverable for Art<P> {
+    fn recover(&self) {
+        self.recover_locks();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe::key::u64_key;
+
+    #[test]
+    fn trait_impl_roundtrip() {
+        let t: PArt = Art::new();
+        let idx: &dyn ConcurrentIndex = &t;
+        assert!(idx.insert(&u64_key(1), 10));
+        assert!(!idx.insert(&u64_key(1), 11));
+        assert_eq!(idx.get(&u64_key(1)), Some(11));
+        assert!(idx.update(&u64_key(1), 12));
+        assert!(!idx.update(&u64_key(2), 1));
+        assert!(idx.supports_scan());
+        assert_eq!(idx.name(), "P-ART");
+        assert!(idx.remove(&u64_key(1)));
+    }
+
+    #[test]
+    fn recover_is_idempotent() {
+        let t: PArt = Art::new();
+        for i in 0..100u64 {
+            t.insert(&u64_key(i), i);
+        }
+        t.recover();
+        t.recover();
+        for i in 0..100u64 {
+            assert_eq!(ConcurrentIndex::get(&t, &u64_key(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn dram_art_name() {
+        let t: DramArt = Art::new();
+        assert_eq!(ConcurrentIndex::name(&t), "ART");
+    }
+}

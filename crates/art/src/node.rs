@@ -1,0 +1,694 @@
+//! Node types of the Adaptive Radix Tree.
+//!
+//! ART adapts the physical fanout of each node to the number of live children: 4-, 16-,
+//! 48- and 256-way nodes share a common header (type tag, child count, level, prefix,
+//! lock). Child pointers are tagged words: bit 0 set means the pointer refers to a
+//! [`Leaf`], clear means an inner node. The 8-byte header word that holds the
+//! compressed prefix (up to 7 bytes + length) is a single atomic, because the second
+//! step of ART's path-compression SMO — truncating the prefix — must be one
+//! hardware-atomic store (§6.4 of the RECIPE paper).
+//!
+//! Mutation protocol (writers hold the node's lock; readers are non-blocking):
+//!
+//! * adding a child writes the key byte / slot first and *commits* with the child
+//!   pointer (or slot-index) store;
+//! * removing a child clears the pointer/slot atomically;
+//! * growing a node copies it and the parent's slot is swapped by the caller — the old
+//!   node is marked obsolete so writers that still hold its lock restart.
+
+use recipe::lock::VersionLock;
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+/// Maximum number of prefix bytes stored inline in the header word.
+pub const MAX_PREFIX: usize = 7;
+
+/// Node kind tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NodeTag {
+    /// Up to 4 children, linear key array.
+    N4 = 0,
+    /// Up to 16 children, linear key array.
+    N16 = 1,
+    /// Up to 48 children, 256-byte index array.
+    N48 = 2,
+    /// Direct 256-way array.
+    N256 = 3,
+}
+
+/// Pack up to [`MAX_PREFIX`] prefix bytes and their length into one `u64`.
+///
+/// Layout: the low byte is the length, bytes 1..=7 are the prefix bytes in order.
+#[must_use]
+pub fn pack_prefix(prefix: &[u8]) -> u64 {
+    debug_assert!(prefix.len() <= MAX_PREFIX);
+    let mut w = prefix.len() as u64;
+    for (i, &b) in prefix.iter().enumerate() {
+        w |= u64::from(b) << (8 * (i + 1));
+    }
+    w
+}
+
+/// Inverse of [`pack_prefix`]: returns the prefix bytes and their length.
+#[must_use]
+pub fn unpack_prefix(word: u64) -> ([u8; MAX_PREFIX], usize) {
+    let len = (word & 0xFF) as usize;
+    let len = len.min(MAX_PREFIX);
+    let mut out = [0u8; MAX_PREFIX];
+    for (i, slot) in out.iter_mut().enumerate().take(len) {
+        *slot = ((word >> (8 * (i + 1))) & 0xFF) as u8;
+    }
+    (out, len)
+}
+
+/// A single-value leaf: the full key (for final verification by non-blocking readers)
+/// and the value.
+pub struct Leaf {
+    /// Full key bytes.
+    pub key: Box<[u8]>,
+    /// Current value; updates are single atomic stores.
+    pub value: AtomicU64,
+}
+
+impl Leaf {
+    /// Allocate a leaf on the PM pool and return its tagged pointer word.
+    pub fn alloc(key: &[u8], value: u64) -> usize {
+        let leaf = pm::alloc::pm_box(Leaf { key: key.to_vec().into_boxed_slice(), value: AtomicU64::new(value) });
+        (leaf as usize) | 1
+    }
+}
+
+/// Whether a child word refers to a leaf.
+#[inline]
+#[must_use]
+pub fn is_leaf(word: usize) -> bool {
+    word & 1 == 1
+}
+
+/// Dereference a leaf child word.
+///
+/// # Safety
+/// `word` must be a tagged pointer produced by [`Leaf::alloc`] that has not been freed.
+#[inline]
+pub unsafe fn leaf_ref<'a>(word: usize) -> &'a Leaf {
+    debug_assert!(is_leaf(word));
+    // SAFETY: caller contract; leaves are never freed while the tree is alive.
+    unsafe { &*((word & !1) as *const Leaf) }
+}
+
+/// Common header shared (as the first field) by all inner node types.
+#[repr(C)]
+pub struct NodeHeader {
+    /// Node kind.
+    pub tag: NodeTag,
+    /// Set when the node has been replaced (grown) and must no longer be modified.
+    pub obsolete: AtomicBool,
+    /// Number of child slots ever used (holes from deletions are reused).
+    pub count: AtomicU16,
+    /// Key-byte index at which this node branches in the *decompressed* radix tree:
+    /// `level == depth + prefix_len` for a consistent node. Never modified after
+    /// creation; readers and the Condition-#3 helper use it to detect (and repair)
+    /// interrupted path-compression SMOs.
+    pub level: u32,
+    /// Write lock (readers never take it).
+    pub lock: VersionLock,
+    /// Packed compressed prefix (see [`pack_prefix`]). A single atomic word so prefix
+    /// truncation — step 2 of the path-compression split — is one atomic store.
+    pub prefix: AtomicU64,
+}
+
+impl NodeHeader {
+    fn new(tag: NodeTag, level: u32, prefix: &[u8]) -> Self {
+        NodeHeader {
+            tag,
+            obsolete: AtomicBool::new(false),
+            count: AtomicU16::new(0),
+            level,
+            lock: VersionLock::new(),
+            prefix: AtomicU64::new(pack_prefix(prefix)),
+        }
+    }
+
+    /// Load and unpack the compressed prefix.
+    pub fn prefix(&self) -> ([u8; MAX_PREFIX], usize) {
+        unpack_prefix(self.prefix.load(Ordering::Acquire))
+    }
+}
+
+/// 4-way node.
+#[repr(C)]
+pub struct Node4 {
+    /// Shared header.
+    pub hdr: NodeHeader,
+    keys: [AtomicU8; 4],
+    children: [AtomicUsize; 4],
+}
+
+/// 16-way node.
+#[repr(C)]
+pub struct Node16 {
+    /// Shared header.
+    pub hdr: NodeHeader,
+    keys: [AtomicU8; 16],
+    children: [AtomicUsize; 16],
+}
+
+/// 48-way node: a 256-entry index maps key bytes to one of 48 child slots.
+#[repr(C)]
+pub struct Node48 {
+    /// Shared header.
+    pub hdr: NodeHeader,
+    index: [AtomicU8; 256],
+    children: [AtomicUsize; 48],
+}
+
+/// 256-way node: direct-mapped children.
+#[repr(C)]
+pub struct Node256 {
+    /// Shared header.
+    pub hdr: NodeHeader,
+    children: [AtomicUsize; 256],
+}
+
+macro_rules! zeroed_array {
+    ($ty:ty, $n:expr) => {{
+        let mut v: Vec<$ty> = Vec::with_capacity($n);
+        v.resize_with($n, Default::default);
+        let boxed: Box<[$ty; $n]> = v.into_boxed_slice().try_into().ok().expect("length matches");
+        *boxed
+    }};
+}
+
+impl Node4 {
+    /// Allocate an empty `Node4` on the PM pool. Returns the untagged pointer word.
+    pub fn alloc(level: u32, prefix: &[u8]) -> usize {
+        pm::alloc::pm_box(Node4 {
+            hdr: NodeHeader::new(NodeTag::N4, level, prefix),
+            keys: zeroed_array!(AtomicU8, 4),
+            children: zeroed_array!(AtomicUsize, 4),
+        }) as usize
+    }
+}
+
+impl Node16 {
+    fn alloc(level: u32, prefix: &[u8]) -> usize {
+        pm::alloc::pm_box(Node16 {
+            hdr: NodeHeader::new(NodeTag::N16, level, prefix),
+            keys: zeroed_array!(AtomicU8, 16),
+            children: zeroed_array!(AtomicUsize, 16),
+        }) as usize
+    }
+}
+
+impl Node48 {
+    fn alloc(level: u32, prefix: &[u8]) -> usize {
+        pm::alloc::pm_box(Node48 {
+            hdr: NodeHeader::new(NodeTag::N48, level, prefix),
+            index: zeroed_array!(AtomicU8, 256),
+            children: zeroed_array!(AtomicUsize, 48),
+        }) as usize
+    }
+}
+
+impl Node256 {
+    /// Allocate an empty `Node256` (also used for the tree root).
+    pub fn alloc(level: u32, prefix: &[u8]) -> usize {
+        pm::alloc::pm_box(Node256 {
+            hdr: NodeHeader::new(NodeTag::N256, level, prefix),
+            children: zeroed_array!(AtomicUsize, 256),
+        }) as usize
+    }
+}
+
+/// A borrowed view of an inner node, dispatching on the header tag.
+#[derive(Clone, Copy)]
+pub struct NodeRef {
+    ptr: *mut NodeHeader,
+}
+
+// SAFETY: NodeRef is a shared reference to an inner node whose mutation protocol is
+// lock + atomics; it can be sent/shared across threads like `&NodeHeader`.
+unsafe impl Send for NodeRef {}
+unsafe impl Sync for NodeRef {}
+
+impl NodeRef {
+    /// Wrap an untagged child word.
+    ///
+    /// # Safety
+    /// `word` must be an untagged pointer to a live inner node allocated by this crate.
+    #[inline]
+    pub unsafe fn from_word(word: usize) -> NodeRef {
+        debug_assert!(!is_leaf(word) && word != 0);
+        NodeRef { ptr: word as *mut NodeHeader }
+    }
+
+    /// The untagged pointer word for storing in a parent slot.
+    #[inline]
+    #[must_use]
+    pub fn word(&self) -> usize {
+        self.ptr as usize
+    }
+
+    /// Shared access to the header.
+    #[inline]
+    #[must_use]
+    pub fn hdr(&self) -> &NodeHeader {
+        // SAFETY: construction contract of `from_word`.
+        unsafe { &*self.ptr }
+    }
+
+    #[inline]
+    fn as_n4(&self) -> &Node4 {
+        // SAFETY: tag checked by callers; all node types are #[repr(C)] with the
+        // header first, so the cast is layout-compatible.
+        unsafe { &*(self.ptr as *const Node4) }
+    }
+    #[inline]
+    fn as_n16(&self) -> &Node16 {
+        // SAFETY: see `as_n4`.
+        unsafe { &*(self.ptr as *const Node16) }
+    }
+    #[inline]
+    fn as_n48(&self) -> &Node48 {
+        // SAFETY: see `as_n4`.
+        unsafe { &*(self.ptr as *const Node48) }
+    }
+    #[inline]
+    fn as_n256(&self) -> &Node256 {
+        // SAFETY: see `as_n4`.
+        unsafe { &*(self.ptr as *const Node256) }
+    }
+
+    /// Find the child for key byte `b`, or 0 if absent. Non-blocking.
+    #[must_use]
+    pub fn find_child(&self, b: u8) -> usize {
+        match self.hdr().tag {
+            NodeTag::N4 => Self::find_linear(&self.as_n4().keys, &self.as_n4().children, &self.as_n4().hdr, b),
+            NodeTag::N16 => {
+                Self::find_linear(&self.as_n16().keys, &self.as_n16().children, &self.as_n16().hdr, b)
+            }
+            NodeTag::N48 => {
+                let n = self.as_n48();
+                let idx = n.index[b as usize].load(Ordering::Acquire);
+                if idx == 0 {
+                    0
+                } else {
+                    n.children[(idx - 1) as usize].load(Ordering::Acquire)
+                }
+            }
+            NodeTag::N256 => self.as_n256().children[b as usize].load(Ordering::Acquire),
+        }
+    }
+
+    fn find_linear(keys: &[AtomicU8], children: &[AtomicUsize], hdr: &NodeHeader, b: u8) -> usize {
+        let count = hdr.count.load(Ordering::Acquire) as usize;
+        for i in 0..count.min(keys.len()) {
+            if keys[i].load(Ordering::Acquire) == b {
+                let c = children[i].load(Ordering::Acquire);
+                if c != 0 {
+                    return c;
+                }
+            }
+        }
+        0
+    }
+
+    /// All live `(key byte, child word)` pairs, unsorted. Lock-free snapshot.
+    #[must_use]
+    pub fn children(&self) -> Vec<(u8, usize)> {
+        let mut out = Vec::new();
+        match self.hdr().tag {
+            NodeTag::N4 => Self::collect_linear(&self.as_n4().keys, &self.as_n4().children, &self.as_n4().hdr, &mut out),
+            NodeTag::N16 => {
+                Self::collect_linear(&self.as_n16().keys, &self.as_n16().children, &self.as_n16().hdr, &mut out)
+            }
+            NodeTag::N48 => {
+                let n = self.as_n48();
+                for b in 0..256usize {
+                    let idx = n.index[b].load(Ordering::Acquire);
+                    if idx != 0 {
+                        let c = n.children[(idx - 1) as usize].load(Ordering::Acquire);
+                        if c != 0 {
+                            out.push((b as u8, c));
+                        }
+                    }
+                }
+            }
+            NodeTag::N256 => {
+                let n = self.as_n256();
+                for b in 0..256usize {
+                    let c = n.children[b].load(Ordering::Acquire);
+                    if c != 0 {
+                        out.push((b as u8, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn collect_linear(keys: &[AtomicU8], children: &[AtomicUsize], hdr: &NodeHeader, out: &mut Vec<(u8, usize)>) {
+        let count = hdr.count.load(Ordering::Acquire) as usize;
+        for i in 0..count.min(keys.len()) {
+            let c = children[i].load(Ordering::Acquire);
+            if c != 0 {
+                out.push((keys[i].load(Ordering::Acquire), c));
+            }
+        }
+    }
+
+    /// Whether the node has no room for a new child (caller should grow). Writers call
+    /// this under the node lock, so the answer is stable.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        match self.hdr().tag {
+            NodeTag::N4 => self.linear_full(&self.as_n4().keys, &self.as_n4().children, 4),
+            NodeTag::N16 => self.linear_full(&self.as_n16().keys, &self.as_n16().children, 16),
+            NodeTag::N48 => {
+                let n = self.as_n48();
+                (0..48).all(|i| n.children[i].load(Ordering::Acquire) != 0)
+            }
+            NodeTag::N256 => false,
+        }
+    }
+
+    fn linear_full(&self, _keys: &[AtomicU8], children: &[AtomicUsize], cap: usize) -> bool {
+        let count = self.hdr().count.load(Ordering::Acquire) as usize;
+        if count < cap {
+            return false;
+        }
+        (0..cap).all(|i| children[i].load(Ordering::Acquire) != 0)
+    }
+
+    /// Add a child for key byte `b`. Must be called with the node lock held and only
+    /// when [`NodeRef::is_full`] is false and `b` is not already present.
+    ///
+    /// The `persist` callback is invoked as `persist(addr, len, fence)` after the
+    /// preparatory store(s) and after the committing store, letting the caller (the
+    /// generic tree) drive the RECIPE conversion.
+    pub fn add_child(&self, b: u8, child: usize, persist: &dyn Fn(*const u8, usize, bool)) -> bool {
+        match self.hdr().tag {
+            NodeTag::N4 => self.add_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, child, persist),
+            NodeTag::N16 => self.add_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, child, persist),
+            NodeTag::N48 => {
+                let n = self.as_n48();
+                let slot = (0..48).find(|&i| n.children[i].load(Ordering::Acquire) == 0);
+                let Some(slot) = slot else { return false };
+                n.children[slot].store(child, Ordering::Release);
+                persist(n.children[slot].as_ptr() as *const u8, 8, true);
+                // Commit: publish the slot in the byte index.
+                n.index[b as usize].store(slot as u8 + 1, Ordering::Release);
+                persist(n.index[b as usize].as_ptr() as *const u8, 1, true);
+                self.hdr().count.fetch_add(1, Ordering::Release);
+                true
+            }
+            NodeTag::N256 => {
+                let n = self.as_n256();
+                n.children[b as usize].store(child, Ordering::Release);
+                persist(n.children[b as usize].as_ptr() as *const u8, 8, true);
+                self.hdr().count.fetch_add(1, Ordering::Release);
+                true
+            }
+        }
+    }
+
+    fn add_linear(
+        &self,
+        keys: &[AtomicU8],
+        children: &[AtomicUsize],
+        cap: usize,
+        b: u8,
+        child: usize,
+        persist: &dyn Fn(*const u8, usize, bool),
+    ) -> bool {
+        let hdr = self.hdr();
+        let count = hdr.count.load(Ordering::Acquire) as usize;
+        // Reuse a hole left by a deletion first.
+        let hole = (0..count.min(cap)).find(|&i| children[i].load(Ordering::Acquire) == 0);
+        let (slot, bump_count) = match hole {
+            Some(i) => (i, false),
+            None if count < cap => (count, true),
+            None => return false,
+        };
+        // Key byte first (persisted), then the committing child-pointer store.
+        keys[slot].store(b, Ordering::Release);
+        persist(keys[slot].as_ptr() as *const u8, 1, true);
+        children[slot].store(child, Ordering::Release);
+        persist(children[slot].as_ptr() as *const u8, 8, true);
+        if bump_count {
+            hdr.count.fetch_add(1, Ordering::Release);
+            persist(&hdr.count as *const AtomicU16 as *const u8, 2, true);
+        }
+        true
+    }
+
+    /// Replace the existing child for byte `b` with `new_child` (single atomic store).
+    /// Must be called with the node lock held; returns false if `b` has no child.
+    pub fn replace_child(&self, b: u8, new_child: usize, persist: &dyn Fn(*const u8, usize, bool)) -> bool {
+        match self.hdr().tag {
+            NodeTag::N4 => self.replace_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, new_child, persist),
+            NodeTag::N16 => {
+                self.replace_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, new_child, persist)
+            }
+            NodeTag::N48 => {
+                let n = self.as_n48();
+                let idx = n.index[b as usize].load(Ordering::Acquire);
+                if idx == 0 {
+                    return false;
+                }
+                let slot = (idx - 1) as usize;
+                n.children[slot].store(new_child, Ordering::Release);
+                persist(n.children[slot].as_ptr() as *const u8, 8, true);
+                true
+            }
+            NodeTag::N256 => {
+                let n = self.as_n256();
+                if n.children[b as usize].load(Ordering::Acquire) == 0 {
+                    return false;
+                }
+                n.children[b as usize].store(new_child, Ordering::Release);
+                persist(n.children[b as usize].as_ptr() as *const u8, 8, true);
+                true
+            }
+        }
+    }
+
+    fn replace_linear(
+        &self,
+        keys: &[AtomicU8],
+        children: &[AtomicUsize],
+        cap: usize,
+        b: u8,
+        new_child: usize,
+        persist: &dyn Fn(*const u8, usize, bool),
+    ) -> bool {
+        let count = self.hdr().count.load(Ordering::Acquire) as usize;
+        for i in 0..count.min(cap) {
+            if keys[i].load(Ordering::Acquire) == b && children[i].load(Ordering::Acquire) != 0 {
+                children[i].store(new_child, Ordering::Release);
+                persist(children[i].as_ptr() as *const u8, 8, true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove the child for byte `b` (single atomic store). Lock must be held.
+    pub fn remove_child(&self, b: u8, persist: &dyn Fn(*const u8, usize, bool)) -> bool {
+        match self.hdr().tag {
+            NodeTag::N4 => self.remove_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, persist),
+            NodeTag::N16 => self.remove_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, persist),
+            NodeTag::N48 => {
+                let n = self.as_n48();
+                let idx = n.index[b as usize].load(Ordering::Acquire);
+                if idx == 0 {
+                    return false;
+                }
+                n.index[b as usize].store(0, Ordering::Release);
+                persist(n.index[b as usize].as_ptr() as *const u8, 1, true);
+                n.children[(idx - 1) as usize].store(0, Ordering::Release);
+                true
+            }
+            NodeTag::N256 => {
+                let n = self.as_n256();
+                if n.children[b as usize].load(Ordering::Acquire) == 0 {
+                    return false;
+                }
+                n.children[b as usize].store(0, Ordering::Release);
+                persist(n.children[b as usize].as_ptr() as *const u8, 8, true);
+                true
+            }
+        }
+    }
+
+    fn remove_linear(
+        &self,
+        keys: &[AtomicU8],
+        children: &[AtomicUsize],
+        cap: usize,
+        b: u8,
+        persist: &dyn Fn(*const u8, usize, bool),
+    ) -> bool {
+        let count = self.hdr().count.load(Ordering::Acquire) as usize;
+        for i in 0..count.min(cap) {
+            if keys[i].load(Ordering::Acquire) == b && children[i].load(Ordering::Acquire) != 0 {
+                children[i].store(0, Ordering::Release);
+                persist(children[i].as_ptr() as *const u8, 8, true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Copy this node into the next larger node type, adding child `b -> child`.
+    /// Returns the new node's untagged word. Lock must be held; the caller installs the
+    /// new node in the parent and marks this node obsolete.
+    #[must_use]
+    pub fn grow_with(&self, b: u8, child: usize) -> usize {
+        let hdr = self.hdr();
+        let (prefix, plen) = hdr.prefix();
+        let new_word = match hdr.tag {
+            NodeTag::N4 => Node16::alloc(hdr.level, &prefix[..plen]),
+            NodeTag::N16 => Node48::alloc(hdr.level, &prefix[..plen]),
+            NodeTag::N48 => Node256::alloc(hdr.level, &prefix[..plen]),
+            NodeTag::N256 => unreachable!("Node256 never grows"),
+        };
+        // SAFETY: freshly allocated inner node word.
+        let new_ref = unsafe { NodeRef::from_word(new_word) };
+        let noop = |_: *const u8, _: usize, _: bool| {};
+        for (kb, c) in self.children() {
+            let ok = new_ref.add_child(kb, c, &noop);
+            debug_assert!(ok);
+        }
+        let ok = new_ref.add_child(b, child, &noop);
+        debug_assert!(ok);
+        new_word
+    }
+
+    /// Approximate memory size of this node in bytes (for persist calls).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        match self.hdr().tag {
+            NodeTag::N4 => std::mem::size_of::<Node4>(),
+            NodeTag::N16 => std::mem::size_of::<Node16>(),
+            NodeTag::N48 => std::mem::size_of::<Node48>(),
+            NodeTag::N256 => std::mem::size_of::<Node256>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> impl Fn(*const u8, usize, bool) {
+        |_, _, _| {}
+    }
+
+    #[test]
+    fn prefix_packing_roundtrip() {
+        for pfx in [&b""[..], b"a", b"abc", b"1234567"] {
+            let w = pack_prefix(pfx);
+            let (bytes, len) = unpack_prefix(w);
+            assert_eq!(&bytes[..len], pfx);
+        }
+    }
+
+    #[test]
+    fn leaf_tagging() {
+        let w = Leaf::alloc(b"key", 7);
+        assert!(is_leaf(w));
+        // SAFETY: freshly allocated leaf.
+        let l = unsafe { leaf_ref(w) };
+        assert_eq!(&*l.key, b"key");
+        assert_eq!(l.value.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn n4_add_find_remove() {
+        let w = Node4::alloc(0, b"");
+        // SAFETY: freshly allocated.
+        let n = unsafe { NodeRef::from_word(w) };
+        assert_eq!(n.find_child(5), 0);
+        let c1 = Leaf::alloc(b"a", 1);
+        let c2 = Leaf::alloc(b"b", 2);
+        assert!(n.add_child(5, c1, &noop()));
+        assert!(n.add_child(9, c2, &noop()));
+        assert_eq!(n.find_child(5), c1);
+        assert_eq!(n.find_child(9), c2);
+        assert_eq!(n.children().len(), 2);
+        assert!(n.remove_child(5, &noop()));
+        assert_eq!(n.find_child(5), 0);
+        assert!(!n.remove_child(5, &noop()));
+        // Hole is reused.
+        let c3 = Leaf::alloc(b"c", 3);
+        assert!(n.add_child(7, c3, &noop()));
+        assert_eq!(n.find_child(7), c3);
+        assert_eq!(n.hdr().count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn n4_fills_and_reports_full() {
+        let w = Node4::alloc(0, b"");
+        // SAFETY: freshly allocated.
+        let n = unsafe { NodeRef::from_word(w) };
+        for b in 0..4u8 {
+            assert!(!n.is_full());
+            assert!(n.add_child(b, Leaf::alloc(&[b], b as u64), &noop()));
+        }
+        assert!(n.is_full());
+        assert!(!n.add_child(99, Leaf::alloc(b"x", 0), &noop()));
+    }
+
+    #[test]
+    fn grow_preserves_children_through_all_sizes() {
+        let mut word = Node4::alloc(3, b"pre");
+        let mut inserted: Vec<(u8, usize)> = Vec::new();
+        for b in 0..200u8 {
+            // SAFETY: `word` always refers to the current live copy.
+            let n = unsafe { NodeRef::from_word(word) };
+            let leaf = Leaf::alloc(&[b], b as u64);
+            if n.is_full() {
+                word = n.grow_with(b, leaf);
+            } else {
+                assert!(n.add_child(b, leaf, &noop()));
+            }
+            inserted.push((b, leaf));
+            let cur = unsafe { NodeRef::from_word(word) };
+            for &(kb, c) in &inserted {
+                assert_eq!(cur.find_child(kb), c, "lost child {kb} after reaching {:?}", cur.hdr().tag);
+            }
+        }
+        // SAFETY: current copy.
+        let n = unsafe { NodeRef::from_word(word) };
+        assert_eq!(n.hdr().tag, NodeTag::N256);
+        assert_eq!(n.hdr().level, 3);
+        let (p, l) = n.hdr().prefix();
+        assert_eq!(&p[..l], b"pre");
+        assert_eq!(n.children().len(), 200);
+    }
+
+    #[test]
+    fn n48_and_n256_replace_child() {
+        for make in [Node48::alloc as fn(u32, &[u8]) -> usize, Node256::alloc] {
+            let w = make(0, b"");
+            // SAFETY: freshly allocated.
+            let n = unsafe { NodeRef::from_word(w) };
+            let c1 = Leaf::alloc(b"1", 1);
+            let c2 = Leaf::alloc(b"2", 2);
+            assert!(!n.replace_child(10, c2, &noop()), "replace on absent byte fails");
+            assert!(n.add_child(10, c1, &noop()));
+            assert!(n.replace_child(10, c2, &noop()));
+            assert_eq!(n.find_child(10), c2);
+        }
+    }
+
+    #[test]
+    fn header_is_first_field_for_every_node_type() {
+        // The unsafe casts in NodeRef rely on the header being at offset 0.
+        assert_eq!(std::mem::offset_of!(Node4, hdr), 0);
+        assert_eq!(std::mem::offset_of!(Node16, hdr), 0);
+        assert_eq!(std::mem::offset_of!(Node48, hdr), 0);
+        assert_eq!(std::mem::offset_of!(Node256, hdr), 0);
+    }
+}

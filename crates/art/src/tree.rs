@@ -1,0 +1,801 @@
+//! The concurrent Adaptive Radix Tree and its RECIPE conversion.
+//!
+//! Synchronization follows the "ART of practical synchronization" scheme the RECIPE
+//! paper builds on: readers are non-blocking and never retry (they *tolerate*
+//! inconsistencies and verify the full key at the leaf); writers take per-node locks
+//! only around the slots they modify. Non-SMO inserts/deletes commit with a single
+//! atomic store (Condition #1). The path-compression split is the two-step SMO of
+//! Condition #3:
+//!
+//! 1. install a new branch node in the parent slot (atomic store), then
+//! 2. truncate the old node's packed prefix word (atomic store).
+//!
+//! A crash between the steps leaves a node whose stored prefix is too long; readers
+//! detect it via `level != depth + prefix_len` and skip the stale bytes, and the
+//! P-ART write path repairs it with the Condition-#3 helper: if `try_lock` on the node
+//! succeeds, no writer is active, so the inconsistency is permanent and the prefix is
+//! recomputed from the `level` field and persisted.
+
+use crate::node::{is_leaf, leaf_ref, pack_prefix, Leaf, Node256, Node4, NodeRef, MAX_PREFIX};
+use recipe::persist::PersistMode;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A concurrent Adaptive Radix Tree, generic over the persistence policy.
+///
+/// `Art<Dram>` is the DRAM index; `Art<Pmem>` is P-ART. Keys are byte strings; a key
+/// that is a strict prefix of another key is not supported (operations on such keys
+/// return `false`/`None`), matching the fixed-length keys used in the paper's
+/// evaluation.
+pub struct Art<P: PersistMode> {
+    root: AtomicUsize,
+    _policy: PhantomData<P>,
+}
+
+// SAFETY: all shared mutable state is reached through atomics and per-node locks; the
+// raw node words reference allocations that are never freed while the tree is alive.
+unsafe impl<P: PersistMode> Send for Art<P> {}
+unsafe impl<P: PersistMode> Sync for Art<P> {}
+
+impl<P: PersistMode> Default for Art<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn persist_cb<P: PersistMode>() -> impl Fn(*const u8, usize, bool) {
+    |ptr, len, fence| {
+        P::mark_dirty(ptr, len);
+        P::persist_range(ptr, len, fence);
+    }
+}
+
+fn persist_new_node<P: PersistMode>(word: usize) {
+    // SAFETY: caller passes a freshly allocated inner-node word.
+    let n = unsafe { NodeRef::from_word(word) };
+    P::persist_range(word as *const u8, n.size_bytes(), true);
+}
+
+fn persist_new_leaf<P: PersistMode>(leaf_word: usize) {
+    // SAFETY: caller passes a freshly allocated tagged leaf word.
+    let l = unsafe { leaf_ref(leaf_word) };
+    P::persist_range(l.key.as_ptr(), l.key.len(), false);
+    P::persist_range((leaf_word & !1) as *const u8, std::mem::size_of::<Leaf>(), true);
+}
+
+impl<P: PersistMode> Art<P> {
+    /// Create an empty tree. The root is a `Node256` that is never replaced.
+    #[must_use]
+    pub fn new() -> Self {
+        let root = Node256::alloc(0, b"");
+        persist_new_node::<P>(root);
+        let t = Art { root: AtomicUsize::new(root), _policy: PhantomData };
+        P::persist_obj(&t.root, true);
+        t
+    }
+
+    #[inline]
+    fn root_ref(&self) -> NodeRef {
+        // SAFETY: the root word always refers to the live root Node256.
+        unsafe { NodeRef::from_word(self.root.load(Ordering::Acquire)) }
+    }
+
+    /// Point lookup. Non-blocking; tolerates in-flight or crash-interrupted SMOs by
+    /// skipping stale prefixes and verifying the full key at the leaf.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        if key.is_empty() {
+            return None;
+        }
+        let mut node = self.root_ref();
+        let mut depth = 0usize;
+        loop {
+            pm::stats::record_node_visit();
+            let hdr = node.hdr();
+            let level = hdr.level as usize;
+            let (pbytes, plen) = hdr.prefix();
+            if level == depth + plen {
+                // Consistent prefix: compare it against the key.
+                let avail = key.len().saturating_sub(depth);
+                let cmp = plen.min(avail);
+                if key[depth..depth + cmp] != pbytes[..cmp] || avail < plen {
+                    return None;
+                }
+                depth += plen;
+            } else if level >= depth {
+                // Inconsistent (interrupted path-compression split): tolerate by
+                // skipping to the branch position; the leaf check catches mismatches.
+                depth = level;
+            } else {
+                return None;
+            }
+            if depth >= key.len() {
+                return None;
+            }
+            let child = node.find_child(key[depth]);
+            if child == 0 {
+                return None;
+            }
+            if is_leaf(child) {
+                // SAFETY: leaves are never freed while the tree is alive.
+                let leaf = unsafe { leaf_ref(child) };
+                return (&*leaf.key == key).then(|| leaf.value.load(Ordering::Acquire));
+            }
+            // SAFETY: inner nodes are never freed while the tree is alive.
+            node = unsafe { NodeRef::from_word(child) };
+            depth += 1;
+        }
+    }
+
+    /// The Condition-#3 helper: called from the write path when it observes a node
+    /// whose prefix is inconsistent with its level. If the node lock can be acquired
+    /// the inconsistency is permanent (left by a crash) and the prefix is recomputed
+    /// from the immutable `level` field and persisted; otherwise another writer is
+    /// active and the inconsistency is transient.
+    fn fix_prefix(&self, node: NodeRef, depth: usize) {
+        let hdr = node.hdr();
+        if let Some(_guard) = hdr.lock.try_lock() {
+            if hdr.obsolete.load(Ordering::Acquire) {
+                return;
+            }
+            let (pbytes, plen) = hdr.prefix();
+            let level = hdr.level as usize;
+            if level == depth + plen || level < depth || level > depth + plen {
+                return;
+            }
+            let eff = level - depth;
+            let skip = plen - eff;
+            let fixed = pack_prefix(&pbytes[skip..plen]);
+            hdr.prefix.store(fixed, Ordering::Release);
+            P::mark_dirty_obj(&hdr.prefix);
+            P::persist_obj(&hdr.prefix, true);
+            P::crash_site("art.helper.prefix_fixed");
+        }
+    }
+
+    /// Insert or update; returns `true` if the key was newly inserted.
+    pub fn insert(&self, key: &[u8], value: u64) -> bool {
+        if key.is_empty() {
+            return false;
+        }
+        'restart: loop {
+            let mut parent: Option<(NodeRef, u8)> = None;
+            let mut node = self.root_ref();
+            let mut depth = 0usize;
+            loop {
+                pm::stats::record_node_visit();
+                let hdr = node.hdr();
+                let level = hdr.level as usize;
+                let (pbytes, plen) = hdr.prefix();
+                if level != depth + plen {
+                    if level < depth {
+                        return false; // malformed path for this key; treat as unsupported
+                    }
+                    // Writers detect the inconsistency; P-ART fixes it if permanent.
+                    self.fix_prefix(node, depth);
+                    if hdr.prefix.load(Ordering::Acquire) != pack_prefix(&pbytes[..plen]) {
+                        continue; // the helper repaired the prefix; re-read this node
+                    }
+                    // Transient (another writer mid-split): tolerate by skipping.
+                    depth = level;
+                } else {
+                    // Consistent prefix: find the first mismatching byte.
+                    let mut p = 0usize;
+                    while p < plen && depth + p < key.len() && pbytes[p] == key[depth + p] {
+                        p += 1;
+                    }
+                    if p < plen {
+                        if depth + p >= key.len() {
+                            return false; // key is a strict prefix of existing keys
+                        }
+                        if self.path_split(parent, node, depth, p, &pbytes, plen, key, value) {
+                            return true;
+                        }
+                        continue 'restart;
+                    }
+                    depth += plen;
+                }
+                if depth >= key.len() {
+                    return false; // key is a strict prefix of existing keys
+                }
+                let b = key[depth];
+                let child = node.find_child(b);
+                if child == 0 {
+                    match self.add_leaf(parent, node, b, key, value) {
+                        AddLeafOutcome::Inserted => return true,
+                        AddLeafOutcome::Retry => continue 'restart,
+                    }
+                }
+                if is_leaf(child) {
+                    // SAFETY: leaves are never freed while the tree is alive.
+                    let leaf = unsafe { leaf_ref(child) };
+                    if &*leaf.key == key {
+                        leaf.value.store(value, Ordering::Release);
+                        P::mark_dirty_obj(&leaf.value);
+                        P::persist_obj(&leaf.value, true);
+                        return false;
+                    }
+                    match self.leaf_split(node, b, child, depth, key, value) {
+                        Some(inserted) => return inserted,
+                        None => continue 'restart,
+                    }
+                }
+                parent = Some((node, b));
+                // SAFETY: inner nodes are never freed while the tree is alive.
+                node = unsafe { NodeRef::from_word(child) };
+                depth += 1;
+            }
+        }
+    }
+
+    /// Add a new leaf under `node` at byte `b`, growing the node if it is full.
+    fn add_leaf(&self, parent: Option<(NodeRef, u8)>, node: NodeRef, b: u8, key: &[u8], value: u64) -> AddLeafOutcome {
+        let hdr = node.hdr();
+        if !node.is_full() {
+            let _g = hdr.lock.lock();
+            if hdr.obsolete.load(Ordering::Acquire) || node.find_child(b) != 0 {
+                return AddLeafOutcome::Retry;
+            }
+            if !node.is_full() {
+                let leaf = Leaf::alloc(key, value);
+                persist_new_leaf::<P>(leaf);
+                P::crash_site("art.insert.leaf_persisted");
+                // Commit: single atomic child-pointer (or index) store.
+                let ok = node.add_child(b, leaf, &persist_cb::<P>());
+                debug_assert!(ok);
+                P::crash_site("art.insert.committed");
+                return AddLeafOutcome::Inserted;
+            }
+            // fall through to grow (re-acquired below in parent-then-node order)
+        }
+        // Node is full: grow. Lock ordering is parent before node to stay consistent
+        // with the path-split path.
+        let Some((par, pbyte)) = parent else {
+            // The root is a Node256 and can never be full.
+            return AddLeafOutcome::Retry;
+        };
+        let par_hdr = par.hdr();
+        let _pg = par_hdr.lock.lock();
+        if par_hdr.obsolete.load(Ordering::Acquire) || par.find_child(pbyte) != node.word() {
+            return AddLeafOutcome::Retry;
+        }
+        let _ng = hdr.lock.lock();
+        if hdr.obsolete.load(Ordering::Acquire) || node.find_child(b) != 0 || !node.is_full() {
+            return AddLeafOutcome::Retry;
+        }
+        let leaf = Leaf::alloc(key, value);
+        persist_new_leaf::<P>(leaf);
+        let grown = node.grow_with(b, leaf);
+        persist_new_node::<P>(grown);
+        P::crash_site("art.grow.new_node_persisted");
+        // Commit: swap the parent's child pointer to the grown copy.
+        let ok = par.replace_child(pbyte, grown, &persist_cb::<P>());
+        debug_assert!(ok);
+        hdr.obsolete.store(true, Ordering::Release);
+        P::crash_site("art.grow.committed");
+        AddLeafOutcome::Inserted
+    }
+
+    /// Path-compression split (Condition #3 SMO): the search key diverges from the
+    /// node's compressed prefix after `p` matching bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn path_split(
+        &self,
+        parent: Option<(NodeRef, u8)>,
+        node: NodeRef,
+        depth: usize,
+        p: usize,
+        pbytes: &[u8; MAX_PREFIX],
+        plen: usize,
+        key: &[u8],
+        value: u64,
+    ) -> bool {
+        let Some((par, pbyte)) = parent else {
+            return false; // the root has no prefix; cannot happen
+        };
+        let par_hdr = par.hdr();
+        let _pg = par_hdr.lock.lock();
+        if par_hdr.obsolete.load(Ordering::Acquire) || par.find_child(pbyte) != node.word() {
+            return false;
+        }
+        let hdr = node.hdr();
+        let _ng = hdr.lock.lock();
+        if hdr.obsolete.load(Ordering::Acquire) {
+            return false;
+        }
+        // Re-validate the prefix under the lock.
+        let (cur_prefix, cur_len) = hdr.prefix();
+        if cur_len != plen || cur_prefix[..plen] != pbytes[..plen] || hdr.level as usize != depth + plen {
+            return false;
+        }
+        let new_leaf = Leaf::alloc(key, value);
+        persist_new_leaf::<P>(new_leaf);
+        // Build the new branch node covering the matched part of the prefix.
+        let branch = Node4::alloc((depth + p) as u32, &pbytes[..p]);
+        // SAFETY: freshly allocated.
+        let branch_ref = unsafe { NodeRef::from_word(branch) };
+        let noop = |_: *const u8, _: usize, _: bool| {};
+        branch_ref.add_child(pbytes[p], node.word(), &noop);
+        branch_ref.add_child(key[depth + p], new_leaf, &noop);
+        persist_new_node::<P>(branch);
+        P::crash_site("art.path_split.branch_persisted");
+        // Step 1: install the branch node in the parent (atomic store).
+        let ok = par.replace_child(pbyte, branch, &persist_cb::<P>());
+        debug_assert!(ok);
+        P::crash_site("art.path_split.installed");
+        // Step 2: truncate this node's prefix (single atomic store). A crash between
+        // the steps leaves the stale prefix that readers tolerate and the helper fixes.
+        let truncated = pack_prefix(&pbytes[p + 1..plen]);
+        hdr.prefix.store(truncated, Ordering::Release);
+        P::mark_dirty_obj(&hdr.prefix);
+        P::persist_obj(&hdr.prefix, true);
+        P::crash_site("art.path_split.prefix_truncated");
+        true
+    }
+
+    /// Replace a single leaf by a (possibly chained) subtree holding both the existing
+    /// leaf and the new key. Commits with a single atomic store into `node`'s slot.
+    /// Returns `Some(true)` on insert, `Some(false)` for unsupported prefix keys, and
+    /// `None` when the caller must retry.
+    fn leaf_split(&self, node: NodeRef, b: u8, existing: usize, depth: usize, key: &[u8], value: u64) -> Option<bool> {
+        let hdr = node.hdr();
+        let _g = hdr.lock.lock();
+        if hdr.obsolete.load(Ordering::Acquire) || node.find_child(b) != existing {
+            return None;
+        }
+        // SAFETY: the existing child is a live leaf (checked by the caller).
+        let old_leaf = unsafe { leaf_ref(existing) };
+        let old_key = &old_leaf.key;
+        let base = depth + 1;
+        let mut cp = 0usize;
+        while base + cp < key.len() && base + cp < old_key.len() && key[base + cp] == old_key[base + cp] {
+            cp += 1;
+        }
+        if base + cp >= key.len() || base + cp >= old_key.len() {
+            // One key is a strict prefix of the other: unsupported.
+            return Some(false);
+        }
+        let new_leaf = Leaf::alloc(key, value);
+        persist_new_leaf::<P>(new_leaf);
+        let subtree = build_split_subtree::<P>(base, cp, key, old_key, existing, new_leaf);
+        P::crash_site("art.leaf_split.subtree_persisted");
+        // Commit: single atomic store replacing the leaf with the subtree.
+        let ok = node.replace_child(b, subtree, &persist_cb::<P>());
+        debug_assert!(ok);
+        P::crash_site("art.leaf_split.committed");
+        Some(true)
+    }
+
+    /// Remove a key. Returns `true` if it was present. No structural shrinking is
+    /// performed (matching the evaluated workloads, which contain no deletes).
+    pub fn remove(&self, key: &[u8]) -> bool {
+        if key.is_empty() {
+            return false;
+        }
+        'restart: loop {
+            let mut node = self.root_ref();
+            let mut depth = 0usize;
+            loop {
+                pm::stats::record_node_visit();
+                let hdr = node.hdr();
+                let level = hdr.level as usize;
+                let (pbytes, plen) = hdr.prefix();
+                if level == depth + plen {
+                    let avail = key.len().saturating_sub(depth);
+                    if avail < plen || key[depth..depth + plen] != pbytes[..plen] {
+                        return false;
+                    }
+                    depth += plen;
+                } else if level >= depth {
+                    depth = level;
+                } else {
+                    return false;
+                }
+                if depth >= key.len() {
+                    return false;
+                }
+                let b = key[depth];
+                let child = node.find_child(b);
+                if child == 0 {
+                    return false;
+                }
+                if is_leaf(child) {
+                    // SAFETY: leaves are never freed while the tree is alive.
+                    let leaf = unsafe { leaf_ref(child) };
+                    if &*leaf.key != key {
+                        return false;
+                    }
+                    let _g = hdr.lock.lock();
+                    if hdr.obsolete.load(Ordering::Acquire) || node.find_child(b) != child {
+                        continue 'restart;
+                    }
+                    // Commit: single atomic store clearing the slot.
+                    let ok = node.remove_child(b, &persist_cb::<P>());
+                    debug_assert!(ok);
+                    P::crash_site("art.remove.committed");
+                    return true;
+                }
+                // SAFETY: inner nodes are never freed while the tree is alive.
+                node = unsafe { NodeRef::from_word(child) };
+                depth += 1;
+            }
+        }
+    }
+
+    /// Range scan: up to `count` pairs with key `>= start`, ascending.
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::with_capacity(count.min(1024));
+        if count == 0 {
+            return out;
+        }
+        self.scan_rec(self.root.load(Ordering::Acquire), start, true, count, &mut out);
+        out
+    }
+
+    fn scan_rec(&self, word: usize, start: &[u8], bounded: bool, count: usize, out: &mut Vec<(Vec<u8>, u64)>) -> bool {
+        if is_leaf(word) {
+            // SAFETY: leaves are never freed while the tree is alive.
+            let leaf = unsafe { leaf_ref(word) };
+            if !bounded || &*leaf.key >= start {
+                out.push((leaf.key.to_vec(), leaf.value.load(Ordering::Acquire)));
+            }
+            return out.len() >= count;
+        }
+        pm::stats::record_node_visit();
+        // SAFETY: inner nodes are never freed while the tree is alive.
+        let node = unsafe { NodeRef::from_word(word) };
+        let hdr = node.hdr();
+        let level = hdr.level as usize;
+        let mut bounded = bounded;
+        if bounded {
+            // Compare the compressed prefix with the corresponding slice of `start`.
+            // For nodes with a stale (too long) prefix the positions cannot be
+            // reconstructed; we conservatively keep the subtree bounded.
+            let (pbytes, plen) = hdr.prefix();
+            if let Some(pfx_start) = level.checked_sub(plen) {
+                for i in 0..plen {
+                    match start.get(pfx_start + i).copied() {
+                        None => {
+                            bounded = false;
+                            break;
+                        }
+                        Some(sb) => {
+                            if pbytes[i] > sb {
+                                bounded = false;
+                                break;
+                            }
+                            if pbytes[i] < sb {
+                                return false; // whole subtree below the bound
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut children = node.children();
+        children.sort_unstable_by_key(|(b, _)| *b);
+        for (b, child) in children {
+            let child_bounded = if !bounded {
+                false
+            } else {
+                match start.get(level).copied() {
+                    None => false,
+                    Some(sb) => {
+                        if b < sb {
+                            continue;
+                        }
+                        b == sb
+                    }
+                }
+            };
+            if self.scan_rec(child, start, child_bounded, count, out) {
+                return true;
+            }
+        }
+        out.len() >= count
+    }
+
+    /// Walk every reachable node and re-initialise its lock: RECIPE's post-crash lock
+    /// re-initialisation (embedded locks are meaningless across restarts).
+    pub fn recover_locks(&self) {
+        fn walk(word: usize) {
+            if word == 0 || is_leaf(word) {
+                return;
+            }
+            // SAFETY: reachable inner nodes are never freed while the tree is alive.
+            let node = unsafe { NodeRef::from_word(word) };
+            node.hdr().lock.force_unlock();
+            for (_, c) in node.children() {
+                walk(c);
+            }
+        }
+        walk(self.root.load(Ordering::Acquire));
+    }
+
+    /// Number of keys currently stored (slow full traversal; diagnostics and tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        fn walk(word: usize) -> usize {
+            if word == 0 {
+                return 0;
+            }
+            if is_leaf(word) {
+                return 1;
+            }
+            // SAFETY: reachable inner nodes are never freed while the tree is alive.
+            let node = unsafe { NodeRef::from_word(word) };
+            node.children().iter().map(|&(_, c)| walk(c)).sum()
+        }
+        walk(self.root.load(Ordering::Acquire))
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+enum AddLeafOutcome {
+    Inserted,
+    Retry,
+}
+
+/// Build a chain of `Node4`s covering `cp` shared key bytes starting at `base`, ending
+/// in a `Node4` that branches between the existing leaf and the new leaf. Every node is
+/// persisted; the caller commits by installing the returned word.
+fn build_split_subtree<P: PersistMode>(
+    base: usize,
+    cp: usize,
+    new_key: &[u8],
+    old_key: &[u8],
+    existing: usize,
+    new_leaf: usize,
+) -> usize {
+    let noop = |_: *const u8, _: usize, _: bool| {};
+    // Segment the shared bytes into chunks of (up to 7 prefix bytes + 1 branch byte)
+    // for intermediate single-child nodes, leaving <= MAX_PREFIX bytes for the final
+    // branching node.
+    let mut segments: Vec<usize> = Vec::new(); // start offsets of intermediate nodes
+    let mut consumed = 0usize;
+    while cp - consumed > MAX_PREFIX {
+        segments.push(base + consumed);
+        consumed += MAX_PREFIX + 1;
+    }
+    let final_start = base + consumed;
+    let final_plen = base + cp - final_start;
+    let branch_pos = base + cp;
+
+    let final_node = Node4::alloc(branch_pos as u32, &new_key[final_start..final_start + final_plen]);
+    // SAFETY: freshly allocated.
+    let final_ref = unsafe { NodeRef::from_word(final_node) };
+    final_ref.add_child(old_key[branch_pos], existing, &noop);
+    final_ref.add_child(new_key[branch_pos], new_leaf, &noop);
+    persist_new_node::<P>(final_node);
+
+    let mut child = final_node;
+    for &seg_start in segments.iter().rev() {
+        let node = Node4::alloc((seg_start + MAX_PREFIX) as u32, &new_key[seg_start..seg_start + MAX_PREFIX]);
+        // SAFETY: freshly allocated.
+        let r = unsafe { NodeRef::from_word(node) };
+        r.add_child(new_key[seg_start + MAX_PREFIX], child, &noop);
+        persist_new_node::<P>(node);
+        child = node;
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe::key::u64_key;
+    use recipe::persist::{Dram, Pmem};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_tree_lookups() {
+        let t: Art<Dram> = Art::new();
+        assert_eq!(t.get(b"missing"), None);
+        assert_eq!(t.get(b""), None);
+        assert!(t.is_empty());
+        assert!(!t.remove(b"missing"));
+        assert!(t.scan(b"", 10).is_empty());
+    }
+
+    #[test]
+    fn insert_get_fixed_len_keys() {
+        let t: Art<Dram> = Art::new();
+        for i in 0..10_000u64 {
+            assert!(t.insert(&u64_key(i), i * 3), "insert {i}");
+        }
+        assert_eq!(t.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(t.get(&u64_key(i)), Some(i * 3), "get {i}");
+        }
+        assert_eq!(t.get(&u64_key(10_000)), None);
+    }
+
+    #[test]
+    fn insert_is_upsert() {
+        let t: Art<Dram> = Art::new();
+        assert!(t.insert(b"keyXXXXX", 1));
+        assert!(!t.insert(b"keyXXXXX", 2));
+        assert_eq!(t.get(b"keyXXXXX"), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn long_shared_prefixes_build_chains() {
+        let t: Art<Dram> = Art::new();
+        // 24-byte keys sharing a 20-byte prefix exercise the chained split path.
+        let prefix = b"user00000000000000000"; // 21 bytes
+        let mut keys = Vec::new();
+        for i in 0..200u32 {
+            let mut k = prefix.to_vec();
+            k.extend_from_slice(&i.to_be_bytes()[1..]); // 3 bytes -> 24 total
+            keys.push(k);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert!(t.insert(k, i as u64), "insert {i}");
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64), "get {i}");
+        }
+        assert_eq!(t.len(), 200);
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let t: Art<Dram> = Art::new();
+        for i in 0..1000u64 {
+            t.insert(&u64_key(i), i);
+        }
+        for i in (0..1000u64).step_by(2) {
+            assert!(t.remove(&u64_key(i)), "remove {i}");
+        }
+        for i in 0..1000u64 {
+            let expect = if i % 2 == 0 { None } else { Some(i) };
+            assert_eq!(t.get(&u64_key(i)), expect, "get {i}");
+        }
+        for i in (0..1000u64).step_by(2) {
+            assert!(t.insert(&u64_key(i), i + 1));
+        }
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn scan_returns_sorted_ranges() {
+        let t: Art<Dram> = Art::new();
+        let mut model = BTreeMap::new();
+        for i in (0..2000u64).rev() {
+            let k = u64_key(i * 7);
+            t.insert(&k, i);
+            model.insert(k.to_vec(), i);
+        }
+        for start in [0u64, 1, 35, 6999, 14_000 - 7] {
+            let sk = u64_key(start);
+            let got = t.scan(&sk, 25);
+            let want: Vec<(Vec<u8>, u64)> =
+                model.range(sk.to_vec()..).take(25).map(|(k, v)| (k.clone(), *v)).collect();
+            assert_eq!(got, want, "scan from {start}");
+        }
+    }
+
+    #[test]
+    fn scan_with_variable_length_keys() {
+        let t: Art<Dram> = Art::new();
+        let keys: Vec<&[u8]> = vec![b"aaaa0001", b"aaaa0002", b"aaab0001", b"abcd9999", b"zzzz0000"];
+        for (i, k) in keys.iter().enumerate() {
+            assert!(t.insert(k, i as u64));
+        }
+        let got = t.scan(b"aaab", 10);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, b"aaab0001".to_vec());
+    }
+
+    #[test]
+    fn pm_variant_flushes_and_dram_does_not() {
+        let before = pm::stats::snapshot();
+        let d: Art<Dram> = Art::new();
+        for i in 0..500u64 {
+            d.insert(&u64_key(i), i);
+        }
+        let mid = pm::stats::snapshot();
+        assert_eq!(mid.since(&before).clwb, 0);
+        let p: Art<Pmem> = Art::new();
+        for i in 0..500u64 {
+            p.insert(&u64_key(i), i);
+        }
+        let d2 = pm::stats::snapshot().since(&mid);
+        assert!(d2.clwb > 0);
+        assert!(d2.fence > 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let t: Arc<Art<Pmem>> = Arc::new(Art::new());
+        let threads = 8usize;
+        let per = 4000u64;
+        let mut handles = Vec::new();
+        for tid in 0..threads as u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let k = u64_key(tid * per + i);
+                    assert!(t.insert(&k, tid * per + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), threads * per as usize);
+        for v in 0..threads as u64 * per {
+            assert_eq!(t.get(&u64_key(v)), Some(v), "key {v} lost");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_readers_and_writers() {
+        let t: Arc<Art<Pmem>> = Arc::new(Art::new());
+        for i in 0..10_000u64 {
+            t.insert(&u64_key(i), i);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = i % 10_000;
+                    assert_eq!(t.get(&u64_key(k)), Some(k));
+                    i += 1;
+                }
+            }));
+        }
+        let mut writers = Vec::new();
+        for w in 0..4u64 {
+            let t = Arc::clone(&t);
+            writers.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    let k = 100_000 + w * 5_000 + i;
+                    t.insert(&u64_key(k), k);
+                }
+            }));
+        }
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        for w in 0..4u64 {
+            for i in 0..5_000u64 {
+                let k = 100_000 + w * 5_000 + i;
+                assert_eq!(t.get(&u64_key(k)), Some(k));
+            }
+        }
+    }
+
+    #[test]
+    fn random_keys_match_btreemap_model() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let t: Art<Dram> = Art::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for _ in 0..20_000 {
+            let k: u64 = rng.gen();
+            let v: u64 = rng.gen();
+            let key = u64_key(k).to_vec();
+            t.insert(&key, v);
+            model.insert(key, v);
+        }
+        for (k, v) in &model {
+            assert_eq!(t.get(k), Some(*v));
+        }
+        assert_eq!(t.len(), model.len());
+    }
+}

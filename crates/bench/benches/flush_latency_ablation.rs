@@ -1,0 +1,40 @@
+//! Ablation: how the simulated per-clwb latency affects DRAM vs PM instantiations of
+//! the same index (the conversion cost RECIPE claims is the flush/fence traffic).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recipe::key::u64_key;
+
+fn bench_flush_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("part_insert_vs_clwb_latency");
+    group.sample_size(10);
+    for latency_ns in [0u64, 100, 300] {
+        group.bench_function(BenchmarkId::from_parameter(latency_ns), |b| {
+            pm::stats::set_latency_model(latency_ns, 0);
+            b.iter_batched(
+                art_index::PArt::new,
+                |t| {
+                    for i in 0..1_000u64 {
+                        t.insert(&u64_key(i), i);
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    pm::stats::set_latency_model(0, 0);
+    // DRAM baseline for comparison: the same index with persistence compiled out.
+    group.bench_function("dram_baseline", |b| {
+        b.iter_batched(
+            art_index::DramArt::new,
+            |t| {
+                for i in 0..1_000u64 {
+                    t.insert(&u64_key(i), i);
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flush_latency);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §5 / §7.5: crash-recovery and durability testing of every PM index.
+//!
+//! RECIPE-converted indexes must pass every crash state and the durability check;
+//! the baselines compiled with their `*-bug` features reproduce the paper's findings
+//! (run `cargo run -p bench --features cceh/durability-bug,fastfair/durability-bug
+//! --bin crash_table` to see them fail the durability column).
+use crashtest::{run_crash_test, run_durability_test, CrashTestConfig};
+use recipe::index::{ConcurrentIndex, Recoverable};
+
+fn report<I, F>(name: &str, factory: F, states: usize)
+where
+    I: ConcurrentIndex + Recoverable + Send + Sync,
+    F: Fn() -> I + Copy,
+{
+    let cfg = CrashTestConfig { crash_states: states, load_keys: 10_000, post_ops: 10_000, threads: 4, seed: 7 };
+    let crash = run_crash_test(factory, &cfg);
+    let durability = run_durability_test(factory, 5_000, 1_000);
+    println!(
+        "{:<14} states={:<6} crashes={:<6} lost={:<4} wrong={:<4} failed-ops={:<4} {:<6} | durability: construction-unflushed={} per-op-violations={} {}",
+        name,
+        crash.states_tested,
+        crash.crashes_triggered,
+        crash.lost_keys,
+        crash.wrong_values,
+        crash.failed_post_ops,
+        if crash.passed() { "PASS" } else { "FAIL" },
+        durability.construction_unflushed,
+        durability.ops_with_unflushed_lines + durability.ops_with_unfenced_lines,
+        if durability.passed() { "PASS" } else { "FAIL" },
+    );
+    println!("               avg time per crash state: {:.1} ms", crash.avg_state_ms);
+}
+
+fn main() {
+    let states = bench::crash_states_from_env();
+    println!("== §7.5 — crash-recovery and durability testing ({states} crash states per index) ==");
+    report("P-ART", art_index::PArt::new, states);
+    report("P-HOT", hot_trie::PHot::new, states);
+    report("P-CLHT", clht::PClht::new, states);
+    report("FAST&FAIR", fastfair::PFastFair::new, states);
+    report("CCEH", cceh::PCceh::new, states);
+    report("Level-Hashing", levelhash::PLevelHash::new, states);
+}

@@ -1,0 +1,6 @@
+//! Figure 4a: multi-threaded YCSB throughput, ordered indexes, 8-byte integer keys.
+fn main() {
+    let workloads = ycsb::Workload::ALL;
+    let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::RandInt);
+    bench::print_throughput_table("Fig 4a — ordered indexes, integer keys (YCSB)", &cells, &workloads);
+}

@@ -1,0 +1,6 @@
+//! Figure 4b: multi-threaded YCSB throughput, ordered indexes, 24-byte string keys.
+fn main() {
+    let workloads = ycsb::Workload::ALL;
+    let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::String24);
+    bench::print_throughput_table("Fig 4b — ordered indexes, string keys (YCSB)", &cells, &workloads);
+}

@@ -1,0 +1,6 @@
+//! Figure 4c: performance counters per operation, ordered indexes, integer keys.
+fn main() {
+    let workloads = ycsb::Workload::ALL;
+    let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::RandInt);
+    bench::print_counter_table("Fig 4c — counters, ordered indexes, integer keys", &cells, &workloads);
+}

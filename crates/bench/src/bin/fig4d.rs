@@ -1,0 +1,6 @@
+//! Figure 4d: performance counters per operation, ordered indexes, string keys.
+fn main() {
+    let workloads = ycsb::Workload::ALL;
+    let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::String24);
+    bench::print_counter_table("Fig 4d — counters, ordered indexes, string keys", &cells, &workloads);
+}

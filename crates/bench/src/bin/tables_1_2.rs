@@ -1,0 +1,29 @@
+//! Tables 1 & 2: the RECIPE categorisation of the converted DRAM indexes.
+fn main() {
+    println!("== Table 1 / Table 2 — RECIPE categorisation ==");
+    println!(
+        "{:<10}{:<16}{:<14}{:<14}{:<9}{:<9}{:<24}{}",
+        "DRAM", "structure", "reader", "writer", "non-SMO", "SMO", "paper effort", "crate"
+    );
+    for e in recipe::condition::catalog() {
+        println!(
+            "{:<10}{:<16}{:<14}{:<14}{:<9}{:<9}{:<24}{}",
+            e.dram_index,
+            e.structure,
+            e.reader.to_string(),
+            e.writer.to_string(),
+            e.non_smo.label(),
+            e.smo.label(),
+            e.paper_effort,
+            e.crate_name
+        );
+    }
+    println!("\nConversion actions:");
+    for c in [
+        recipe::Condition::SingleAtomicStore,
+        recipe::Condition::WritersFixInconsistencies,
+        recipe::Condition::WritersDontFixInconsistencies,
+    ] {
+        println!("  {}: {}", c.label(), c.conversion_action());
+    }
+}

@@ -1,0 +1,170 @@
+//! Shared harness for the benchmark binaries that regenerate the RECIPE paper's
+//! tables and figures.
+//!
+//! Every binary in `src/bin/` uses the registries and helpers here so that adding an
+//! index to the evaluation is a one-line change. Workload sizes default to a
+//! laptop-friendly scale and are overridden with environment variables:
+//!
+//! | Variable            | Meaning                                   | Default   |
+//! |---------------------|-------------------------------------------|-----------|
+//! | `RECIPE_LOAD_N`     | keys inserted in the load phase           | 2,000,000 |
+//! | `RECIPE_OPS_N`      | operations in each run phase              | 2,000,000 |
+//! | `RECIPE_THREADS`    | worker threads                            | 16        |
+//! | `RECIPE_SCAN_MAX`   | max range-scan length (workload E)        | 100       |
+//! | `RECIPE_CLWB_NS`    | simulated latency per cache-line flush    | 0         |
+//! | `RECIPE_FENCE_NS`   | simulated latency per fence               | 0         |
+//! | `RECIPE_CRASH_STATES` | crash states per index (crash_table)    | 1000      |
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use recipe::index::ConcurrentIndex;
+use std::sync::Arc;
+use ycsb::{KeyType, PhaseResult, Spec, Workload};
+
+/// A named index constructor used by the benchmark binaries.
+pub struct IndexEntry {
+    /// Display name (matches the paper's naming).
+    pub name: &'static str,
+    /// Constructor for a fresh instance.
+    pub build: fn() -> Arc<dyn ConcurrentIndex>,
+}
+
+/// The ordered PM indexes of Fig. 4: FAST & FAIR (baseline) and the RECIPE-converted
+/// tries/radix trees. (P-BwTree and P-Masstree are added here as their crates land.)
+#[must_use]
+pub fn ordered_indexes() -> Vec<IndexEntry> {
+    vec![
+        IndexEntry { name: "FAST&FAIR", build: || Arc::new(fastfair::PFastFair::new()) },
+        IndexEntry { name: "P-ART", build: || Arc::new(art_index::PArt::new()) },
+        IndexEntry { name: "P-HOT", build: || Arc::new(hot_trie::PHot::new()) },
+    ]
+}
+
+/// The unordered PM indexes of Fig. 5 / Table 4.
+#[must_use]
+pub fn hash_indexes() -> Vec<IndexEntry> {
+    vec![
+        IndexEntry { name: "CCEH", build: || Arc::new(cceh::PCceh::new()) },
+        IndexEntry { name: "Level-Hashing", build: || Arc::new(levelhash::PLevelHash::new()) },
+        IndexEntry { name: "P-CLHT", build: || Arc::new(clht::PClht::new()) },
+    ]
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Build the workload spec shared by the figure binaries, honouring the `RECIPE_*`
+/// environment overrides, and install the flush/fence latency model.
+#[must_use]
+pub fn spec_from_env(workload: Workload, key_type: KeyType) -> Spec {
+    pm::stats::latency_model_from_env();
+    Spec {
+        load_count: env_usize("RECIPE_LOAD_N", 2_000_000),
+        op_count: env_usize("RECIPE_OPS_N", 2_000_000),
+        threads: env_usize("RECIPE_THREADS", 16),
+        key_type,
+        workload,
+        scan_max: env_usize("RECIPE_SCAN_MAX", 100),
+        seed: 0x5EED,
+    }
+}
+
+/// Number of crash states per index for the §7.5 reproduction.
+#[must_use]
+pub fn crash_states_from_env() -> usize {
+    env_usize("RECIPE_CRASH_STATES", 1_000)
+}
+
+/// One measured cell of a figure: index × workload.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Index name.
+    pub index: &'static str,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Measured result of the phase that the figure reports.
+    pub result: PhaseResult,
+}
+
+/// Run every (index × workload) combination for the given key type, reporting the run
+/// phase for A/B/C/E and the load phase for Load A — exactly what Fig. 4/5 plot.
+#[must_use]
+pub fn run_matrix(indexes: &[IndexEntry], workloads: &[Workload], key_type: KeyType) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for entry in indexes {
+        for &wl in workloads {
+            let spec = spec_from_env(wl, key_type);
+            let index = (entry.build)();
+            eprintln!(
+                "# running {:<14} workload {:<6} (load {} / ops {} / {} threads)",
+                entry.name,
+                wl.label(),
+                spec.load_count,
+                spec.op_count,
+                spec.threads
+            );
+            let res = ycsb::run_spec(&index, &spec);
+            let reported = if wl == Workload::LoadA { res.load.clone() } else { res.run.clone() };
+            cells.push(Cell { index: entry.name, workload: wl.label(), result: reported });
+        }
+    }
+    cells
+}
+
+/// Print a figure as a throughput table: rows = indexes, columns = workloads.
+pub fn print_throughput_table(title: &str, cells: &[Cell], workloads: &[Workload]) {
+    println!("\n== {title} ==");
+    print!("{:<16}", "index");
+    for wl in workloads {
+        print!("{:>10}", wl.label());
+    }
+    println!("    (Mops/s, higher is better)");
+    let mut indexes: Vec<&str> = cells.iter().map(|c| c.index).collect();
+    indexes.dedup();
+    for idx in indexes {
+        print!("{idx:<16}");
+        for wl in workloads {
+            let cell = cells.iter().find(|c| c.index == idx && c.workload == wl.label());
+            match cell {
+                Some(c) => print!("{:>10.3}", c.result.mops),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Print a counter table (Fig. 4c/4d, Table 4): clwb & fence per insert-dominated
+/// workload plus node visits (the LLC-miss proxy) per workload.
+pub fn print_counter_table(title: &str, cells: &[Cell], workloads: &[Workload]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<16}{:>10}{:>10} | node visits per op (LLC-miss proxy)",
+        "index", "clwb/ins", "fence/ins"
+    );
+    print!("{:<36} |", "");
+    for wl in workloads {
+        print!("{:>9}", wl.label());
+    }
+    println!();
+    let mut indexes: Vec<&str> = cells.iter().map(|c| c.index).collect();
+    indexes.dedup();
+    for idx in indexes {
+        // The per-insert instruction counts come from the pure-insert Load A phase.
+        let load = cells.iter().find(|c| c.index == idx && c.workload == "Load A");
+        match load {
+            Some(c) => print!("{:<16}{:>10.1}{:>10.1} |", idx, c.result.clwb_per_op, c.result.fence_per_op),
+            None => print!("{idx:<16}{:>10}{:>10} |", "-", "-"),
+        }
+        for wl in workloads {
+            let cell = cells.iter().find(|c| c.index == idx && c.workload == wl.label());
+            match cell {
+                Some(c) => print!("{:>9.1}", c.result.node_visits_per_op),
+                None => print!("{:>9}", "-"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,451 @@
+//! # CCEH — Cacheline-Conscious Extendible Hashing (hand-crafted PM baseline)
+//!
+//! CCEH (Nam et al., FAST '19) is the state-of-the-art persistent hash table the
+//! RECIPE paper compares P-CLHT against (§7.2). A directory indexed by the high bits
+//! of the hash points to 16 KiB segments; each key probes a small window of adjacent
+//! cache-line buckets inside its segment, so an insert flushes very few lines. Full
+//! segments are split copy-on-write (frequent and expensive — the reason P-CLHT beats
+//! CCEH once the table is warm), doubling the directory when a segment's local depth
+//! reaches the global depth.
+//!
+//! The optional `durability-bug` feature reproduces the durability finding of §7.5
+//! (the initial directory/segment allocation is not flushed); the optional
+//! `doubling-bug` feature reproduces the §3 crash bug where the directory pointer,
+//! width and depth are not made durable in a crash-safe order.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod segment;
+
+use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::key::{hash_u64, key_to_u64};
+use recipe::persist::{PersistMode, Pmem};
+use segment::{Segment, BUCKETS_PER_SEGMENT, SLOTS_PER_BUCKET};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// The extendible-hashing directory: an array of segment pointers addressed by the
+/// top `global_depth` bits of the hash.
+pub struct Directory {
+    /// Number of hash bits used to index the directory.
+    pub global_depth: u64,
+    /// Segment pointers (`2^global_depth` entries).
+    pub segments: Vec<AtomicU64>,
+}
+
+impl Directory {
+    fn alloc(global_depth: u64) -> *mut Directory {
+        let n = 1usize << global_depth;
+        let mut segments = Vec::with_capacity(n);
+        segments.resize_with(n, || AtomicU64::new(0));
+        pm::alloc::pm_box(Directory { global_depth, segments })
+    }
+
+    #[inline]
+    fn index(&self, hash: u64) -> usize {
+        if self.global_depth == 0 {
+            0
+        } else {
+            (hash >> (64 - self.global_depth)) as usize
+        }
+    }
+}
+
+/// Cacheline-Conscious Extendible Hashing.
+pub struct Cceh<P: PersistMode = Pmem> {
+    dir: AtomicPtr<Directory>,
+    dir_lock: parking_lot::Mutex<()>,
+    _policy: PhantomData<P>,
+}
+
+/// The persistent CCEH evaluated in the paper.
+pub type PCceh = Cceh<Pmem>;
+
+// SAFETY: directories and segments are only mutated through atomics/locks and are
+// never freed while the table is alive (copy-on-write splits leak the old versions).
+unsafe impl<P: PersistMode> Send for Cceh<P> {}
+unsafe impl<P: PersistMode> Sync for Cceh<P> {}
+
+impl<P: PersistMode> Default for Cceh<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: PersistMode> Cceh<P> {
+    /// Create a table with one segment per initial directory entry.
+    /// `initial_depth = 1` gives two 16 KiB segments.
+    #[must_use]
+    pub fn with_depth(initial_depth: u64) -> Self {
+        let dir = Directory::alloc(initial_depth);
+        // SAFETY: freshly allocated, private.
+        let d = unsafe { &*dir };
+        for i in 0..d.segments.len() {
+            let seg = Segment::alloc(initial_depth);
+            #[cfg(not(feature = "durability-bug"))]
+            {
+                // SAFETY: freshly allocated segment, private.
+                let s = unsafe { &*seg };
+                P::persist_range(s.buckets.as_ptr().cast(), BUCKETS_PER_SEGMENT * 64, false);
+                P::persist_obj(seg, false);
+            }
+            d.segments[i].store(seg as u64, Ordering::Release);
+        }
+        #[cfg(not(feature = "durability-bug"))]
+        {
+            P::persist_range(d.segments.as_ptr().cast(), d.segments.len() * 8, false);
+            P::persist_obj(dir, true);
+        }
+        let t = Cceh { dir: AtomicPtr::new(dir), dir_lock: parking_lot::Mutex::new(()), _policy: PhantomData };
+        P::persist_obj(&t.dir, true);
+        t
+    }
+
+    /// Default-sized table (matches the paper's 48 KB starting configuration order of
+    /// magnitude: two segments).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_depth(1)
+    }
+
+    #[inline]
+    fn internal_key(key: &[u8]) -> Option<u64> {
+        if key.len() > 8 {
+            return None;
+        }
+        let k = key_to_u64(key).wrapping_add(1);
+        (k != segment::EMPTY_KEY).then_some(k)
+    }
+
+    #[inline]
+    fn directory(&self) -> &Directory {
+        // SAFETY: directories are never freed while the table is alive.
+        unsafe { &*self.dir.load(Ordering::Acquire) }
+    }
+
+    fn segment_for(&self, dir: &Directory, hash: u64) -> &Segment {
+        let ptr = dir.segments[dir.index(hash)].load(Ordering::Acquire) as *const Segment;
+        pm::stats::record_node_visit();
+        // SAFETY: segments are never freed while the table is alive.
+        unsafe { &*ptr }
+    }
+
+    fn get_internal(&self, k: u64) -> Option<u64> {
+        let h = hash_u64(k);
+        let dir = self.directory();
+        let seg = self.segment_for(dir, h);
+        seg.get(h, k)
+    }
+
+    fn put_internal(&self, k: u64, value: u64) -> bool {
+        let h = hash_u64(k);
+        loop {
+            let dir_ptr = self.dir.load(Ordering::Acquire);
+            // SAFETY: directories are never freed while the table is alive.
+            let dir = unsafe { &*dir_ptr };
+            let idx = dir.index(h);
+            let seg_ptr = dir.segments[idx].load(Ordering::Acquire) as *mut Segment;
+            // SAFETY: segments are never freed while the table is alive.
+            let seg = unsafe { &*seg_ptr };
+            let guard = seg.lock.lock();
+            // Re-validate: a concurrent split/doubling may have replaced the mapping.
+            if self.dir.load(Ordering::Acquire) != dir_ptr
+                || dir.segments[idx].load(Ordering::Acquire) != seg_ptr as u64
+            {
+                drop(guard);
+                continue;
+            }
+            pm::stats::record_node_visit();
+            match seg.insert::<P>(h, k, value) {
+                Ok(newly) => return newly,
+                Err(()) => {
+                    drop(guard);
+                    self.split_segment(seg_ptr, h);
+                    // Retry the insert against the new layout.
+                }
+            }
+        }
+    }
+
+    /// Split the segment currently covering `hash` (copy-on-write), doubling the
+    /// directory first if the segment already uses every directory bit.
+    fn split_segment(&self, seg_ptr: *mut Segment, hash: u64) {
+        let _dir_guard = self.dir_lock.lock();
+        let dir_ptr = self.dir.load(Ordering::Acquire);
+        // SAFETY: never freed.
+        let dir = unsafe { &*dir_ptr };
+        // Another thread may already have split this segment.
+        if dir.segments[dir.index(hash)].load(Ordering::Acquire) != seg_ptr as u64 {
+            return;
+        }
+        // SAFETY: never freed.
+        let seg = unsafe { &*seg_ptr };
+        let _seg_guard = seg.lock.lock();
+        let local_depth = seg.local_depth.load(Ordering::Acquire);
+
+        let dir = if local_depth == dir.global_depth {
+            // Directory doubling: allocate a directory twice the size, duplicate every
+            // entry, persist it, then atomically swap the directory pointer. The
+            // `doubling-bug` feature swaps the pointer *before* persisting the new
+            // directory, reproducing the §3 crash bug.
+            let new_dir_ptr = Directory::alloc(dir.global_depth + 1);
+            // SAFETY: freshly allocated, private.
+            let new_dir = unsafe { &*new_dir_ptr };
+            for i in 0..dir.segments.len() {
+                let s = dir.segments[i].load(Ordering::Acquire);
+                new_dir.segments[2 * i].store(s, Ordering::Relaxed);
+                new_dir.segments[2 * i + 1].store(s, Ordering::Relaxed);
+            }
+            #[cfg(feature = "doubling-bug")]
+            {
+                self.dir.store(new_dir_ptr, Ordering::Release);
+                P::crash_site("cceh.doubling.swapped_before_persist");
+                P::persist_range(new_dir.segments.as_ptr().cast(), new_dir.segments.len() * 8, false);
+                P::persist_obj(new_dir_ptr, true);
+                P::persist_obj(&self.dir, true);
+            }
+            #[cfg(not(feature = "doubling-bug"))]
+            {
+                P::persist_range(new_dir.segments.as_ptr().cast(), new_dir.segments.len() * 8, false);
+                P::persist_obj(new_dir_ptr, true);
+                P::crash_site("cceh.doubling.new_dir_persisted");
+                self.dir.store(new_dir_ptr, Ordering::Release);
+                P::mark_dirty_obj(&self.dir);
+                P::persist_obj(&self.dir, true);
+                P::crash_site("cceh.doubling.committed");
+            }
+            new_dir
+        } else {
+            dir
+        };
+
+        // Copy-on-write split into two segments with one more local-depth bit.
+        let new_depth = local_depth + 1;
+        let left_ptr = Segment::alloc(new_depth);
+        let right_ptr = Segment::alloc(new_depth);
+        // SAFETY: freshly allocated, private.
+        let (left, right) = unsafe { (&*left_ptr, &*right_ptr) };
+        seg.for_each(|k, v| {
+            let kh = hash_u64(k);
+            let bit = (kh >> (64 - new_depth)) & 1;
+            let target = if bit == 0 { left } else { right };
+            // Private segments; plain insert cannot fail because the split at most
+            // redistributes LINEAR_PROBE * SLOTS_PER_BUCKET entries per bucket index.
+            let redistributed = target.insert::<recipe::persist::Dram>(kh, k, v);
+            debug_assert!(redistributed.is_ok(), "probe window overflow during segment split");
+        });
+        P::persist_range(left.buckets.as_ptr().cast(), BUCKETS_PER_SEGMENT * 64, false);
+        P::persist_range(right.buckets.as_ptr().cast(), BUCKETS_PER_SEGMENT * 64, false);
+        P::persist_obj(left_ptr, false);
+        P::persist_obj(right_ptr, true);
+        P::crash_site("cceh.split.segments_persisted");
+
+        // Update every directory entry that pointed at the old segment.
+        let prefix_bits = new_depth;
+        for i in 0..dir.segments.len() {
+            if dir.segments[i].load(Ordering::Acquire) == seg_ptr as u64 {
+                let entry_prefix = (i as u64) >> (dir.global_depth - prefix_bits);
+                let target = if entry_prefix & 1 == 0 { left_ptr } else { right_ptr };
+                dir.segments[i].store(target as u64, Ordering::Release);
+                P::mark_dirty_obj(&dir.segments[i]);
+                P::persist_obj(&dir.segments[i], false);
+            }
+        }
+        P::fence();
+        P::crash_site("cceh.split.directory_updated");
+    }
+
+    fn remove_internal(&self, k: u64) -> bool {
+        let h = hash_u64(k);
+        loop {
+            let dir_ptr = self.dir.load(Ordering::Acquire);
+            // SAFETY: never freed.
+            let dir = unsafe { &*dir_ptr };
+            let idx = dir.index(h);
+            let seg_ptr = dir.segments[idx].load(Ordering::Acquire) as *mut Segment;
+            // SAFETY: never freed.
+            let seg = unsafe { &*seg_ptr };
+            let guard = seg.lock.lock();
+            if self.dir.load(Ordering::Acquire) != dir_ptr
+                || dir.segments[idx].load(Ordering::Acquire) != seg_ptr as u64
+            {
+                drop(guard);
+                continue;
+            }
+            return seg.remove::<P>(h, k);
+        }
+    }
+
+    /// Number of entries (slow; walks every segment once, de-duplicating shared
+    /// directory entries).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let dir = self.directory();
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0usize;
+        for s in &dir.segments {
+            let p = s.load(Ordering::Acquire);
+            if seen.insert(p) {
+                // SAFETY: never freed.
+                let seg = unsafe { &*(p as *const Segment) };
+                seg.for_each(|_, _| count += 1);
+            }
+        }
+        count
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current directory depth (diagnostics).
+    #[must_use]
+    pub fn global_depth(&self) -> u64 {
+        self.directory().global_depth
+    }
+}
+
+impl<P: PersistMode> ConcurrentIndex for Cceh<P> {
+    fn insert(&self, key: &[u8], value: u64) -> bool {
+        match Self::internal_key(key) {
+            Some(k) => self.put_internal(k, value),
+            None => false,
+        }
+    }
+
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        match Self::internal_key(key) {
+            Some(k) => {
+                if self.get_internal(k).is_some() {
+                    self.put_internal(k, value);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        Self::internal_key(key).and_then(|k| self.get_internal(k))
+    }
+
+    fn remove(&self, key: &[u8]) -> bool {
+        match Self::internal_key(key) {
+            Some(k) => self.remove_internal(k),
+            None => false,
+        }
+    }
+
+    fn name(&self) -> String {
+        "CCEH".into()
+    }
+}
+
+impl<P: PersistMode> Recoverable for Cceh<P> {
+    fn recover(&self) {
+        let dir = self.directory();
+        let mut seen = std::collections::HashSet::new();
+        for s in &dir.segments {
+            let p = s.load(Ordering::Acquire);
+            if seen.insert(p) {
+                // SAFETY: never freed.
+                let seg = unsafe { &*(p as *const Segment) };
+                seg.lock.force_unlock();
+            }
+        }
+    }
+}
+
+// Consistency guard: the probe window capacity assumed by split_segment.
+const _: () = assert!(SLOTS_PER_BUCKET * segment::LINEAR_PROBE <= BUCKETS_PER_SEGMENT);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe::key::u64_key;
+    use std::sync::Arc;
+
+    fn k(x: u64) -> [u8; 8] {
+        u64_key(x)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let t: PCceh = Cceh::new();
+        assert!(t.insert(&k(1), 10));
+        assert!(!t.insert(&k(1), 11));
+        assert_eq!(t.get(&k(1)), Some(11));
+        assert_eq!(t.get(&k(2)), None);
+        assert!(t.remove(&k(1)));
+        assert!(!t.remove(&k(1)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn many_inserts_trigger_splits_and_doubling() {
+        let t: PCceh = Cceh::new();
+        let n = 60_000u64;
+        for i in 0..n {
+            assert!(t.insert(&k(i), i), "insert {i}");
+        }
+        assert!(t.global_depth() > 1, "directory should have doubled");
+        for i in 0..n {
+            assert_eq!(t.get(&k(i)), Some(i), "key {i} lost after splits");
+        }
+        assert_eq!(t.len(), n as usize);
+    }
+
+    #[test]
+    fn update_semantics() {
+        let t: PCceh = Cceh::new();
+        assert!(!t.update(&k(5), 1));
+        t.insert(&k(5), 1);
+        assert!(t.update(&k(5), 2));
+        assert_eq!(t.get(&k(5)), Some(2));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let t: Arc<PCceh> = Arc::new(Cceh::new());
+        let threads = 8u64;
+        let per = 8_000u64;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let key = tid * per + i;
+                    assert!(t.insert(&k(key), key));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for key in 0..threads * per {
+            assert_eq!(t.get(&k(key)), Some(key), "key {key} lost");
+        }
+        assert_eq!(t.len(), (threads * per) as usize);
+    }
+
+    #[test]
+    fn unsupported_keys_rejected() {
+        let t: PCceh = Cceh::new();
+        assert!(!t.insert(b"longer-than-8-bytes", 1));
+        assert_eq!(t.get(b"longer-than-8-bytes"), None);
+    }
+
+    #[test]
+    fn name_and_recover() {
+        let t: PCceh = Cceh::new();
+        assert_eq!(t.name(), "CCEH");
+        t.insert(&k(3), 3);
+        t.recover();
+        assert_eq!(t.get(&k(3)), Some(3));
+    }
+}

@@ -1,0 +1,247 @@
+//! # FAST & FAIR — the hand-crafted persistent B+ tree baseline
+//!
+//! FAST & FAIR (Hwang et al., FAST '18) is the state-of-the-art open-source concurrent
+//! PM B+ tree the RECIPE paper evaluates against (§7.1). It sorts keys in place with a
+//! failure-atomic shift (FAST) and deletes with the symmetric FAIR shift; readers are
+//! lock-free and tolerate the transient duplicates those shifts create; writers take
+//! per-node locks.
+//!
+//! This reproduction includes the high-key / sibling-pointer fix the RECIPE authors
+//! proposed for the lost-key concurrency bug of §3, and serializes structure
+//! modifications with an SMO lock (the original's unlocked parent update is the root
+//! cause of that bug). The optional `durability-bug` cargo feature reproduces the
+//! durability bug the paper's testing found — the initial root allocation is not
+//! flushed — so the crash-testing harness has a real bug to catch (§7.5).
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod tree;
+
+pub use node::KeyMode;
+pub use tree::FastFair;
+
+use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::persist::{Dram, PersistMode, Pmem};
+
+/// The persistent FAST & FAIR B+ tree (the configuration evaluated in the paper).
+pub type PFastFair = FastFair<Pmem>;
+/// FAST & FAIR with persistence compiled out (used by ablation benchmarks).
+pub type DramFastFair = FastFair<Dram>;
+
+impl<P: PersistMode> ConcurrentIndex for FastFair<P> {
+    fn insert(&self, key: &[u8], value: u64) -> bool {
+        FastFair::insert(self, key, value)
+    }
+
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        if FastFair::get(self, key).is_some() {
+            FastFair::insert(self, key, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        FastFair::get(self, key)
+    }
+
+    fn remove(&self, key: &[u8]) -> bool {
+        FastFair::remove(self, key)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        FastFair::scan(self, start, count)
+    }
+
+    fn supports_scan(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        "FAST&FAIR".into()
+    }
+}
+
+impl<P: PersistMode> Recoverable for FastFair<P> {
+    fn recover(&self) {
+        self.recover_locks();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe::key::u64_key;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_integer_keys() {
+        let t: PFastFair = FastFair::new();
+        for i in 0..20_000u64 {
+            assert!(t.insert(&u64_key(i), i * 2), "insert {i}");
+        }
+        for i in 0..20_000u64 {
+            assert_eq!(t.get(&u64_key(i)), Some(i * 2), "get {i}");
+        }
+        assert_eq!(t.get(&u64_key(20_000)), None);
+        assert_eq!(t.len(), 20_000);
+    }
+
+    #[test]
+    fn insert_is_upsert() {
+        let t: PFastFair = FastFair::new();
+        assert!(t.insert(&u64_key(7), 1));
+        assert!(!t.insert(&u64_key(7), 2));
+        assert_eq!(t.get(&u64_key(7)), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn string_keys_round_trip() {
+        let t: PFastFair = FastFair::new();
+        let mut model = BTreeMap::new();
+        for i in 0..5_000u64 {
+            let key = format!("user{:020}", i * 37 % 5_000);
+            let newly = model.insert(key.clone().into_bytes(), i).is_none();
+            assert_eq!(t.insert(key.as_bytes(), i), newly, "key {key}");
+        }
+        for (k, v) in &model {
+            assert_eq!(t.get(k), Some(*v));
+        }
+    }
+
+    #[test]
+    fn remove_keeps_other_keys() {
+        let t: PFastFair = FastFair::new();
+        for i in 0..2_000u64 {
+            t.insert(&u64_key(i), i);
+        }
+        for i in (0..2_000u64).step_by(3) {
+            assert!(t.remove(&u64_key(i)));
+        }
+        for i in 0..2_000u64 {
+            let expect = if i % 3 == 0 { None } else { Some(i) };
+            assert_eq!(t.get(&u64_key(i)), expect, "key {i}");
+        }
+    }
+
+    #[test]
+    fn scan_is_sorted_and_bounded() {
+        let t: PFastFair = FastFair::new();
+        let mut model = BTreeMap::new();
+        for i in 0..5_000u64 {
+            let k = u64_key(i * 11);
+            t.insert(&k, i);
+            model.insert(k.to_vec(), i);
+        }
+        for start in [0u64, 10, 5_000, 54_989, 60_000] {
+            let sk = u64_key(start);
+            let got = t.scan(&sk, 40);
+            let want: Vec<(Vec<u8>, u64)> =
+                model.range(sk.to_vec()..).take(40).map(|(k, v)| (k.clone(), *v)).collect();
+            assert_eq!(got, want, "scan from {start}");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_keep_all_keys() {
+        let t: Arc<PFastFair> = Arc::new(FastFair::new());
+        let threads = 8u64;
+        let per = 3_000u64;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let k = tid * per + i;
+                    assert!(t.insert(&u64_key(k), k));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for k in 0..threads * per {
+            assert_eq!(t.get(&u64_key(k)), Some(k), "key {k} lost");
+        }
+        assert_eq!(t.len(), (threads * per) as usize);
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        let t: Arc<PFastFair> = Arc::new(FastFair::new());
+        for i in 0..5_000u64 {
+            t.insert(&u64_key(i), i);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = i % 5_000;
+                    assert_eq!(t.get(&u64_key(k)), Some(k));
+                    i += 1;
+                }
+            }));
+        }
+        let mut writers = Vec::new();
+        for w in 0..4u64 {
+            let t = Arc::clone(&t);
+            writers.push(std::thread::spawn(move || {
+                for i in 0..3_000u64 {
+                    let k = 10_000 + w * 3_000 + i;
+                    t.insert(&u64_key(k), k);
+                }
+            }));
+        }
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        for w in 0..4u64 {
+            for i in 0..3_000u64 {
+                let k = 10_000 + w * 3_000 + i;
+                assert_eq!(t.get(&u64_key(k)), Some(k));
+            }
+        }
+    }
+
+    #[test]
+    fn flushes_are_counted_per_insert() {
+        let t: PFastFair = FastFair::new();
+        let before = pm::stats::snapshot();
+        for i in 0..1_000u64 {
+            t.insert(&u64_key(i), i);
+        }
+        let d = pm::stats::snapshot().since(&before);
+        let per_insert = d.clwb as f64 / 1_000.0;
+        // The FAST shift flushes once per shifted entry; the paper reports ~7 clwb per
+        // insert for FAST & FAIR vs ~3 for P-ART (Fig. 4c). Sequential keys land at
+        // the tail so this is a lower bound, but it must exceed the CLHT-style 1.
+        assert!(per_insert >= 1.0, "expected >= 1 clwb per insert, got {per_insert}");
+        assert!(d.fence >= d.clwb / 2);
+    }
+
+    #[test]
+    fn trait_object_and_recover() {
+        let t: PFastFair = FastFair::new();
+        let idx: &dyn ConcurrentIndex = &t;
+        assert!(idx.insert(&u64_key(1), 5));
+        assert!(idx.update(&u64_key(1), 6));
+        assert!(!idx.update(&u64_key(2), 6));
+        assert_eq!(idx.name(), "FAST&FAIR");
+        assert!(idx.supports_scan());
+        t.recover();
+        assert_eq!(t.get(&u64_key(1)), Some(6));
+    }
+}

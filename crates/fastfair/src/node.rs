@@ -1,0 +1,405 @@
+//! B+-tree nodes for FAST & FAIR.
+//!
+//! FAST & FAIR (Hwang et al., FAST '18) keeps entries sorted *in place* and makes the
+//! shift-based insertion failure-atomic: every 8-byte store during a shift leaves the
+//! array in a state that lock-free readers can tolerate (either a transient duplicate
+//! of a neighbouring entry or a valid sorted array). This module implements the node
+//! layout, the tolerant read, and the FAST shift; the tree logic lives in the crate
+//! root.
+//!
+//! Key words are either the big-endian encoding of an 8-byte key (integer mode) or a
+//! pointer to an out-of-line key buffer (string mode) — the same scheme the RECIPE
+//! authors used to add string support to the original implementation (§7), and the
+//! reason FAST & FAIR pays an extra pointer dereference per comparison on string keys.
+
+use recipe::lock::VersionLock;
+use recipe::persist::PersistMode;
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+
+/// Entries per node (the paper uses 512-byte nodes; 30 × 16 B entries ≈ 480 B).
+pub const CARDINALITY: usize = 30;
+
+/// Key-word sentinel for an empty slot.
+pub const EMPTY: u64 = 0;
+
+/// How key words are interpreted by a tree instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyMode {
+    /// Key words hold the big-endian value of an 8-byte key plus one (so 0 stays free
+    /// as the empty sentinel).
+    Inline,
+    /// Key words hold a pointer to a leaked [`KeyBuf`].
+    Indirect,
+}
+
+/// Out-of-line key storage for string keys.
+pub struct KeyBuf {
+    /// The key bytes.
+    pub bytes: Box<[u8]>,
+}
+
+/// Encode a search key into a key word for the given mode, allocating a [`KeyBuf`] in
+/// indirect mode (`persist` controls whether the fresh buffer is flushed).
+pub fn encode_key<P: PersistMode>(mode: KeyMode, key: &[u8]) -> u64 {
+    match mode {
+        KeyMode::Inline => recipe::key::key_to_u64(key).wrapping_add(1),
+        KeyMode::Indirect => {
+            let buf = pm::alloc::pm_box(KeyBuf { bytes: key.to_vec().into_boxed_slice() });
+            // SAFETY: freshly allocated, uniquely owned.
+            let bytes = unsafe { &(*buf).bytes };
+            P::persist_range(bytes.as_ptr(), bytes.len(), false);
+            P::persist_obj(buf, true);
+            buf as u64
+        }
+    }
+}
+
+/// Compare a stored key word against a search key.
+pub fn cmp_word_key(mode: KeyMode, word: u64, key: &[u8]) -> CmpOrdering {
+    match mode {
+        KeyMode::Inline => word.cmp(&recipe::key::key_to_u64(key).wrapping_add(1)),
+        KeyMode::Indirect => {
+            pm::stats::record_node_visit(); // the extra dereference string keys pay
+            // SAFETY: indirect key words are pointers to leaked KeyBufs.
+            let buf = unsafe { &*(word as *const KeyBuf) };
+            (*buf.bytes).cmp(key)
+        }
+    }
+}
+
+/// Compare two stored key words.
+pub fn cmp_words(mode: KeyMode, a: u64, b: u64) -> CmpOrdering {
+    match mode {
+        KeyMode::Inline => a.cmp(&b),
+        KeyMode::Indirect => {
+            // SAFETY: see `cmp_word_key`.
+            let ka = unsafe { &*(a as *const KeyBuf) };
+            let kb = unsafe { &*(b as *const KeyBuf) };
+            ka.bytes.cmp(&kb.bytes)
+        }
+    }
+}
+
+/// Materialise the byte representation of a stored key word.
+pub fn word_to_bytes(mode: KeyMode, word: u64) -> Vec<u8> {
+    match mode {
+        KeyMode::Inline => recipe::key::u64_key(word.wrapping_sub(1)).to_vec(),
+        KeyMode::Indirect => {
+            // SAFETY: see `cmp_word_key`.
+            let buf = unsafe { &*(word as *const KeyBuf) };
+            buf.bytes.to_vec()
+        }
+    }
+}
+
+/// One sorted slot: a key word and a value (record location, or child pointer in
+/// internal nodes).
+#[derive(Default)]
+pub struct Entry {
+    /// Key word ([`EMPTY`] marks the end of the used region).
+    pub key: AtomicU64,
+    /// Value or child pointer.
+    pub val: AtomicU64,
+}
+
+/// A FAST & FAIR node (leaf or internal).
+pub struct Node {
+    /// Writer lock.
+    pub lock: VersionLock,
+    /// Leaf marker (1) vs internal (0).
+    pub leaf: AtomicU8,
+    /// Leftmost child (internal nodes only).
+    pub leftmost: AtomicU64,
+    /// Sorted entries terminated by an [`EMPTY`] key word.
+    pub entries: [Entry; CARDINALITY],
+    /// Right sibling (B-link pointer).
+    pub sibling: AtomicPtr<Node>,
+    /// Exclusive upper bound of this node's key space; [`EMPTY`] means unbounded.
+    /// This is the high key whose absence caused the concurrency bug §3 describes.
+    pub high_key: AtomicU64,
+}
+
+impl Node {
+    /// Allocate an empty node on the PM pool.
+    pub fn alloc(leaf: bool) -> *mut Node {
+        pm::alloc::pm_box(Node {
+            lock: VersionLock::new(),
+            leaf: AtomicU8::new(u8::from(leaf)),
+            leftmost: AtomicU64::new(0),
+            entries: Default::default(),
+            sibling: AtomicPtr::new(std::ptr::null_mut()),
+            high_key: AtomicU64::new(EMPTY),
+        })
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.leaf.load(Ordering::Acquire) == 1
+    }
+
+    /// Number of used entries (scans for the terminator, like the original
+    /// implementation derives the count from the array itself).
+    pub fn count(&self) -> usize {
+        for i in 0..CARDINALITY {
+            if self.entries[i].key.load(Ordering::Acquire) == EMPTY {
+                return i;
+            }
+        }
+        CARDINALITY
+    }
+
+    /// Lock-free, duplicate-tolerant point lookup within this node (leaf).
+    ///
+    /// The FAST shift can momentarily duplicate an adjacent entry; scanning left to
+    /// right and returning the first match is always correct because the duplicate
+    /// carries the same value it is about to overwrite.
+    pub fn find_in_leaf(&self, mode: KeyMode, key: &[u8]) -> Option<u64> {
+        for i in 0..CARDINALITY {
+            let k = self.entries[i].key.load(Ordering::Acquire);
+            if k == EMPTY {
+                return None;
+            }
+            match cmp_word_key(mode, k, key) {
+                CmpOrdering::Equal => {
+                    let v = self.entries[i].val.load(Ordering::Acquire);
+                    // Re-check the key to pair the value with the right key (atomic
+                    // snapshot, same idea as CLHT).
+                    if self.entries[i].key.load(Ordering::Acquire) == k {
+                        return Some(v);
+                    }
+                    return self.find_in_leaf(mode, key);
+                }
+                CmpOrdering::Greater => return None,
+                CmpOrdering::Less => {}
+            }
+        }
+        None
+    }
+
+    /// Lock-free child search within an internal node: the child covering `key`.
+    pub fn find_child(&self, mode: KeyMode, key: &[u8]) -> u64 {
+        let mut child = self.leftmost.load(Ordering::Acquire);
+        for i in 0..CARDINALITY {
+            let k = self.entries[i].key.load(Ordering::Acquire);
+            if k == EMPTY {
+                break;
+            }
+            if cmp_word_key(mode, k, key) == CmpOrdering::Greater {
+                break;
+            }
+            let c = self.entries[i].val.load(Ordering::Acquire);
+            if c != 0 {
+                child = c;
+            }
+        }
+        child
+    }
+
+    /// FAST insertion into a sorted node (lock must be held): shift entries right one
+    /// 8-byte word at a time — value before key, so every intermediate state shows
+    /// either the old entry or an exact duplicate — then plant the new entry.
+    pub fn insert_sorted<P: PersistMode>(&self, mode: KeyMode, key_word: u64, val: u64) {
+        let count = self.count();
+        debug_assert!(count < CARDINALITY);
+        // Re-establish the terminator one slot further right *before* shifting: slots
+        // beyond the current terminator may hold stale entries left behind by a
+        // previous split truncation, and the shift below overwrites the old
+        // terminator.
+        if count + 1 < CARDINALITY {
+            self.entries[count + 1].key.store(EMPTY, Ordering::Release);
+            P::mark_dirty_obj(&self.entries[count + 1].key);
+            P::persist_obj(&self.entries[count + 1].key, true);
+        }
+        // Find insertion position.
+        let mut pos = count;
+        for i in 0..count {
+            if cmp_words(mode, self.entries[i].key.load(Ordering::Acquire), key_word) == CmpOrdering::Greater {
+                pos = i;
+                break;
+            }
+        }
+        // Shift right: highest index first. The order of the two 8-byte stores within
+        // a slot is chosen so that concurrent lock-free readers never act on a mixed
+        // (key from one entry, value from another) pair:
+        //   * leaves are searched first-match left-to-right, so the key moves first —
+        //     a reader either takes the untouched original one slot to the left or the
+        //     fully copied pair one slot to the right;
+        //   * internal nodes are searched last-match-≤, so the child pointer moves
+        //     first — the transiently duplicated key keeps routing to the old child,
+        //     which the sibling pointer / high key makes correct.
+        let key_first = self.is_leaf();
+        let mut i = count;
+        while i > pos {
+            let prev_val = self.entries[i - 1].val.load(Ordering::Acquire);
+            let prev_key = self.entries[i - 1].key.load(Ordering::Acquire);
+            if key_first {
+                self.entries[i].key.store(prev_key, Ordering::Release);
+                self.entries[i].val.store(prev_val, Ordering::Release);
+            } else {
+                self.entries[i].val.store(prev_val, Ordering::Release);
+                self.entries[i].key.store(prev_key, Ordering::Release);
+            }
+            P::mark_dirty_obj(&self.entries[i].key);
+            P::mark_dirty_obj(&self.entries[i].val);
+            // FAST flushes once per cache line crossed during the shift.
+            P::persist_obj(&self.entries[i], true);
+            P::crash_site("fastfair.shift.step");
+            i -= 1;
+        }
+        self.entries[pos].val.store(val, Ordering::Release);
+        P::mark_dirty_obj(&self.entries[pos].val);
+        P::persist_obj(&self.entries[pos].val, true);
+        P::crash_site("fastfair.insert.value_written");
+        self.entries[pos].key.store(key_word, Ordering::Release);
+        P::mark_dirty_obj(&self.entries[pos].key);
+        P::persist_obj(&self.entries[pos].key, true);
+        P::crash_site("fastfair.insert.committed");
+    }
+
+    /// FAIR deletion (lock must be held): shift entries left over the removed slot.
+    /// Returns false if the key is absent.
+    pub fn remove_sorted<P: PersistMode>(&self, mode: KeyMode, key: &[u8]) -> bool {
+        let count = self.count();
+        let mut pos = None;
+        for i in 0..count {
+            if cmp_word_key(mode, self.entries[i].key.load(Ordering::Acquire), key) == CmpOrdering::Equal {
+                pos = Some(i);
+                break;
+            }
+        }
+        let Some(pos) = pos else { return false };
+        for i in pos..count {
+            let (nk, nv) = if i + 1 < count {
+                (self.entries[i + 1].key.load(Ordering::Acquire), self.entries[i + 1].val.load(Ordering::Acquire))
+            } else {
+                (EMPTY, 0)
+            };
+            // Key first: a reader that sees the new key with the old value skips the
+            // transient duplicate exactly as during FAST shifts.
+            self.entries[i].key.store(nk, Ordering::Release);
+            P::mark_dirty_obj(&self.entries[i].key);
+            self.entries[i].val.store(nv, Ordering::Release);
+            P::mark_dirty_obj(&self.entries[i].val);
+            P::persist_obj(&self.entries[i], true);
+            P::crash_site("fastfair.remove.step");
+        }
+        true
+    }
+
+    /// In-place value update for an existing key (lock must be held). Returns false if
+    /// absent.
+    pub fn update_value<P: PersistMode>(&self, mode: KeyMode, key: &[u8], val: u64) -> bool {
+        let count = self.count();
+        for i in 0..count {
+            if cmp_word_key(mode, self.entries[i].key.load(Ordering::Acquire), key) == CmpOrdering::Equal {
+                self.entries[i].val.store(val, Ordering::Release);
+                P::mark_dirty_obj(&self.entries[i].val);
+                P::persist_obj(&self.entries[i].val, true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `key` falls outside this node's key space (i.e. the reader/writer must
+    /// follow the sibling pointer). `high_key == EMPTY` means unbounded.
+    pub fn must_move_right(&self, mode: KeyMode, key: &[u8]) -> bool {
+        let hk = self.high_key.load(Ordering::Acquire);
+        if hk == EMPTY {
+            return false;
+        }
+        cmp_word_key(mode, hk, key) != CmpOrdering::Greater
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe::key::u64_key;
+    use recipe::persist::Dram;
+
+    #[test]
+    fn inline_key_words_preserve_order() {
+        let a = encode_key::<Dram>(KeyMode::Inline, &u64_key(5));
+        let b = encode_key::<Dram>(KeyMode::Inline, &u64_key(6));
+        assert!(a < b);
+        assert_eq!(cmp_word_key(KeyMode::Inline, a, &u64_key(5)), CmpOrdering::Equal);
+        assert_eq!(word_to_bytes(KeyMode::Inline, a), u64_key(5).to_vec());
+    }
+
+    #[test]
+    fn indirect_key_words_compare_bytes() {
+        let a = encode_key::<Dram>(KeyMode::Indirect, b"apple");
+        let b = encode_key::<Dram>(KeyMode::Indirect, b"banana");
+        assert_eq!(cmp_words(KeyMode::Indirect, a, b), CmpOrdering::Less);
+        assert_eq!(cmp_word_key(KeyMode::Indirect, b, b"banana"), CmpOrdering::Equal);
+        assert_eq!(word_to_bytes(KeyMode::Indirect, a), b"apple".to_vec());
+    }
+
+    #[test]
+    fn sorted_insert_and_lookup() {
+        let n = Node::alloc(true);
+        // SAFETY: freshly allocated.
+        let node = unsafe { &*n };
+        for k in [5u64, 1, 9, 3, 7] {
+            let w = encode_key::<Dram>(KeyMode::Inline, &u64_key(k));
+            node.insert_sorted::<Dram>(KeyMode::Inline, w, k * 10);
+        }
+        assert_eq!(node.count(), 5);
+        for k in [1u64, 3, 5, 7, 9] {
+            assert_eq!(node.find_in_leaf(KeyMode::Inline, &u64_key(k)), Some(k * 10));
+        }
+        assert_eq!(node.find_in_leaf(KeyMode::Inline, &u64_key(4)), None);
+        // Entries must end up sorted.
+        let words: Vec<u64> = (0..5).map(|i| node.entries[i].key.load(Ordering::Relaxed)).collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        assert_eq!(words, sorted);
+    }
+
+    #[test]
+    fn remove_shifts_left() {
+        let n = Node::alloc(true);
+        // SAFETY: freshly allocated.
+        let node = unsafe { &*n };
+        for k in 1..=6u64 {
+            let w = encode_key::<Dram>(KeyMode::Inline, &u64_key(k));
+            node.insert_sorted::<Dram>(KeyMode::Inline, w, k);
+        }
+        assert!(node.remove_sorted::<Dram>(KeyMode::Inline, &u64_key(3)));
+        assert!(!node.remove_sorted::<Dram>(KeyMode::Inline, &u64_key(3)));
+        assert_eq!(node.count(), 5);
+        assert_eq!(node.find_in_leaf(KeyMode::Inline, &u64_key(3)), None);
+        assert_eq!(node.find_in_leaf(KeyMode::Inline, &u64_key(6)), Some(6));
+    }
+
+    #[test]
+    fn find_child_picks_covering_range() {
+        let n = Node::alloc(false);
+        // SAFETY: freshly allocated.
+        let node = unsafe { &*n };
+        node.leftmost.store(100, Ordering::Release);
+        for (k, c) in [(10u64, 110u64), (20, 120), (30, 130)] {
+            let w = encode_key::<Dram>(KeyMode::Inline, &u64_key(k));
+            node.insert_sorted::<Dram>(KeyMode::Inline, w, c);
+        }
+        assert_eq!(node.find_child(KeyMode::Inline, &u64_key(5)), 100);
+        assert_eq!(node.find_child(KeyMode::Inline, &u64_key(10)), 110);
+        assert_eq!(node.find_child(KeyMode::Inline, &u64_key(25)), 120);
+        assert_eq!(node.find_child(KeyMode::Inline, &u64_key(99)), 130);
+    }
+
+    #[test]
+    fn high_key_controls_move_right() {
+        let n = Node::alloc(true);
+        // SAFETY: freshly allocated.
+        let node = unsafe { &*n };
+        assert!(!node.must_move_right(KeyMode::Inline, &u64_key(u64::MAX - 1)));
+        let hk = encode_key::<Dram>(KeyMode::Inline, &u64_key(50));
+        node.high_key.store(hk, Ordering::Release);
+        assert!(!node.must_move_right(KeyMode::Inline, &u64_key(49)));
+        assert!(node.must_move_right(KeyMode::Inline, &u64_key(50)));
+        assert!(node.must_move_right(KeyMode::Inline, &u64_key(51)));
+    }
+}

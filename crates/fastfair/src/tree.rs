@@ -1,0 +1,468 @@
+//! The FAST & FAIR B+ tree.
+//!
+//! Structure-modification operations (leaf and internal splits) are serialized by a
+//! single SMO lock — splits are rare (one per `CARDINALITY` inserts per level) and the
+//! original implementation's unprotected parent update is precisely what produced the
+//! lost-key bug described in §3 of the RECIPE paper. Sibling pointers plus per-node
+//! high keys (the fix the RECIPE authors proposed) let both readers and writers "move
+//! right" across in-flight splits, B-link style.
+
+use crate::node::{
+    cmp_word_key, cmp_words, encode_key, word_to_bytes, KeyMode, Node, CARDINALITY, EMPTY,
+};
+use recipe::persist::PersistMode;
+use std::cmp::Ordering as CmpOrdering;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
+
+/// The FAST & FAIR persistent B+ tree (the paper's hand-crafted ordered baseline).
+pub struct FastFair<P: PersistMode> {
+    root: AtomicPtr<Node>,
+    /// 0 = undecided, 1 = inline 8-byte keys, 2 = indirect (string) keys.
+    mode: AtomicU8,
+    smo_lock: parking_lot::Mutex<()>,
+    _policy: PhantomData<P>,
+}
+
+// SAFETY: nodes are reached through atomic pointers, mutated under locks with
+// reader-tolerant store orderings, and never freed while the tree is alive.
+unsafe impl<P: PersistMode> Send for FastFair<P> {}
+unsafe impl<P: PersistMode> Sync for FastFair<P> {}
+
+impl<P: PersistMode> Default for FastFair<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: PersistMode> FastFair<P> {
+    /// Create an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        let root = Node::alloc(true);
+        // Persist the freshly allocated root before publishing it — unless the
+        // `durability-bug` feature reproduces the missing-root-flush bug the paper's
+        // durability test found in the original implementation (§7.5).
+        #[cfg(not(feature = "durability-bug"))]
+        P::persist_obj(root, true);
+        let t = FastFair {
+            root: AtomicPtr::new(root),
+            mode: AtomicU8::new(0),
+            smo_lock: parking_lot::Mutex::new(()),
+            _policy: PhantomData,
+        };
+        P::persist_obj(&t.root, true);
+        t
+    }
+
+    fn key_mode(&self, key: &[u8]) -> KeyMode {
+        let want = if key.len() <= 8 { 1 } else { 2 };
+        match self.mode.compare_exchange(0, want, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {}
+            Err(_cur) => {}
+        }
+        if self.mode.load(Ordering::Acquire) == 2 {
+            KeyMode::Indirect
+        } else {
+            KeyMode::Inline
+        }
+    }
+
+    #[inline]
+    fn node_ref<'a>(&self, ptr: *mut Node) -> &'a Node {
+        // SAFETY: nodes are never freed while the tree is alive.
+        unsafe { &*ptr }
+    }
+
+    /// Non-blocking descent to the leaf covering `key`, following sibling pointers
+    /// across in-flight splits. Returns the leaf and the path of internal nodes.
+    fn find_leaf(&self, mode: KeyMode, key: &[u8], path: Option<&mut Vec<*mut Node>>) -> *mut Node {
+        let mut collected = path;
+        let mut cur = self.root.load(Ordering::Acquire);
+        loop {
+            pm::stats::record_node_visit();
+            let node = self.node_ref(cur);
+            if node.must_move_right(mode, key) {
+                let sib = node.sibling.load(Ordering::Acquire);
+                if !sib.is_null() {
+                    cur = sib;
+                    continue;
+                }
+            }
+            if node.is_leaf() {
+                return cur;
+            }
+            if let Some(p) = collected.as_deref_mut() {
+                p.push(cur);
+            }
+            let child = node.find_child(mode, key);
+            if child == 0 {
+                // Empty internal node can only appear transiently; restart from root.
+                cur = self.root.load(Ordering::Acquire);
+                if let Some(p) = collected.as_deref_mut() {
+                    p.clear();
+                }
+                continue;
+            }
+            cur = child as *mut Node;
+        }
+    }
+
+    /// Point lookup (lock-free, duplicate tolerant).
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let mode = self.key_mode(key);
+        let mut leaf_ptr = self.find_leaf(mode, key, None);
+        loop {
+            let leaf = self.node_ref(leaf_ptr);
+            if leaf.must_move_right(mode, key) {
+                let sib = leaf.sibling.load(Ordering::Acquire);
+                if !sib.is_null() {
+                    leaf_ptr = sib;
+                    continue;
+                }
+            }
+            if let Some(v) = leaf.find_in_leaf(mode, key) {
+                return Some(v);
+            }
+            // A split may have moved the key to the right sibling after we checked the
+            // high key but before we scanned the (now truncated) entries; re-check and
+            // follow the sibling if so.
+            if leaf.must_move_right(mode, key) {
+                let sib = leaf.sibling.load(Ordering::Acquire);
+                if !sib.is_null() {
+                    leaf_ptr = sib;
+                    continue;
+                }
+            }
+            return None;
+        }
+    }
+
+    /// Insert or update; returns `true` if the key was newly inserted.
+    pub fn insert(&self, key: &[u8], value: u64) -> bool {
+        let mode = self.key_mode(key);
+        loop {
+            let leaf_ptr = self.find_leaf(mode, key, None);
+            let mut leaf = self.node_ref(leaf_ptr);
+            let mut guard = leaf.lock.lock();
+            // Re-validate under the lock: a concurrent split may have moved our range.
+            while leaf.must_move_right(mode, key) {
+                let sib = leaf.sibling.load(Ordering::Acquire);
+                if sib.is_null() {
+                    break;
+                }
+                drop(guard);
+                leaf = self.node_ref(sib);
+                guard = leaf.lock.lock();
+            }
+            if leaf.update_value::<P>(mode, key, value) {
+                return false;
+            }
+            if leaf.count() < CARDINALITY {
+                let w = encode_key::<P>(mode, key);
+                leaf.insert_sorted::<P>(mode, w, value);
+                return true;
+            }
+            // Split required: retry the whole operation under the SMO lock so that at
+            // most one structure modification is in flight (ordering: SMO lock before
+            // node lock).
+            drop(guard);
+            let smo = self.smo_lock.lock();
+            let leaf_ptr = self.find_leaf(mode, key, None);
+            let mut leaf = self.node_ref(leaf_ptr);
+            let mut guard = leaf.lock.lock();
+            while leaf.must_move_right(mode, key) {
+                let sib = leaf.sibling.load(Ordering::Acquire);
+                if sib.is_null() {
+                    break;
+                }
+                drop(guard);
+                leaf = self.node_ref(sib);
+                guard = leaf.lock.lock();
+            }
+            if leaf.update_value::<P>(mode, key, value) {
+                return false;
+            }
+            if leaf.count() < CARDINALITY {
+                let w = encode_key::<P>(mode, key);
+                leaf.insert_sorted::<P>(mode, w, value);
+                return true;
+            }
+            self.split_and_insert(mode, leaf, key, value);
+            drop(guard);
+            drop(smo);
+            return true;
+        }
+    }
+
+    /// Split `node` (its lock and the SMO lock are held) and insert `key`.
+    fn split_and_insert(&self, mode: KeyMode, node: &Node, key: &[u8], value: u64) {
+        let count = node.count();
+        let mid = count / 2;
+        let split_word = node.entries[mid].key.load(Ordering::Acquire);
+
+        // Build the new right sibling privately.
+        let right_ptr = Node::alloc(node.is_leaf());
+        let right = self.node_ref(right_ptr);
+        let (copy_from, leftmost) = if node.is_leaf() {
+            (mid, 0)
+        } else {
+            // Internal split: the separator key moves up; its child becomes the
+            // sibling's leftmost pointer.
+            (mid + 1, node.entries[mid].val.load(Ordering::Acquire))
+        };
+        right.leftmost.store(leftmost, Ordering::Relaxed);
+        let mut j = 0;
+        for i in copy_from..count {
+            right.entries[j].key.store(node.entries[i].key.load(Ordering::Acquire), Ordering::Relaxed);
+            right.entries[j].val.store(node.entries[i].val.load(Ordering::Acquire), Ordering::Relaxed);
+            j += 1;
+        }
+        right.sibling.store(node.sibling.load(Ordering::Acquire), Ordering::Relaxed);
+        right.high_key.store(node.high_key.load(Ordering::Acquire), Ordering::Relaxed);
+
+        // If the pending key belongs to the upper half, plant it while the sibling is
+        // still private (no other writer can reach it before the link below).
+        let key_goes_right = cmp_word_key(mode, split_word, key) != CmpOrdering::Greater;
+        if key_goes_right {
+            let w = encode_key::<P>(mode, key);
+            right.insert_sorted::<P>(mode, w, value);
+        }
+        P::persist_obj(right_ptr, true);
+        P::crash_site("fastfair.split.sibling_persisted");
+
+        // Link the sibling (atomic store) and shrink this node's key space.
+        node.sibling.store(right_ptr, Ordering::Release);
+        P::mark_dirty_obj(&node.sibling);
+        P::persist_obj(&node.sibling, true);
+        P::crash_site("fastfair.split.sibling_linked");
+        node.high_key.store(split_word, Ordering::Release);
+        P::mark_dirty_obj(&node.high_key);
+        P::persist_obj(&node.high_key, true);
+        // Truncate the moved entries with a single atomic store of the terminator.
+        node.entries[mid].key.store(EMPTY, Ordering::Release);
+        P::mark_dirty_obj(&node.entries[mid].key);
+        P::persist_obj(&node.entries[mid].key, true);
+        P::crash_site("fastfair.split.left_truncated");
+
+        // A key belonging to the lower half is inserted under the node lock we hold.
+        if !key_goes_right {
+            let w = encode_key::<P>(mode, key);
+            node.insert_sorted::<P>(mode, w, value);
+        }
+
+        // Propagate the separator to the parent (still under the SMO lock).
+        self.insert_into_parent(mode, node as *const Node as *mut Node, split_word, right_ptr);
+    }
+
+    /// Insert `(split_word -> right)` into the parent of `left`, splitting parents as
+    /// needed. Called with the SMO lock held.
+    fn insert_into_parent(&self, mode: KeyMode, left: *mut Node, split_word: u64, right: *mut Node) {
+        let root = self.root.load(Ordering::Acquire);
+        if root == left {
+            // Root split: build a new root and publish it with one atomic store.
+            let new_root_ptr = Node::alloc(false);
+            let new_root = self.node_ref(new_root_ptr);
+            new_root.leftmost.store(left as u64, Ordering::Relaxed);
+            new_root.entries[0].key.store(split_word, Ordering::Relaxed);
+            new_root.entries[0].val.store(right as u64, Ordering::Relaxed);
+            P::persist_obj(new_root_ptr, true);
+            P::crash_site("fastfair.root_split.new_root_persisted");
+            self.root.store(new_root_ptr, Ordering::Release);
+            P::mark_dirty_obj(&self.root);
+            P::persist_obj(&self.root, true);
+            P::crash_site("fastfair.root_split.committed");
+            return;
+        }
+
+        // Find the parent of `left` by descending towards the separator key.
+        let parent_ptr = self.find_parent(mode, left, split_word);
+        let Some(parent_ptr) = parent_ptr else {
+            // The parent link was never completed before a crash; the sibling chain
+            // still makes the keys reachable, matching FAST & FAIR's degraded-but-
+            // correct recovery behaviour. Nothing more to do.
+            return;
+        };
+        let parent = self.node_ref(parent_ptr);
+        if parent.count() < CARDINALITY {
+            parent.insert_sorted::<P>(mode, split_word, right as u64);
+            return;
+        }
+        // Parent is full: split it and recurse.
+        let count = parent.count();
+        let mid = count / 2;
+        let parent_split_word = parent.entries[mid].key.load(Ordering::Acquire);
+        let new_parent_right = Node::alloc(false);
+        let pr = self.node_ref(new_parent_right);
+        pr.leftmost.store(parent.entries[mid].val.load(Ordering::Acquire), Ordering::Relaxed);
+        let mut j = 0;
+        for i in mid + 1..count {
+            pr.entries[j].key.store(parent.entries[i].key.load(Ordering::Acquire), Ordering::Relaxed);
+            pr.entries[j].val.store(parent.entries[i].val.load(Ordering::Acquire), Ordering::Relaxed);
+            j += 1;
+        }
+        pr.sibling.store(parent.sibling.load(Ordering::Acquire), Ordering::Relaxed);
+        pr.high_key.store(parent.high_key.load(Ordering::Acquire), Ordering::Relaxed);
+        P::persist_obj(new_parent_right, true);
+        P::crash_site("fastfair.parent_split.sibling_persisted");
+        parent.sibling.store(new_parent_right, Ordering::Release);
+        P::persist_obj(&parent.sibling, true);
+        parent.high_key.store(parent_split_word, Ordering::Release);
+        P::persist_obj(&parent.high_key, true);
+        parent.entries[mid].key.store(EMPTY, Ordering::Release);
+        P::persist_obj(&parent.entries[mid].key, true);
+        P::crash_site("fastfair.parent_split.left_truncated");
+
+        // Route the pending separator into the correct half, then recurse upwards.
+        let target = if cmp_words(mode, split_word, parent_split_word) == CmpOrdering::Less {
+            parent_ptr
+        } else {
+            new_parent_right
+        };
+        self.node_ref(target).insert_sorted::<P>(mode, split_word, right as u64);
+        self.insert_into_parent(mode, parent_ptr, parent_split_word, new_parent_right);
+    }
+
+    /// Locate the internal node that currently holds (or should hold) the routing
+    /// entry for `left`. Returns `None` if `left` is not reachable from the root
+    /// through child pointers (possible only after an interrupted split).
+    fn find_parent(&self, mode: KeyMode, left: *mut Node, split_word: u64) -> Option<*mut Node> {
+        let key_bytes = word_to_bytes(mode, split_word);
+        let mut cur = self.root.load(Ordering::Acquire);
+        let mut parent: Option<*mut Node> = None;
+        loop {
+            if cur == left {
+                return parent;
+            }
+            let node = self.node_ref(cur);
+            if node.is_leaf() {
+                return None;
+            }
+            // Move right across in-flight splits of internal nodes.
+            if node.must_move_right(mode, &key_bytes) {
+                let sib = node.sibling.load(Ordering::Acquire);
+                if !sib.is_null() {
+                    cur = sib;
+                    continue;
+                }
+            }
+            parent = Some(cur);
+            let child = node.find_child(mode, &key_bytes);
+            if child == 0 {
+                return None;
+            }
+            cur = child as *mut Node;
+        }
+    }
+
+    /// Remove a key. Returns `true` if it was present. No node merges are performed
+    /// (the evaluated workloads contain no deletes).
+    pub fn remove(&self, key: &[u8]) -> bool {
+        let mode = self.key_mode(key);
+        let leaf_ptr = self.find_leaf(mode, key, None);
+        let mut leaf = self.node_ref(leaf_ptr);
+        let mut guard = leaf.lock.lock();
+        while leaf.must_move_right(mode, key) {
+            let sib = leaf.sibling.load(Ordering::Acquire);
+            if sib.is_null() {
+                break;
+            }
+            drop(guard);
+            leaf = self.node_ref(sib);
+            guard = leaf.lock.lock();
+        }
+        leaf.remove_sorted::<P>(mode, key)
+    }
+
+    /// Range scan: up to `count` pairs with key `>= start`, ascending, following leaf
+    /// sibling pointers.
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let mode = self.key_mode(start);
+        let mut out: Vec<(Vec<u8>, u64)> = Vec::with_capacity(count);
+        let mut leaf_ptr = self.find_leaf(mode, start, None);
+        while !leaf_ptr.is_null() && out.len() < count {
+            let leaf = self.node_ref(leaf_ptr);
+            pm::stats::record_node_visit();
+            let n = leaf.count();
+            for i in 0..n {
+                let kw = leaf.entries[i].key.load(Ordering::Acquire);
+                if kw == EMPTY {
+                    break;
+                }
+                if cmp_word_key(mode, kw, start) == CmpOrdering::Less {
+                    continue;
+                }
+                let bytes = word_to_bytes(mode, kw);
+                let val = leaf.entries[i].val.load(Ordering::Acquire);
+                // Skip transient duplicates across a split boundary.
+                if out.last().map(|(k, _)| k == &bytes).unwrap_or(false) {
+                    continue;
+                }
+                out.push((bytes, val));
+                if out.len() >= count {
+                    break;
+                }
+            }
+            leaf_ptr = leaf.sibling.load(Ordering::Acquire);
+        }
+        out
+    }
+
+    /// Re-initialise every node lock after a (simulated) crash.
+    pub fn recover_locks(&self) {
+        fn walk(ptr: *mut Node) {
+            if ptr.is_null() {
+                return;
+            }
+            // SAFETY: nodes reachable from the root are never freed.
+            let node = unsafe { &*ptr };
+            node.lock.force_unlock();
+            if !node.is_leaf() {
+                walk(node.leftmost.load(Ordering::Acquire) as *mut Node);
+                for i in 0..node.count() {
+                    walk(node.entries[i].val.load(Ordering::Acquire) as *mut Node);
+                }
+            }
+            // Sibling chains cover nodes whose parent update never completed.
+            walk(node.sibling.load(Ordering::Acquire));
+        }
+        walk(self.root.load(Ordering::Acquire));
+    }
+
+    /// Number of stored keys (walks the leaf chain; tests and diagnostics only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let mode = if self.mode.load(Ordering::Acquire) == 2 { KeyMode::Indirect } else { KeyMode::Inline };
+        let mut cur = self.root.load(Ordering::Acquire);
+        // Descend to the leftmost leaf.
+        loop {
+            let node = self.node_ref(cur);
+            if node.is_leaf() {
+                break;
+            }
+            let lm = node.leftmost.load(Ordering::Acquire);
+            if lm == 0 {
+                break;
+            }
+            cur = lm as *mut Node;
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        while !cur.is_null() {
+            let node = self.node_ref(cur);
+            for i in 0..node.count() {
+                let kw = node.entries[i].key.load(Ordering::Acquire);
+                if kw != EMPTY {
+                    seen.insert(word_to_bytes(mode, kw));
+                }
+            }
+            cur = node.sibling.load(Ordering::Acquire);
+        }
+        seen.len()
+    }
+
+    /// Whether the tree holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

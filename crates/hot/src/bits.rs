@@ -1,0 +1,129 @@
+//! Bit-level key helpers for the height-optimized trie.
+//!
+//! HOT discriminates children on *bit positions* chosen dynamically from the keys
+//! rather than on fixed byte boundaries; this module provides the bit extraction and
+//! comparison primitives the trie uses. Bits are numbered from the most significant
+//! bit of the first key byte (bit 0) downwards, so bit order equals lexicographic byte
+//! order and range scans come out sorted. Bits beyond the end of a key read as zero.
+
+/// Maximum number of discriminative bits per node (fanout up to 32).
+pub const MAX_BITS: u32 = 5;
+
+/// Read the single bit at absolute position `pos` of `key` (0 = MSB of byte 0).
+#[inline]
+#[must_use]
+pub fn bit_at(key: &[u8], pos: u32) -> u32 {
+    let byte = (pos / 8) as usize;
+    if byte >= key.len() {
+        return 0;
+    }
+    let shift = 7 - (pos % 8);
+    u32::from((key[byte] >> shift) & 1)
+}
+
+/// Extract `width` consecutive bits of `key` starting at `bit_pos`, as a child index.
+#[inline]
+#[must_use]
+pub fn extract_bits(key: &[u8], bit_pos: u32, width: u32) -> usize {
+    debug_assert!(width <= MAX_BITS);
+    let mut idx = 0usize;
+    for i in 0..width {
+        idx = (idx << 1) | bit_at(key, bit_pos + i) as usize;
+    }
+    idx
+}
+
+/// Position of the first bit at which `a` and `b` differ, or `None` if one key is a
+/// (bit-)prefix of the other up to the longer key's length padded with zeros.
+#[must_use]
+pub fn first_diff_bit(a: &[u8], b: &[u8]) -> Option<u32> {
+    let max_len = a.len().max(b.len());
+    for byte in 0..max_len {
+        let ab = a.get(byte).copied().unwrap_or(0);
+        let bb = b.get(byte).copied().unwrap_or(0);
+        let x = ab ^ bb;
+        if x != 0 {
+            return Some(byte as u32 * 8 + x.leading_zeros());
+        }
+    }
+    None
+}
+
+/// Compare the first `nbits` bits of `a` and `b` (zero-padded past the key end).
+#[must_use]
+pub fn cmp_bit_prefix(a: &[u8], b: &[u8], nbits: u32) -> std::cmp::Ordering {
+    let full_bytes = (nbits / 8) as usize;
+    for byte in 0..full_bytes {
+        let ab = a.get(byte).copied().unwrap_or(0);
+        let bb = b.get(byte).copied().unwrap_or(0);
+        match ab.cmp(&bb) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    let rem = nbits % 8;
+    if rem != 0 {
+        let mask = 0xFFu8 << (8 - rem);
+        let ab = a.get(full_bytes).copied().unwrap_or(0) & mask;
+        let bb = b.get(full_bytes).copied().unwrap_or(0) & mask;
+        return ab.cmp(&bb);
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering::*;
+
+    #[test]
+    fn bit_at_reads_msb_first() {
+        let key = [0b1010_0000u8, 0b0000_0001];
+        assert_eq!(bit_at(&key, 0), 1);
+        assert_eq!(bit_at(&key, 1), 0);
+        assert_eq!(bit_at(&key, 2), 1);
+        assert_eq!(bit_at(&key, 15), 1);
+        assert_eq!(bit_at(&key, 16), 0, "past-end bits are zero");
+    }
+
+    #[test]
+    fn extract_bits_builds_child_index() {
+        let key = [0b1011_0110u8];
+        assert_eq!(extract_bits(&key, 0, 4), 0b1011);
+        assert_eq!(extract_bits(&key, 2, 5), 0b11011);
+        assert_eq!(extract_bits(&key, 6, 5), 0b10000, "tail padded with zeros");
+    }
+
+    #[test]
+    fn first_diff_bit_finds_divergence() {
+        assert_eq!(first_diff_bit(b"aa", b"aa"), None);
+        assert_eq!(first_diff_bit(&[0b1000_0000], &[0b0000_0000]), Some(0));
+        assert_eq!(first_diff_bit(&[0xFF, 0b0000_0100], &[0xFF, 0b0000_0000]), Some(13));
+        // Different lengths: the longer key's extra bits count against zero padding.
+        assert_eq!(first_diff_bit(b"a", &[b'a', 0b1000_0000]), Some(8));
+        assert_eq!(first_diff_bit(b"a", &[b'a', 0x00]), None);
+    }
+
+    #[test]
+    fn bit_prefix_comparison() {
+        assert_eq!(cmp_bit_prefix(b"abc", b"abd", 16), Equal);
+        assert_eq!(cmp_bit_prefix(b"abc", b"abd", 24), Less);
+        assert_eq!(cmp_bit_prefix(&[0b1100_0000], &[0b1011_1111], 2), Greater);
+        assert_eq!(cmp_bit_prefix(&[0b1100_0000], &[0b1111_1111], 2), Equal);
+        assert_eq!(cmp_bit_prefix(b"", b"anything", 0), Equal);
+    }
+
+    #[test]
+    fn extract_is_consistent_with_cmp() {
+        // If two keys agree on the first p bits, extraction of any window inside those
+        // p bits must agree as well.
+        let a = b"user00000000000000012";
+        let b = b"user0000000000000001x";
+        if let Some(d) = first_diff_bit(a, b) {
+            assert_eq!(cmp_bit_prefix(a, b, d), Equal);
+            for start in (0..d.saturating_sub(5)).step_by(3) {
+                assert_eq!(extract_bits(a, start, MAX_BITS.min(d - start)), extract_bits(b, start, MAX_BITS.min(d - start)));
+            }
+        }
+    }
+}

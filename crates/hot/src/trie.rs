@@ -1,0 +1,608 @@
+//! The height-optimized trie and its RECIPE conversion.
+//!
+//! Nodes discriminate on a window of up to [`crate::bits::MAX_BITS`] key bits chosen
+//! at the first point of divergence, and windows skip over bits every key in the
+//! subtree shares (Patricia-style path skipping), so the tree stays shallow and no
+//! full keys are compared until the leaf — the cache-efficiency property the paper
+//! credits for P-HOT's read performance. Readers are non-blocking; writers lock the
+//! single node whose child slot they modify; every update becomes visible through one
+//! atomic store (a child-slot store, a parent-slot swap installing a freshly built
+//! branch node, or a leaf-value store) — **Condition #1**, so the conversion to P-HOT
+//! only adds cache-line flushes and fences after those stores.
+
+use crate::bits::{cmp_bit_prefix, extract_bits, first_diff_bit, MAX_BITS};
+use recipe::lock::VersionLock;
+use recipe::persist::PersistMode;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const FANOUT: usize = 1 << MAX_BITS;
+
+/// Leaf: full key plus value.
+pub struct Leaf {
+    /// Full key bytes (verified on every lookup).
+    pub key: Box<[u8]>,
+    /// Current value.
+    pub value: AtomicU64,
+}
+
+/// Inner node: a window of discriminative bits and up to 32 children.
+pub struct Node {
+    /// First discriminative bit (absolute position in the key).
+    pub bit_pos: u32,
+    /// Number of discriminative bits (1..=5).
+    pub width: u32,
+    /// Writer lock.
+    pub lock: VersionLock,
+    /// Sparse child array indexed by the extracted bit pattern. Tagged words: bit 0
+    /// set = leaf, clear = inner node, 0 = empty.
+    pub children: [AtomicUsize; FANOUT],
+}
+
+#[inline]
+fn is_leaf(word: usize) -> bool {
+    word & 1 == 1
+}
+
+#[inline]
+fn leaf_of(word: usize) -> *const Leaf {
+    (word & !1) as *const Leaf
+}
+
+fn alloc_leaf<P: PersistMode>(key: &[u8], value: u64) -> usize {
+    let leaf = pm::alloc::pm_box(Leaf { key: key.to_vec().into_boxed_slice(), value: AtomicU64::new(value) });
+    // SAFETY: freshly allocated, uniquely owned.
+    let l = unsafe { &*leaf };
+    P::persist_range(l.key.as_ptr(), l.key.len(), false);
+    P::persist_obj(leaf, true);
+    (leaf as usize) | 1
+}
+
+fn alloc_node(bit_pos: u32, width: u32) -> *mut Node {
+    let mut children: Vec<AtomicUsize> = Vec::with_capacity(FANOUT);
+    children.resize_with(FANOUT, Default::default);
+    let children: Box<[AtomicUsize; FANOUT]> =
+        children.into_boxed_slice().try_into().ok().expect("fanout matches");
+    pm::alloc::pm_box(Node { bit_pos, width, lock: VersionLock::new(), children: *children })
+}
+
+/// The height-optimized trie, generic over the persistence policy: `Hot<Dram>` is the
+/// DRAM index, `Hot<Pmem>` is P-HOT.
+pub struct Hot<P: PersistMode> {
+    root: AtomicUsize,
+    root_lock: VersionLock,
+    _policy: PhantomData<P>,
+}
+
+// SAFETY: shared state is reached through atomics; nodes and leaves are never freed
+// while the trie is alive.
+unsafe impl<P: PersistMode> Send for Hot<P> {}
+unsafe impl<P: PersistMode> Sync for Hot<P> {}
+
+impl<P: PersistMode> Default for Hot<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: PersistMode> Hot<P> {
+    /// Create an empty trie.
+    #[must_use]
+    pub fn new() -> Self {
+        let t = Hot { root: AtomicUsize::new(0), root_lock: VersionLock::new(), _policy: PhantomData };
+        P::persist_obj(&t.root, true);
+        t
+    }
+
+    /// Point lookup: follow discriminative bits, verify the full key at the leaf.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        if key.is_empty() {
+            return None;
+        }
+        let mut word = self.root.load(Ordering::Acquire);
+        loop {
+            if word == 0 {
+                return None;
+            }
+            if is_leaf(word) {
+                // SAFETY: leaves are never freed while the trie is alive.
+                let leaf = unsafe { &*leaf_of(word) };
+                return (&*leaf.key == key).then(|| leaf.value.load(Ordering::Acquire));
+            }
+            pm::stats::record_node_visit();
+            // SAFETY: inner nodes are never freed while the trie is alive.
+            let node = unsafe { &*(word as *const Node) };
+            let idx = extract_bits(key, node.bit_pos, node.width);
+            word = node.children[idx].load(Ordering::Acquire);
+        }
+    }
+
+    /// Insert or update; returns `true` if the key was newly inserted.
+    pub fn insert(&self, key: &[u8], value: u64) -> bool {
+        if key.is_empty() {
+            return false;
+        }
+        'restart: loop {
+            let root_word = self.root.load(Ordering::Acquire);
+            if root_word == 0 {
+                // Empty trie: commit by storing the leaf into the root word.
+                let _g = self.root_lock.lock();
+                if self.root.load(Ordering::Acquire) != 0 {
+                    continue 'restart;
+                }
+                let leaf = alloc_leaf::<P>(key, value);
+                P::crash_site("hot.insert.root_leaf_persisted");
+                self.root.store(leaf, Ordering::Release);
+                P::mark_dirty_obj(&self.root);
+                P::persist_obj(&self.root, true);
+                P::crash_site("hot.insert.root_committed");
+                return true;
+            }
+
+            // Descend, recording the path of (node, slot) we traversed.
+            let mut path: Vec<(*const Node, usize)> = Vec::with_capacity(16);
+            let mut word = root_word;
+            let existing_leaf = loop {
+                if is_leaf(word) {
+                    break word;
+                }
+                pm::stats::record_node_visit();
+                // SAFETY: never freed.
+                let node = unsafe { &*(word as *const Node) };
+                let idx = extract_bits(key, node.bit_pos, node.width);
+                let child = node.children[idx].load(Ordering::Acquire);
+                if child == 0 {
+                    // The key may diverge from the subtree's shared prefix *before*
+                    // this node's window (Patricia skipping hides those bits); then a
+                    // branch node must be inserted above instead of filling the slot,
+                    // or sorted order would be violated.
+                    if let Some(rep) = self.min_key(word) {
+                        if let Some(diff) = first_diff_bit(key, &rep) {
+                            if diff < node.bit_pos {
+                                if self.insert_branch_above(&path, &rep, diff, key, value) {
+                                    return true;
+                                }
+                                continue 'restart;
+                            }
+                        }
+                    }
+                    // Empty slot: the key belongs here. Commit = one atomic slot store.
+                    let _g = node.lock.lock();
+                    if node.children[idx].load(Ordering::Acquire) != 0 {
+                        continue 'restart;
+                    }
+                    let leaf = alloc_leaf::<P>(key, value);
+                    P::crash_site("hot.insert.leaf_persisted");
+                    node.children[idx].store(leaf, Ordering::Release);
+                    P::mark_dirty_obj(&node.children[idx]);
+                    P::persist_obj(&node.children[idx], true);
+                    P::crash_site("hot.insert.slot_committed");
+                    return true;
+                }
+                path.push((node as *const Node, idx));
+                word = child;
+            };
+
+            // SAFETY: never freed.
+            let leaf = unsafe { &*leaf_of(existing_leaf) };
+            let Some(diff_bit) = first_diff_bit(key, &leaf.key) else {
+                if &*leaf.key == key {
+                    // Same key: in-place value update, single atomic store.
+                    leaf.value.store(value, Ordering::Release);
+                    P::mark_dirty_obj(&leaf.value);
+                    P::persist_obj(&leaf.value, true);
+                    return false;
+                }
+                // Keys identical up to zero padding (one is a bit-prefix of the
+                // other): unsupported, mirroring the fixed-length keys of the paper.
+                return false;
+            };
+
+            if self.insert_branch_above(&path, &leaf.key, diff_bit, key, value) {
+                return true;
+            }
+            continue 'restart;
+        }
+    }
+
+    /// Insert a freshly built branch node above the subtree whose keys diverge from
+    /// `key` at `diff_bit`. `ref_key` is any key already stored in that subtree (it
+    /// supplies the subtree's side of the window bits). Returns `false` if a
+    /// concurrent modification invalidated the placement and the caller must retry.
+    fn insert_branch_above(
+        &self,
+        path: &[(*const Node, usize)],
+        ref_key: &[u8],
+        diff_bit: u32,
+        key: &[u8],
+        value: u64,
+    ) -> bool {
+        // Find where the new branch node belongs: above the first path node whose
+        // window starts beyond the divergence bit.
+        let mut insert_above = path.len();
+        for (i, (node, _)) in path.iter().enumerate() {
+            // SAFETY: never freed.
+            let n = unsafe { &**node };
+            if n.bit_pos > diff_bit {
+                insert_above = i;
+                break;
+            }
+            debug_assert!(
+                diff_bit >= n.bit_pos + n.width,
+                "divergence inside a traversed window is impossible"
+            );
+        }
+        // The subtree to push down and the slot holding it.
+        let (parent, displaced) = if insert_above == 0 {
+            (None, self.root.load(Ordering::Acquire))
+        } else {
+            let (pnode, pidx) = path[insert_above - 1];
+            // SAFETY: never freed.
+            let p = unsafe { &*pnode };
+            (Some((p, pidx)), p.children[pidx].load(Ordering::Acquire))
+        };
+        if displaced == 0 {
+            return false;
+        }
+
+        // Build the branch node privately: window starts at the divergence bit. The
+        // window must not extend into the displaced subtree's own discriminative
+        // region — its keys only agree with `ref_key` on bits below the subtree's
+        // window start.
+        let width = if is_leaf(displaced) {
+            MAX_BITS
+        } else {
+            // SAFETY: never freed.
+            let d = unsafe { &*(displaced as *const Node) };
+            debug_assert!(d.bit_pos > diff_bit);
+            MAX_BITS.min(d.bit_pos.saturating_sub(diff_bit)).max(1)
+        };
+        let branch = alloc_node(diff_bit, width);
+        // SAFETY: freshly allocated, private.
+        let b = unsafe { &*branch };
+        let new_leaf = alloc_leaf::<P>(key, value);
+        let new_idx = extract_bits(key, diff_bit, width);
+        // The displaced subtree's keys all agree with `ref_key` on the window bits
+        // (they share every bit up to their own, deeper windows).
+        let old_idx = extract_bits(ref_key, diff_bit, width);
+        debug_assert_ne!(new_idx, old_idx);
+        b.children[old_idx].store(displaced, Ordering::Relaxed);
+        b.children[new_idx].store(new_leaf, Ordering::Relaxed);
+        P::persist_obj(branch, true);
+        P::crash_site("hot.branch.built");
+
+        // Commit: a single atomic pointer swap in the parent slot (or the root).
+        match parent {
+            None => {
+                let _g = self.root_lock.lock();
+                if self.root.load(Ordering::Acquire) != displaced {
+                    return false;
+                }
+                self.root.store(branch as usize, Ordering::Release);
+                P::mark_dirty_obj(&self.root);
+                P::persist_obj(&self.root, true);
+            }
+            Some((p, pidx)) => {
+                let _g = p.lock.lock();
+                if p.children[pidx].load(Ordering::Acquire) != displaced {
+                    return false;
+                }
+                p.children[pidx].store(branch as usize, Ordering::Release);
+                P::mark_dirty_obj(&p.children[pidx]);
+                P::persist_obj(&p.children[pidx], true);
+            }
+        }
+        P::crash_site("hot.branch.committed");
+        true
+    }
+
+    /// Remove a key; returns `true` if it was present. The slot is cleared with a
+    /// single atomic store (no structural collapse, matching the delete-free
+    /// workloads of the evaluation).
+    pub fn remove(&self, key: &[u8]) -> bool {
+        if key.is_empty() {
+            return false;
+        }
+        loop {
+            let root_word = self.root.load(Ordering::Acquire);
+            if root_word == 0 {
+                return false;
+            }
+            if is_leaf(root_word) {
+                // SAFETY: never freed.
+                let leaf = unsafe { &*leaf_of(root_word) };
+                if &*leaf.key != key {
+                    return false;
+                }
+                let _g = self.root_lock.lock();
+                if self.root.load(Ordering::Acquire) != root_word {
+                    continue;
+                }
+                self.root.store(0, Ordering::Release);
+                P::mark_dirty_obj(&self.root);
+                P::persist_obj(&self.root, true);
+                return true;
+            }
+            let mut word = root_word;
+            loop {
+                // SAFETY: never freed.
+                let node = unsafe { &*(word as *const Node) };
+                let idx = extract_bits(key, node.bit_pos, node.width);
+                let child = node.children[idx].load(Ordering::Acquire);
+                if child == 0 {
+                    return false;
+                }
+                if is_leaf(child) {
+                    // SAFETY: never freed.
+                    let leaf = unsafe { &*leaf_of(child) };
+                    if &*leaf.key != key {
+                        return false;
+                    }
+                    let _g = node.lock.lock();
+                    if node.children[idx].load(Ordering::Acquire) != child {
+                        break; // re-descend
+                    }
+                    node.children[idx].store(0, Ordering::Release);
+                    P::mark_dirty_obj(&node.children[idx]);
+                    P::persist_obj(&node.children[idx], true);
+                    P::crash_site("hot.remove.committed");
+                    return true;
+                }
+                word = child;
+            }
+        }
+    }
+
+    /// Range scan: up to `count` pairs with key `>= start`, in ascending key order.
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::with_capacity(count.min(1024));
+        if count == 0 {
+            return out;
+        }
+        self.scan_rec(self.root.load(Ordering::Acquire), start, true, count, &mut out);
+        out
+    }
+
+    /// Minimum (leftmost) key under `word`, used to learn the bit prefix every key in
+    /// a subtree shares.
+    fn min_key(&self, mut word: usize) -> Option<Vec<u8>> {
+        loop {
+            if word == 0 {
+                return None;
+            }
+            if is_leaf(word) {
+                // SAFETY: never freed.
+                return Some(unsafe { &*leaf_of(word) }.key.to_vec());
+            }
+            // SAFETY: never freed.
+            let node = unsafe { &*(word as *const Node) };
+            let mut next = 0;
+            for c in &node.children {
+                let w = c.load(Ordering::Acquire);
+                if w != 0 {
+                    next = w;
+                    break;
+                }
+            }
+            if next == 0 {
+                return None;
+            }
+            word = next;
+        }
+    }
+
+    fn scan_rec(&self, word: usize, start: &[u8], bounded: bool, count: usize, out: &mut Vec<(Vec<u8>, u64)>) -> bool {
+        if word == 0 {
+            return out.len() >= count;
+        }
+        if is_leaf(word) {
+            // SAFETY: never freed.
+            let leaf = unsafe { &*leaf_of(word) };
+            if !bounded || &*leaf.key >= start {
+                out.push((leaf.key.to_vec(), leaf.value.load(Ordering::Acquire)));
+            }
+            return out.len() >= count;
+        }
+        pm::stats::record_node_visit();
+        // SAFETY: never freed.
+        let node = unsafe { &*(word as *const Node) };
+        let mut bounded = bounded;
+        if bounded {
+            // Every key below shares its first `bit_pos` bits; compare them (via any
+            // representative leaf) with the scan start to decide pruning.
+            if let Some(rep) = self.min_key(word) {
+                match cmp_bit_prefix(&rep, start, node.bit_pos) {
+                    std::cmp::Ordering::Less => return false,
+                    std::cmp::Ordering::Greater => bounded = false,
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+        }
+        let start_idx = if bounded { extract_bits(start, node.bit_pos, node.width) } else { 0 };
+        for idx in start_idx..FANOUT {
+            let child = node.children[idx].load(Ordering::Acquire);
+            if child == 0 {
+                continue;
+            }
+            let child_bounded = bounded && idx == start_idx;
+            if self.scan_rec(child, start, child_bounded, count, out) {
+                return true;
+            }
+        }
+        out.len() >= count
+    }
+
+    /// Re-initialise every node lock (RECIPE's post-crash lock re-initialisation).
+    pub fn recover_locks(&self) {
+        self.root_lock.force_unlock();
+        fn walk(word: usize) {
+            if word == 0 || is_leaf(word) {
+                return;
+            }
+            // SAFETY: never freed.
+            let node = unsafe { &*(word as *const Node) };
+            node.lock.force_unlock();
+            for c in &node.children {
+                walk(c.load(Ordering::Acquire));
+            }
+        }
+        walk(self.root.load(Ordering::Acquire));
+    }
+
+    /// Number of keys (slow full traversal).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        fn walk(word: usize) -> usize {
+            if word == 0 {
+                return 0;
+            }
+            if is_leaf(word) {
+                return 1;
+            }
+            // SAFETY: never freed.
+            let node = unsafe { &*(word as *const Node) };
+            node.children.iter().map(|c| walk(c.load(Ordering::Acquire))).sum()
+        }
+        walk(self.root.load(Ordering::Acquire))
+    }
+
+    /// Whether the trie is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.root.load(Ordering::Acquire) == 0
+    }
+
+    /// Maximum depth in nodes (diagnostic for the "height-optimized" property).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        fn walk(word: usize) -> usize {
+            if word == 0 || is_leaf(word) {
+                return 0;
+            }
+            // SAFETY: never freed.
+            let node = unsafe { &*(word as *const Node) };
+            1 + node.children.iter().map(|c| walk(c.load(Ordering::Acquire))).max().unwrap_or(0)
+        }
+        walk(self.root.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe::key::u64_key;
+    use recipe::persist::{Dram, Pmem};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: Hot<Dram> = Hot::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"abc"), None);
+        assert!(!t.remove(b"abc"));
+        assert!(t.scan(b"", 5).is_empty());
+    }
+
+    #[test]
+    fn insert_get_many_integer_keys() {
+        let t: Hot<Dram> = Hot::new();
+        for i in 0..20_000u64 {
+            assert!(t.insert(&u64_key(i), i + 1), "insert {i}");
+        }
+        assert_eq!(t.len(), 20_000);
+        for i in 0..20_000u64 {
+            assert_eq!(t.get(&u64_key(i)), Some(i + 1), "get {i}");
+        }
+        assert_eq!(t.get(&u64_key(20_000)), None);
+    }
+
+    #[test]
+    fn tree_height_stays_logarithmic() {
+        let t: Hot<Dram> = Hot::new();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            let k: u64 = rng.gen();
+            t.insert(&u64_key(k), k);
+        }
+        // 50k random 64-bit keys over 5-bit windows: height must stay far below the
+        // 64-bit critbit worst case.
+        assert!(t.height() <= 16, "height {} too large", t.height());
+    }
+
+    #[test]
+    fn upsert_and_remove() {
+        let t: Hot<Pmem> = Hot::new();
+        assert!(t.insert(b"hello-key", 1));
+        assert!(!t.insert(b"hello-key", 2));
+        assert_eq!(t.get(b"hello-key"), Some(2));
+        assert!(t.remove(b"hello-key"));
+        assert!(!t.remove(b"hello-key"));
+        assert_eq!(t.get(b"hello-key"), None);
+    }
+
+    #[test]
+    fn string_keys_match_model_and_scans_sorted() {
+        let t: Hot<Dram> = Hot::new();
+        let mut model = BTreeMap::new();
+        for i in 0..5_000u64 {
+            let key = format!("user{:020}", i * 977 % 100_000).into_bytes();
+            let newly = model.insert(key.clone(), i).is_none();
+            assert_eq!(t.insert(&key, i), newly);
+        }
+        for (k, v) in &model {
+            assert_eq!(t.get(k), Some(*v), "key {}", String::from_utf8_lossy(k));
+        }
+        for start_id in [0u64, 7, 4_321, 99_999] {
+            let start = format!("user{start_id:020}").into_bytes();
+            let got = t.scan(&start, 30);
+            let want: Vec<(Vec<u8>, u64)> =
+                model.range(start.clone()..).take(30).map(|(k, v)| (k.clone(), *v)).collect();
+            assert_eq!(got, want, "scan from {start_id}");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let t: Arc<Hot<Pmem>> = Arc::new(Hot::new());
+        let threads = 8u64;
+        let per = 4_000u64;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let k = tid * per + i;
+                    assert!(t.insert(&u64_key(k), k));
+                    assert_eq!(t.get(&u64_key(k)), Some(k));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for k in 0..threads * per {
+            assert_eq!(t.get(&u64_key(k)), Some(k), "key {k} lost");
+        }
+        assert_eq!(t.len(), (threads * per) as usize);
+    }
+
+    #[test]
+    fn pm_variant_flushes_once_per_common_insert() {
+        let t: Hot<Pmem> = Hot::new();
+        for i in 0..1_000u64 {
+            t.insert(&u64_key(i), i);
+        }
+        let before = pm::stats::snapshot();
+        for i in 1_000..2_000u64 {
+            t.insert(&u64_key(i), i);
+        }
+        let d = pm::stats::snapshot().since(&before);
+        // Leaf + commit slot; branch creation adds a node flush. The paper reports
+        // ~7 clwb per insert for P-HOT (Fig. 4c) — ours is leaner but must be small
+        // and nonzero.
+        let per = d.clwb as f64 / 1_000.0;
+        assert!(per >= 2.0 && per <= 12.0, "unexpected clwb per insert: {per}");
+    }
+}

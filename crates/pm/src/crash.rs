@@ -1,0 +1,293 @@
+//! Targeted crash injection at atomic-step boundaries (§5 of the paper).
+//!
+//! The paper's crash-recovery testing methodology observes that inserts and structure
+//! modification operations in the studied indexes consist of a *small number of
+//! ordered atomic steps* (fewer than five), so it is sufficient to simulate a crash
+//! after each atomic store rather than at every instruction. A simulated crash simply
+//! returns from the operation mid-way "without cleaning up any state, leaving the
+//! index in a partially modified state".
+//!
+//! Index implementations in this workspace call [`site`] with a stable name at every
+//! such boundary (e.g. `"art.path_split.after_new_node"`). The crash-test harness arms
+//! one of several modes:
+//!
+//! * [`arm_nth`] — crash at the n-th site hit (deterministic enumeration of crash
+//!   states across a workload),
+//! * [`arm_probability`] — crash each site hit with probability `p` (the paper's
+//!   probabilistic mode),
+//! * [`arm_at_site`] — crash at the k-th hit of one named site,
+//! * [`arm_count_only`] — never crash, just count site hits (used to size the
+//!   enumeration).
+//!
+//! A triggered crash unwinds the current operation by panicking with a [`CrashPanic`]
+//! payload; the harness catches the unwind, treats the process as "restarted", calls
+//! the index's recovery hook (lock re-initialisation), and continues the workload.
+//! Only one crash fires per arming.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// Panic payload identifying a simulated crash. Carries the name of the crash site
+/// that fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPanic(pub &'static str);
+
+const MODE_OFF: u8 = 0;
+const MODE_NTH: u8 = 1;
+const MODE_PROB: u8 = 2;
+const MODE_SITE: u8 = 3;
+const MODE_COUNT: u8 = 4;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_OFF);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static PARAM: AtomicU64 = AtomicU64::new(0);
+static CRASHED: AtomicBool = AtomicBool::new(false);
+static RNG_STATE: AtomicU64 = AtomicU64::new(0x9E3779B97F4A7C15);
+static TARGET_SITE: Mutex<Option<&'static str>> = Mutex::new(None);
+static LAST_CRASH_SITE: Mutex<Option<&'static str>> = Mutex::new(None);
+
+/// Disarm crash injection entirely (the default).
+pub fn disarm() {
+    MODE.store(MODE_OFF, Ordering::SeqCst);
+    CRASHED.store(false, Ordering::SeqCst);
+    HITS.store(0, Ordering::SeqCst);
+    *TARGET_SITE.lock() = None;
+    *LAST_CRASH_SITE.lock() = None;
+}
+
+/// Arm a crash at the `n`-th crash-site hit (1-based) from now on.
+pub fn arm_nth(n: u64) {
+    disarm();
+    PARAM.store(n.max(1), Ordering::SeqCst);
+    MODE.store(MODE_NTH, Ordering::SeqCst);
+}
+
+/// Arm probabilistic crashing: each site hit crashes with probability
+/// `per_million / 1_000_000`. `seed` makes the pseudo-random sequence reproducible.
+pub fn arm_probability(per_million: u64, seed: u64) {
+    disarm();
+    RNG_STATE.store(seed | 1, Ordering::SeqCst);
+    PARAM.store(per_million.min(1_000_000), Ordering::SeqCst);
+    MODE.store(MODE_PROB, Ordering::SeqCst);
+}
+
+/// Arm a crash at the `hit`-th (1-based) execution of the named site.
+pub fn arm_at_site(name: &'static str, hit: u64) {
+    disarm();
+    *TARGET_SITE.lock() = Some(name);
+    PARAM.store(hit.max(1), Ordering::SeqCst);
+    MODE.store(MODE_SITE, Ordering::SeqCst);
+}
+
+/// Count site hits without ever crashing.
+pub fn arm_count_only() {
+    disarm();
+    MODE.store(MODE_COUNT, Ordering::SeqCst);
+}
+
+/// Total crash-site hits since the last arming.
+pub fn sites_hit() -> u64 {
+    HITS.load(Ordering::SeqCst)
+}
+
+/// Whether a simulated crash has fired since the last arming.
+pub fn has_crashed() -> bool {
+    CRASHED.load(Ordering::SeqCst)
+}
+
+/// Name of the site at which the last simulated crash fired, if any.
+pub fn last_crash_site() -> Option<&'static str> {
+    *LAST_CRASH_SITE.lock()
+}
+
+#[inline]
+fn next_rand() -> u64 {
+    // SplitMix64 step on a shared atomic state; collisions between threads only make
+    // the sequence less predictable, which is fine for crash fuzzing.
+    let mut x = RNG_STATE.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cold]
+fn fire(name: &'static str) -> ! {
+    MODE.store(MODE_OFF, Ordering::SeqCst);
+    CRASHED.store(true, Ordering::SeqCst);
+    *LAST_CRASH_SITE.lock() = Some(name);
+    std::panic::panic_any(CrashPanic(name));
+}
+
+/// Declare a crash site. Index code calls this between the ordered atomic steps of an
+/// insert or structure-modification operation. If crash injection is armed and this
+/// hit is selected, the function does not return: it unwinds with a [`CrashPanic`]
+/// payload, leaving the index in the partially-modified state the operation had built
+/// so far.
+#[inline]
+pub fn site(name: &'static str) {
+    let mode = MODE.load(Ordering::Relaxed);
+    if mode == MODE_OFF {
+        return;
+    }
+    site_slow(mode, name);
+}
+
+#[inline(never)]
+fn site_slow(mode: u8, name: &'static str) {
+    let hit = HITS.fetch_add(1, Ordering::SeqCst) + 1;
+    match mode {
+        MODE_COUNT => {}
+        MODE_NTH => {
+            if hit == PARAM.load(Ordering::SeqCst) {
+                fire(name);
+            }
+        }
+        MODE_PROB => {
+            let p = PARAM.load(Ordering::SeqCst);
+            if next_rand() % 1_000_000 < p {
+                fire(name);
+            }
+        }
+        MODE_SITE => {
+            let target = *TARGET_SITE.lock();
+            if target == Some(name) {
+                let remaining = PARAM.fetch_sub(1, Ordering::SeqCst);
+                if remaining == 1 {
+                    fire(name);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Run `f`, catching a simulated crash. Returns `Ok(v)` if `f` completed, or
+/// `Err(site_name)` if a [`CrashPanic`] unwound out of it. Other panics are resumed.
+pub fn catch_crash<T>(f: impl FnOnce() -> T + std::panic::UnwindSafe) -> Result<T, &'static str> {
+    match std::panic::catch_unwind(f) {
+        Ok(v) => Ok(v),
+        Err(payload) => match payload.downcast::<CrashPanic>() {
+            Ok(cp) => Err(cp.0),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+/// Install a panic hook that silences the default "thread panicked" message for
+/// simulated crashes while delegating every other panic to the previous hook.
+/// Idempotent enough for test use; call once from the harness.
+pub fn install_quiet_hook() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<CrashPanic>().is_some() {
+            return;
+        }
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Crash state is global; serialize.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_sites_do_nothing() {
+        let _g = LOCK.lock();
+        disarm();
+        site("a");
+        site("b");
+        assert!(!has_crashed());
+        assert_eq!(sites_hit(), 0);
+    }
+
+    #[test]
+    fn nth_mode_crashes_exactly_once_at_nth_hit() {
+        let _g = LOCK.lock();
+        install_quiet_hook();
+        arm_nth(3);
+        let r = catch_crash(|| {
+            site("s1");
+            site("s2");
+            site("s3");
+            site("s4");
+            42
+        });
+        assert_eq!(r, Err("s3"));
+        assert!(has_crashed());
+        assert_eq!(last_crash_site(), Some("s3"));
+        // After firing, further sites are inert.
+        let r2 = catch_crash(|| {
+            site("s5");
+            7
+        });
+        assert_eq!(r2, Ok(7));
+        disarm();
+    }
+
+    #[test]
+    fn count_only_mode_counts() {
+        let _g = LOCK.lock();
+        arm_count_only();
+        for _ in 0..10 {
+            site("x");
+        }
+        assert_eq!(sites_hit(), 10);
+        assert!(!has_crashed());
+        disarm();
+    }
+
+    #[test]
+    fn at_site_mode_targets_named_site() {
+        let _g = LOCK.lock();
+        install_quiet_hook();
+        arm_at_site("target", 2);
+        let r = catch_crash(|| {
+            site("other");
+            site("target");
+            site("other");
+            site("target"); // 2nd hit of "target" -> crash
+            1
+        });
+        assert_eq!(r, Err("target"));
+        disarm();
+    }
+
+    #[test]
+    fn probability_zero_never_crashes() {
+        let _g = LOCK.lock();
+        arm_probability(0, 7);
+        for _ in 0..1000 {
+            site("p");
+        }
+        assert!(!has_crashed());
+        disarm();
+    }
+
+    #[test]
+    fn probability_full_crashes_immediately() {
+        let _g = LOCK.lock();
+        install_quiet_hook();
+        arm_probability(1_000_000, 9);
+        let r = catch_crash(|| {
+            site("p");
+            0
+        });
+        assert_eq!(r, Err("p"));
+        disarm();
+    }
+
+    #[test]
+    fn catch_crash_propagates_other_panics() {
+        let _g = LOCK.lock();
+        disarm();
+        let res = std::panic::catch_unwind(|| {
+            let _ = catch_crash(|| -> u32 { panic!("real bug") });
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Cache-line flush and fence primitives for the simulated PM.
+//!
+//! On real hardware the RECIPE conversion inserts `clwb` (cache-line write-back) and
+//! `sfence`/`mfence` instructions after stores to persistent memory. In this
+//! reproduction every flush and fence goes through this module so that:
+//!
+//! 1. the paper's per-operation instruction counters can be collected ([`crate::stats`]),
+//! 2. a configurable synthetic latency can be charged per flush/fence, letting the
+//!    benchmark harness reproduce the paper's throughput *shape* (flush-heavy indexes
+//!    lose) without Optane hardware, and
+//! 3. the durability [`crate::tracker`] observes which cache lines became durable,
+//!    implementing the §5 durability test.
+//!
+//! These functions take raw addresses but never dereference them; they are safe to
+//! call with any pointer value.
+
+use crate::{line_of, stats, tracker, CACHE_LINE};
+use std::time::{Duration, Instant};
+
+#[inline]
+fn busy_wait(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_nanos(ns);
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Write back (flush) the cache line containing `addr`.
+///
+/// Equivalent to the `clwb` instruction in the paper's conversion actions: the line is
+/// queued for write-back to the persistence domain but only becomes durable once a
+/// subsequent [`sfence`] completes.
+#[inline]
+pub fn clwb(addr: *const u8) {
+    stats::count_clwb();
+    tracker::on_flush(line_of(addr as usize));
+    busy_wait(stats::clwb_latency_ns());
+}
+
+/// Store fence: all previously issued [`clwb`]s become durable.
+///
+/// Equivalent to `sfence`/`mfence` ordering in the paper.
+#[inline]
+pub fn sfence() {
+    stats::count_fence();
+    tracker::on_fence();
+    busy_wait(stats::fence_latency_ns());
+}
+
+/// Flush every cache line overlapping `[addr, addr + len)` and optionally fence.
+///
+/// This is the workhorse used by the `Pmem` persistence policy: the RECIPE conversion
+/// action "insert cache line flush and memory fence instructions after each store".
+#[inline]
+pub fn persist_range(addr: *const u8, len: usize, fence: bool) {
+    if len == 0 {
+        if fence {
+            sfence();
+        }
+        return;
+    }
+    let start = line_of(addr as usize);
+    let end = addr as usize + len;
+    let mut line = start;
+    while line < end {
+        clwb(line as *const u8);
+        line += CACHE_LINE;
+    }
+    if fence {
+        sfence();
+    }
+}
+
+/// Flush the object referenced by `ptr` (all cache lines it spans) and optionally fence.
+#[inline]
+pub fn persist_obj<T>(ptr: *const T, fence: bool) {
+    persist_range(ptr.cast::<u8>(), std::mem::size_of::<T>(), fence);
+}
+
+/// Number of cache lines spanned by `[addr, addr + len)`. Exposed for tests and for
+/// allocators that want to pre-account flush costs.
+#[must_use]
+pub fn lines_spanned(addr: usize, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let first = line_of(addr);
+    let last = line_of(addr + len - 1);
+    (last - first) / CACHE_LINE + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_spanned_counts_correctly() {
+        assert_eq!(lines_spanned(0, 0), 0);
+        assert_eq!(lines_spanned(0, 1), 1);
+        assert_eq!(lines_spanned(0, 64), 1);
+        assert_eq!(lines_spanned(0, 65), 2);
+        assert_eq!(lines_spanned(63, 2), 2);
+        assert_eq!(lines_spanned(100, 200), lines_spanned(100 % 64, 200));
+    }
+
+    #[test]
+    fn persist_range_counts_one_clwb_per_line() {
+        let buf = vec![0u8; 4096];
+        let before = stats::snapshot();
+        persist_range(buf.as_ptr(), 256, true);
+        let d = stats::snapshot().since(&before);
+        let expected = lines_spanned(buf.as_ptr() as usize, 256) as u64;
+        assert_eq!(d.clwb, expected);
+        assert_eq!(d.fence, 1);
+    }
+
+    #[test]
+    fn persist_obj_flushes_whole_object() {
+        #[repr(align(64))]
+        struct Big([u8; 192]);
+        let b = Big([0; 192]);
+        let before = stats::snapshot();
+        persist_obj(&b, false);
+        let d = stats::snapshot().since(&before);
+        assert_eq!(d.clwb, 3);
+        assert_eq!(d.fence, 0);
+    }
+
+    #[test]
+    fn zero_len_persist_only_fences_when_asked() {
+        let x = 0u8;
+        let before = stats::snapshot();
+        persist_range(&x, 0, false);
+        persist_range(&x, 0, true);
+        let d = stats::snapshot().since(&before);
+        assert_eq!(d.clwb, 0);
+        assert_eq!(d.fence, 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Global performance counters for the simulated PM substrate.
+//!
+//! The paper explains its throughput results with three low-level counters collected
+//! per operation (Fig. 4c, Fig. 4d, Table 4): the number of `clwb` instructions, the
+//! number of memory fences, and the number of last-level-cache misses. This module
+//! provides the first two directly and a *node visit* counter as the LLC-miss proxy
+//! (each pointer dereference into an index node is one likely-cold cache line touch).
+//!
+//! Counters are process-global relaxed atomics. Benchmarks snapshot them before and
+//! after a measurement phase and divide the delta by the number of operations; the
+//! per-increment cost (a relaxed `fetch_add`) is negligible relative to index work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CLWB: AtomicU64 = AtomicU64::new(0);
+static FENCE: AtomicU64 = AtomicU64::new(0);
+static NODE_VISITS: AtomicU64 = AtomicU64::new(0);
+
+/// Synthetic latency charged per cache-line flush, in nanoseconds.
+static CLWB_NS: AtomicU64 = AtomicU64::new(0);
+/// Synthetic latency charged per fence, in nanoseconds.
+static FENCE_NS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of cache-line flush (`clwb`) operations issued.
+    pub clwb: u64,
+    /// Number of store fences (`sfence`/`mfence`) issued.
+    pub fence: u64,
+    /// Number of index-node visits (LLC-miss proxy).
+    pub node_visits: u64,
+}
+
+impl Stats {
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        Stats {
+            clwb: self.clwb.saturating_sub(earlier.clwb),
+            fence: self.fence.saturating_sub(earlier.fence),
+            node_visits: self.node_visits.saturating_sub(earlier.node_visits),
+        }
+    }
+
+    /// Per-operation averages given the number of operations in the phase.
+    #[must_use]
+    pub fn per_op(&self, ops: u64) -> PerOp {
+        let ops = ops.max(1) as f64;
+        PerOp {
+            clwb: self.clwb as f64 / ops,
+            fence: self.fence as f64 / ops,
+            node_visits: self.node_visits as f64 / ops,
+        }
+    }
+}
+
+/// Per-operation averages derived from a [`Stats`] delta.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PerOp {
+    /// Average `clwb` per operation.
+    pub clwb: f64,
+    /// Average fences per operation.
+    pub fence: f64,
+    /// Average node visits per operation.
+    pub node_visits: f64,
+}
+
+/// Take a snapshot of the global counters.
+pub fn snapshot() -> Stats {
+    Stats {
+        clwb: CLWB.load(Ordering::Relaxed),
+        fence: FENCE.load(Ordering::Relaxed),
+        node_visits: NODE_VISITS.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset all counters to zero. Intended for test isolation; benchmarks should prefer
+/// snapshot deltas because other threads may still be running.
+pub fn reset() {
+    CLWB.store(0, Ordering::Relaxed);
+    FENCE.store(0, Ordering::Relaxed);
+    NODE_VISITS.store(0, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_clwb() {
+    CLWB.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_fence() {
+    FENCE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one index-node visit (pointer dereference into a node).
+///
+/// Indexes call this on every node they traverse; the benchmark harness reports the
+/// per-operation average as the cache-miss proxy for Fig. 4c/4d and Table 4.
+#[inline]
+pub fn record_node_visit() {
+    NODE_VISITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record `n` node visits at once.
+#[inline]
+pub fn record_node_visits(n: u64) {
+    NODE_VISITS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Configure the synthetic latency model: nanoseconds charged per cache-line flush and
+/// per fence. Zero (the default) disables busy-waiting entirely.
+pub fn set_latency_model(clwb_ns: u64, fence_ns: u64) {
+    CLWB_NS.store(clwb_ns, Ordering::Relaxed);
+    FENCE_NS.store(fence_ns, Ordering::Relaxed);
+}
+
+/// Read the latency model from the `RECIPE_CLWB_NS` / `RECIPE_FENCE_NS` environment
+/// variables, if set. Returns the configured `(clwb_ns, fence_ns)`.
+pub fn latency_model_from_env() -> (u64, u64) {
+    let parse = |k: &str| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    let c = parse("RECIPE_CLWB_NS");
+    let f = parse("RECIPE_FENCE_NS");
+    set_latency_model(c, f);
+    (c, f)
+}
+
+#[inline]
+pub(crate) fn clwb_latency_ns() -> u64 {
+    CLWB_NS.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn fence_latency_ns() -> u64 {
+    FENCE_NS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_and_per_op() {
+        let before = snapshot();
+        count_clwb();
+        count_clwb();
+        count_fence();
+        record_node_visit();
+        record_node_visits(3);
+        let after = snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.clwb, 2);
+        assert_eq!(d.fence, 1);
+        assert_eq!(d.node_visits, 4);
+        let p = d.per_op(2);
+        assert!((p.clwb - 1.0).abs() < 1e-9);
+        assert!((p.fence - 0.5).abs() < 1e-9);
+        assert!((p.node_visits - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_op_handles_zero_ops() {
+        let s = Stats { clwb: 10, fence: 5, node_visits: 2 };
+        let p = s.per_op(0);
+        assert!((p.clwb - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Stats { clwb: 1, fence: 1, node_visits: 1 };
+        let b = Stats { clwb: 5, fence: 5, node_visits: 5 };
+        let d = a.since(&b);
+        assert_eq!(d, Stats::default());
+    }
+
+    #[test]
+    fn latency_model_roundtrip() {
+        set_latency_model(7, 11);
+        assert_eq!(clwb_latency_ns(), 7);
+        assert_eq!(fence_latency_ns(), 11);
+        set_latency_model(0, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The three RECIPE conditions and the catalogue of converted indexes.
+//!
+//! This module encodes the paper's Table 1 ("Categorizing common DRAM indexes") and
+//! Table 2 ("Categorizing conversion actions") so that the benchmark harness can print
+//! them (`bench --bin tables_1_2`) and tests can check that every index crate in the
+//! workspace declares the condition it was converted under.
+
+use std::fmt;
+
+/// The RECIPE condition a (part of a) DRAM index satisfies, determining its
+/// conversion action (§4.3–§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// **Condition #1** — updates become visible via a single hardware-atomic store
+    /// (possibly after copy-on-write). Conversion: flush + fence after each store.
+    SingleAtomicStore,
+    /// **Condition #2** — non-blocking reads and writes; writes are ordered atomic
+    /// steps *with* a helping mechanism that fixes observed inconsistencies.
+    /// Conversion: flush + fence after each store and after participating loads.
+    WritersFixInconsistencies,
+    /// **Condition #3** — non-blocking reads, lock-protected writes, ordered atomic
+    /// steps, but no helper. Conversion: add permanent-inconsistency detection
+    /// (try-lock) and a helper built from write-path code, then flush + fence.
+    WritersDontFixInconsistencies,
+}
+
+impl Condition {
+    /// Paper-style short label ("#1", "#2", "#3").
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Condition::SingleAtomicStore => "#1",
+            Condition::WritersFixInconsistencies => "#2",
+            Condition::WritersDontFixInconsistencies => "#3",
+        }
+    }
+
+    /// The conversion action mandated by this condition, as prose.
+    #[must_use]
+    pub fn conversion_action(&self) -> &'static str {
+        match self {
+            Condition::SingleAtomicStore => {
+                "insert cache-line flush and fence after each store (and after loads for \
+                 non-blocking writers)"
+            }
+            Condition::WritersFixInconsistencies => {
+                "insert cache-line flush and fence after each store and after loads used by \
+                 the helping mechanism"
+            }
+            Condition::WritersDontFixInconsistencies => {
+                "add permanent-inconsistency detection (try-lock) and a helper built from the \
+                 write path, then insert cache-line flush and fence after each store"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Synchronization style of an index's readers or writers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncStyle {
+    /// Lock-free / wait-free progress.
+    NonBlocking,
+    /// Lock-protected (write exclusion or blocking readers).
+    Blocking,
+}
+
+impl fmt::Display for SyncStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SyncStyle::NonBlocking => "Non-blocking",
+            SyncStyle::Blocking => "Blocking",
+        })
+    }
+}
+
+/// One row of the paper's Tables 1 & 2: a converted DRAM index and how it was
+/// converted.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// DRAM index name (paper naming).
+    pub dram_index: &'static str,
+    /// Converted PM index name.
+    pub pm_index: &'static str,
+    /// Underlying data structure.
+    pub structure: &'static str,
+    /// Reader synchronization.
+    pub reader: SyncStyle,
+    /// Writer synchronization.
+    pub writer: SyncStyle,
+    /// Condition governing non-SMO operations (inserts/deletes).
+    pub non_smo: Condition,
+    /// Condition governing structural modification operations.
+    pub smo: Condition,
+    /// Conversion effort reported by the paper (modified LOC / core LOC).
+    pub paper_effort: &'static str,
+    /// Workspace crate implementing it.
+    pub crate_name: &'static str,
+}
+
+/// The catalogue of the five converted indexes (paper Tables 1 and 2).
+#[must_use]
+pub fn catalog() -> Vec<CatalogEntry> {
+    use Condition::*;
+    use SyncStyle::*;
+    vec![
+        CatalogEntry {
+            dram_index: "CLHT",
+            pm_index: "P-CLHT",
+            structure: "Hash Table",
+            reader: NonBlocking,
+            writer: Blocking,
+            non_smo: SingleAtomicStore,
+            smo: SingleAtomicStore,
+            paper_effort: "30 LOC of 2.8K (1%)",
+            crate_name: "clht",
+        },
+        CatalogEntry {
+            dram_index: "HOT",
+            pm_index: "P-HOT",
+            structure: "Trie",
+            reader: NonBlocking,
+            writer: Blocking,
+            non_smo: SingleAtomicStore,
+            smo: SingleAtomicStore,
+            paper_effort: "38 LOC of 2K (2%)",
+            crate_name: "hot-trie",
+        },
+        CatalogEntry {
+            dram_index: "BwTree",
+            pm_index: "P-BwTree",
+            structure: "B+ Tree",
+            reader: NonBlocking,
+            writer: NonBlocking,
+            non_smo: SingleAtomicStore,
+            smo: WritersFixInconsistencies,
+            paper_effort: "85 LOC of 5.2K (1.6%)",
+            crate_name: "(not implemented in this reproduction; see DESIGN.md §6)",
+        },
+        CatalogEntry {
+            dram_index: "ART",
+            pm_index: "P-ART",
+            structure: "Radix Tree",
+            reader: NonBlocking,
+            writer: Blocking,
+            non_smo: SingleAtomicStore,
+            smo: WritersDontFixInconsistencies,
+            paper_effort: "52 LOC of 1.5K (3.4%)",
+            crate_name: "art-index",
+        },
+        CatalogEntry {
+            dram_index: "Masstree",
+            pm_index: "P-Masstree",
+            structure: "B+ Tree & Trie",
+            reader: NonBlocking,
+            writer: Blocking,
+            non_smo: SingleAtomicStore,
+            smo: WritersDontFixInconsistencies,
+            paper_effort: "200 LOC of 2.2K (9%)",
+            crate_name: "(not implemented in this reproduction; see DESIGN.md §6)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_paper_table_1() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 5);
+        let by_name = |n: &str| cat.iter().find(|e| e.dram_index == n).unwrap();
+        assert_eq!(by_name("CLHT").non_smo, Condition::SingleAtomicStore);
+        assert_eq!(by_name("HOT").smo, Condition::SingleAtomicStore);
+        assert_eq!(by_name("BwTree").smo, Condition::WritersFixInconsistencies);
+        assert_eq!(by_name("ART").smo, Condition::WritersDontFixInconsistencies);
+        assert_eq!(by_name("Masstree").smo, Condition::WritersDontFixInconsistencies);
+    }
+
+    #[test]
+    fn all_readers_are_non_blocking() {
+        // RECIPE cannot be applied to indexes with blocking reads; every catalogue
+        // entry must therefore have non-blocking readers (paper Table 2).
+        for e in catalog() {
+            assert_eq!(e.reader, SyncStyle::NonBlocking, "{}", e.dram_index);
+        }
+    }
+
+    #[test]
+    fn only_bwtree_has_non_blocking_writers() {
+        for e in catalog() {
+            let expect = if e.dram_index == "BwTree" { SyncStyle::NonBlocking } else { SyncStyle::Blocking };
+            assert_eq!(e.writer, expect, "{}", e.dram_index);
+        }
+    }
+
+    #[test]
+    fn labels_and_actions_are_distinct() {
+        use Condition::*;
+        let all = [SingleAtomicStore, WritersFixInconsistencies, WritersDontFixInconsistencies];
+        let labels: std::collections::HashSet<_> = all.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 3);
+        for c in all {
+            assert!(!c.conversion_action().is_empty());
+            assert_eq!(format!("{c}"), c.label());
+        }
+    }
+}

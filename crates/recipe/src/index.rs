@@ -1,0 +1,187 @@
+//! Uniform index interface shared by every converted index and every baseline.
+//!
+//! The paper's DRAM-index interface (§2.1) is `insert`, `update`, `lookup`,
+//! `range_query` and `delete`; values are 8-byte locations. All indexes in this
+//! workspace expose that interface through [`ConcurrentIndex`] so the YCSB driver, the
+//! crash-testing harness and the benchmark binaries are index-agnostic.
+//!
+//! Keys are arbitrary byte strings. Ordered indexes (tries, radix trees, B+ trees)
+//! interpret them lexicographically; use [`crate::key::u64_key`] for order-preserving
+//! 8-byte integer keys. Unordered indexes (hash tables) hash the bytes and do not
+//! support range queries.
+
+/// A concurrent key-value index mapping byte-string keys to 8-byte values.
+///
+/// All methods take `&self`: implementations are internally synchronized and safe to
+/// share across threads (`Send + Sync`).
+pub trait ConcurrentIndex: Send + Sync {
+    /// Insert `key` with `value`. If the key already exists its value is overwritten.
+    /// Returns `true` if the key was newly inserted, `false` if it already existed.
+    fn insert(&self, key: &[u8], value: u64) -> bool;
+
+    /// Update an existing key. Returns `false` (without inserting) if the key is
+    /// absent.
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        if self.get(key).is_some() {
+            self.insert(key, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Look up the latest value associated with `key`.
+    fn get(&self, key: &[u8]) -> Option<u64>;
+
+    /// Remove `key`. Returns `true` if it was present.
+    fn remove(&self, key: &[u8]) -> bool;
+
+    /// Range query: return up to `count` key-value pairs with keys `>= start`, in
+    /// ascending key order. Unordered indexes return an empty vector.
+    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let _ = (start, count);
+        Vec::new()
+    }
+
+    /// Whether [`ConcurrentIndex::scan`] is meaningful for this index.
+    fn supports_scan(&self) -> bool {
+        false
+    }
+
+    /// Short display name, e.g. `"P-ART"` or `"FAST&FAIR"`.
+    fn name(&self) -> String;
+}
+
+/// Post-crash recovery hook.
+///
+/// RECIPE assumes that locks are non-persistent and are re-initialised when the index
+/// restarts after a crash (§4.2), and that no other explicit recovery is needed — the
+/// read/write paths tolerate or fix the partial state lazily. Implementations walk
+/// their structure and force-unlock every embedded lock; they must not attempt to
+/// "repair" data (that is the job of the converted write path).
+pub trait Recoverable {
+    /// Re-initialise all locks after a (simulated) crash, as a restart would.
+    fn recover(&self);
+}
+
+/// Blanket helper: treat a `&T` as the trait object the harnesses consume.
+impl<T: ConcurrentIndex + ?Sized> ConcurrentIndex for &T {
+    fn insert(&self, key: &[u8], value: u64) -> bool {
+        (**self).insert(key, value)
+    }
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        (**self).update(key, value)
+    }
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        (**self).get(key)
+    }
+    fn remove(&self, key: &[u8]) -> bool {
+        (**self).remove(key)
+    }
+    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        (**self).scan(start, count)
+    }
+    fn supports_scan(&self) -> bool {
+        (**self).supports_scan()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<T: ConcurrentIndex + ?Sized> ConcurrentIndex for std::sync::Arc<T> {
+    fn insert(&self, key: &[u8], value: u64) -> bool {
+        (**self).insert(key, value)
+    }
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        (**self).update(key, value)
+    }
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        (**self).get(key)
+    }
+    fn remove(&self, key: &[u8]) -> bool {
+        (**self).remove(key)
+    }
+    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        (**self).scan(start, count)
+    }
+    fn supports_scan(&self) -> bool {
+        (**self).supports_scan()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::RwLock;
+    use std::collections::BTreeMap;
+
+    /// Minimal reference implementation used to validate default methods.
+    struct Model {
+        map: RwLock<BTreeMap<Vec<u8>, u64>>,
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Model { map: RwLock::new(BTreeMap::new()) }
+        }
+    }
+
+    impl ConcurrentIndex for Model {
+        fn insert(&self, key: &[u8], value: u64) -> bool {
+            self.map.write().insert(key.to_vec(), value).is_none()
+        }
+        fn get(&self, key: &[u8]) -> Option<u64> {
+            self.map.read().get(key).copied()
+        }
+        fn remove(&self, key: &[u8]) -> bool {
+            self.map.write().remove(key).is_some()
+        }
+        fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+            self.map
+                .read()
+                .range(start.to_vec()..)
+                .take(count)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        }
+        fn supports_scan(&self) -> bool {
+            true
+        }
+        fn name(&self) -> String {
+            "model".into()
+        }
+    }
+
+    #[test]
+    fn default_update_only_touches_existing_keys() {
+        let m = Model::new();
+        assert!(!m.update(b"missing", 1));
+        assert!(m.insert(b"k", 1));
+        assert!(m.update(b"k", 2));
+        assert_eq!(m.get(b"k"), Some(2));
+    }
+
+    #[test]
+    fn insert_returns_true_only_for_new_keys() {
+        let m = Model::new();
+        assert!(m.insert(b"a", 1));
+        assert!(!m.insert(b"a", 2));
+        assert_eq!(m.get(b"a"), Some(2));
+    }
+
+    #[test]
+    fn trait_objects_and_arcs_delegate() {
+        let m = std::sync::Arc::new(Model::new());
+        let dynref: &dyn ConcurrentIndex = &m;
+        assert!(dynref.insert(b"x", 9));
+        assert_eq!(dynref.get(b"x"), Some(9));
+        assert!(dynref.supports_scan());
+        assert_eq!(dynref.scan(b"", 10).len(), 1);
+        assert_eq!(dynref.name(), "model");
+        assert!(dynref.remove(b"x"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Key encodings and hashing shared across the indexes and the YCSB driver.
+//!
+//! The paper evaluates two key types (§7): `randint` — 8-byte random integers — and
+//! `string` — 24-byte YCSB string keys; both uniformly distributed. Ordered indexes in
+//! this workspace compare keys as byte strings, so integer keys are encoded big-endian
+//! to preserve numeric order. Unordered indexes hash the raw bytes with a 64-bit
+//! FNV-1a variant.
+
+/// Encode a `u64` as an order-preserving 8-byte big-endian key.
+#[inline]
+#[must_use]
+pub fn u64_key(k: u64) -> [u8; 8] {
+    k.to_be_bytes()
+}
+
+/// Decode a key produced by [`u64_key`]. Shorter keys are zero-padded on the right;
+/// longer keys use only their first 8 bytes.
+#[inline]
+#[must_use]
+pub fn key_to_u64(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
+
+/// 64-bit FNV-1a hash of a byte string, with an additional avalanche step (fmix64 from
+/// MurmurHash3) so that sequential integer keys spread across buckets.
+#[inline]
+#[must_use]
+pub fn hash64(key: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    fmix64(h)
+}
+
+/// Hash a `u64` key directly (equivalent to `hash64(&u64_key(k))` but cheaper).
+#[inline]
+#[must_use]
+pub fn hash_u64(k: u64) -> u64 {
+    fmix64(k.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xcbf29ce484222325)
+}
+
+#[inline]
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Length, in bytes, of the common prefix of `a` and `b`.
+#[inline]
+#[must_use]
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Extract the 8-byte slice of `key` starting at byte offset `off`, zero-padded, as a
+/// big-endian integer. Used by Masstree-style layered indexes.
+#[inline]
+#[must_use]
+pub fn keyslice(key: &[u8], off: usize) -> u64 {
+    if off >= key.len() {
+        return 0;
+    }
+    let rest = &key[off..];
+    let mut buf = [0u8; 8];
+    let n = rest.len().min(8);
+    buf[..n].copy_from_slice(&rest[..n]);
+    u64::from_be_bytes(buf)
+}
+
+/// Number of key bytes covered by the slice at `off` (0..=8).
+#[inline]
+#[must_use]
+pub fn keyslice_len(key: &[u8], off: usize) -> usize {
+    key.len().saturating_sub(off).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_key_is_order_preserving() {
+        let mut prev = u64_key(0);
+        for k in [1u64, 2, 255, 256, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let enc = u64_key(k);
+            assert!(enc > prev, "encoding must preserve order at {k}");
+            prev = enc;
+        }
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        for k in [0u64, 1, 42, u64::MAX, 0xdead_beef_cafe_babe] {
+            assert_eq!(key_to_u64(&u64_key(k)), k);
+        }
+    }
+
+    #[test]
+    fn key_to_u64_pads_short_keys() {
+        assert_eq!(key_to_u64(&[0x01]), 0x0100_0000_0000_0000);
+        assert_eq!(key_to_u64(&[]), 0);
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        let h: Vec<u64> = (0..64u64).map(|k| hash64(&u64_key(k)) % 64).collect();
+        let distinct: std::collections::HashSet<_> = h.iter().collect();
+        assert!(distinct.len() > 32, "sequential keys should spread over buckets");
+    }
+
+    #[test]
+    fn hash_u64_matches_quality_of_hash64() {
+        let a = hash_u64(12345);
+        let b = hash_u64(12346);
+        assert_ne!(a, b);
+        assert_ne!(a >> 32, 0, "high bits should be populated");
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(b"abcd", b"abxy"), 2);
+        assert_eq!(common_prefix_len(b"", b"abc"), 0);
+        assert_eq!(common_prefix_len(b"same", b"same"), 4);
+    }
+
+    #[test]
+    fn keyslice_extraction() {
+        let key = b"abcdefghijk"; // 11 bytes
+        assert_eq!(keyslice(key, 0), u64::from_be_bytes(*b"abcdefgh"));
+        assert_eq!(keyslice_len(key, 0), 8);
+        assert_eq!(keyslice_len(key, 8), 3);
+        let tail = keyslice(key, 8);
+        assert_eq!(&tail.to_be_bytes()[..3], b"ijk");
+        assert_eq!(keyslice(key, 11), 0);
+        assert_eq!(keyslice_len(key, 11), 0);
+        assert_eq!(keyslice_len(key, 100), 0);
+    }
+}

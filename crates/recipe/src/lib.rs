@@ -1,0 +1,45 @@
+//! # `recipe` — the RECIPE conversion approach, as a library
+//!
+//! RECIPE (SOSP '19) is a principled approach for converting concurrent DRAM indexes
+//! into crash-consistent persistent-memory (PM) indexes. Its central insight: indexes
+//! whose non-blocking reads already *tolerate* inconsistent intermediate states, and
+//! whose writes either commit through a single atomic store or can *fix* such states,
+//! already contain their own crash-recovery logic — converting them to PM only
+//! requires ordering and flushing stores (plus, for one class, a small helper).
+//!
+//! This crate is the core of the reproduction:
+//!
+//! * [`persist`] — the conversion expressed as a **persistence policy** type
+//!   parameter. Every index in the workspace is written once, generic over
+//!   [`persist::PersistMode`]; instantiating it with [`persist::Dram`] yields the
+//!   original concurrent DRAM index (all persistence calls compile to nothing), and
+//!   with [`persist::Pmem`] yields the RECIPE-converted PM index (cache-line flushes +
+//!   fences through the [`pm`] substrate, crash sites armed, durability tracking).
+//! * [`condition`] — the three RECIPE conditions and the catalogue of converted
+//!   indexes (the paper's Tables 1 and 2).
+//! * [`index`] — the uniform concurrent key-value index interface used by the YCSB
+//!   driver, the crash-testing harness and the benchmarks, plus the recovery hook
+//!   (post-crash lock re-initialisation) RECIPE assumes.
+//! * [`lock`] — the versioned word spin-lock embedded in index nodes, with the
+//!   try-lock primitive used for permanent-inconsistency detection (Condition #3) and
+//!   explicit re-initialisation for recovery.
+//! * [`key`] — order-preserving key encodings and the hash function shared by the
+//!   unordered indexes.
+//!
+//! The individual index crates (`clht`, `art-index`, `hot-trie`, `bwtree`, `masstree`)
+//! implement the five conversions from the paper's case studies (§6); `fastfair`,
+//! `cceh`, `levelhash` and `woart` implement the hand-crafted PM baselines it is
+//! evaluated against (§7). The workspace `examples/` directory shows end-to-end usage.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod condition;
+pub mod index;
+pub mod key;
+pub mod lock;
+pub mod persist;
+
+pub use condition::{catalog, CatalogEntry, Condition};
+pub use index::{ConcurrentIndex, Recoverable};
+pub use persist::{Dram, PersistMode, Pmem};

@@ -1,0 +1,167 @@
+//! Multi-threaded measurement driver.
+//!
+//! Mirrors the paper's procedure (§7): operations are statically partitioned across
+//! threads, the load phase is executed first, then each run-phase partition is
+//! executed by its own thread while the wall-clock time and the PM substrate's
+//! per-operation counters (`clwb`, fences, node visits) are collected.
+
+use crate::workload::{GeneratedWorkload, Op, Spec};
+use recipe::index::ConcurrentIndex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Result of executing one phase of a workload against one index.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Total operations executed.
+    pub ops: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// Per-operation `clwb` count.
+    pub clwb_per_op: f64,
+    /// Per-operation fence count.
+    pub fence_per_op: f64,
+    /// Per-operation node visits (LLC-miss proxy).
+    pub node_visits_per_op: f64,
+    /// Number of reads that found no value (sanity signal; should be ~0 for reads of
+    /// loaded keys).
+    pub failed_reads: u64,
+}
+
+fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseResult {
+    let failed_reads = AtomicU64::new(0);
+    let total_ops: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+    let before = pm::stats::snapshot();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for part in partitions {
+            let failed = &failed_reads;
+            scope.spawn(move || {
+                for op in part {
+                    match op {
+                        Op::Insert(k, v) => {
+                            index.insert(k, *v);
+                        }
+                        Op::Read(k) => {
+                            if index.get(k).is_none() {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Op::Scan(k, len) => {
+                            if index.supports_scan() {
+                                let _ = index.scan(k, *len);
+                            } else if index.get(k).is_none() {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let delta = pm::stats::snapshot().since(&before);
+    let per_op = delta.per_op(total_ops);
+    PhaseResult {
+        ops: total_ops,
+        secs,
+        mops: total_ops as f64 / secs / 1e6,
+        clwb_per_op: per_op.clwb,
+        fence_per_op: per_op.fence,
+        node_visits_per_op: per_op.node_visits,
+        failed_reads: failed_reads.load(Ordering::Relaxed),
+    }
+}
+
+/// Result of a full load + run execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The load phase (Load A).
+    pub load: PhaseResult,
+    /// The run phase (the spec's workload).
+    pub run: PhaseResult,
+}
+
+/// Execute `workload` against `index`: load phase first, then the run phase.
+pub fn execute(index: &dyn ConcurrentIndex, workload: &GeneratedWorkload) -> RunResult {
+    let load = run_partitions(index, &workload.load);
+    let run = run_partitions(index, &workload.run);
+    RunResult { load, run }
+}
+
+/// Convenience: generate the workload for `spec` and execute it.
+pub fn run_spec(index: &dyn ConcurrentIndex, spec: &Spec) -> RunResult {
+    let generated = crate::workload::generate(spec);
+    execute(index, &generated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, KeyType, Spec, Workload};
+    use parking_lot::RwLock;
+    use std::collections::BTreeMap;
+
+    struct Model {
+        map: RwLock<BTreeMap<Vec<u8>, u64>>,
+    }
+
+    impl recipe::index::ConcurrentIndex for Model {
+        fn insert(&self, key: &[u8], value: u64) -> bool {
+            self.map.write().insert(key.to_vec(), value).is_none()
+        }
+        fn get(&self, key: &[u8]) -> Option<u64> {
+            self.map.read().get(key).copied()
+        }
+        fn remove(&self, key: &[u8]) -> bool {
+            self.map.write().remove(key).is_some()
+        }
+        fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+            self.map.read().range(start.to_vec()..).take(count).map(|(k, v)| (k.clone(), *v)).collect()
+        }
+        fn supports_scan(&self) -> bool {
+            true
+        }
+        fn name(&self) -> String {
+            "model".into()
+        }
+    }
+
+    #[test]
+    fn driver_executes_all_ops_and_reads_succeed() {
+        let spec = Spec {
+            load_count: 2_000,
+            op_count: 2_000,
+            threads: 4,
+            key_type: KeyType::RandInt,
+            workload: Workload::A,
+            ..Spec::default()
+        };
+        let wl = generate(&spec);
+        let model = Model { map: RwLock::new(BTreeMap::new()) };
+        let res = execute(&model, &wl);
+        assert_eq!(res.load.ops, 2_000);
+        assert_eq!(res.run.ops, 2_000);
+        assert_eq!(res.run.failed_reads, 0, "reads of loaded keys must succeed");
+        assert!(res.load.mops > 0.0);
+        assert!(res.run.secs > 0.0);
+    }
+
+    #[test]
+    fn scan_workload_runs_against_scannable_index() {
+        let spec = Spec {
+            load_count: 1_000,
+            op_count: 500,
+            threads: 2,
+            workload: Workload::E,
+            scan_max: 10,
+            ..Spec::default()
+        };
+        let model = Model { map: RwLock::new(BTreeMap::new()) };
+        let res = run_spec(&model, &spec);
+        assert_eq!(res.run.ops, 500);
+        assert_eq!(res.run.failed_reads, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Session store scenario (the application pattern the paper attributes to YCSB A):
+//! a 50/50 read/write key-value workload over the persistent hash indexes, comparing
+//! the RECIPE-converted P-CLHT against the hand-crafted CCEH and Level Hashing.
+//!
+//! Run with `cargo run -p bench --release --example session_store`.
+use std::sync::Arc;
+use ycsb::{KeyType, Spec, Workload};
+
+fn main() {
+    let spec = Spec {
+        load_count: 200_000,
+        op_count: 200_000,
+        threads: 8,
+        key_type: KeyType::RandInt,
+        workload: Workload::A,
+        ..Spec::default()
+    };
+    println!("session-store workload: YCSB A, {} sessions, {} ops, {} threads", spec.load_count, spec.op_count, spec.threads);
+    let indexes: Vec<(&str, Arc<dyn recipe::index::ConcurrentIndex>)> = vec![
+        ("P-CLHT", Arc::new(clht::PClht::new())),
+        ("CCEH", Arc::new(cceh::PCceh::new())),
+        ("Level-Hashing", Arc::new(levelhash::PLevelHash::new())),
+    ];
+    for (name, index) in indexes {
+        let res = ycsb::run_spec(&index, &spec);
+        println!(
+            "{name:<14} load: {:>6.2} Mops/s   run(A): {:>6.2} Mops/s   clwb/op: {:>4.1}   failed reads: {}",
+            res.load.mops, res.run.mops, res.run.clwb_per_op, res.run.failed_reads
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-index conformance suite: every index in the workspace must implement the
+//! paper's DRAM-index interface (§2.1) with the same observable semantics, checked
+//! against a BTreeMap model, sequentially and under concurrency.
+use recipe::index::ConcurrentIndex;
+use recipe::key::u64_key;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn ordered_indexes() -> Vec<(&'static str, Arc<dyn ConcurrentIndex>)> {
+    vec![
+        ("P-ART", Arc::new(art_index::PArt::new())),
+        ("ART(dram)", Arc::new(art_index::DramArt::new())),
+        ("P-HOT", Arc::new(hot_trie::PHot::new())),
+        ("FAST&FAIR", Arc::new(fastfair::PFastFair::new())),
+        ("WOART", Arc::new(woart::PWoart::new())),
+    ]
+}
+
+fn hash_indexes() -> Vec<(&'static str, Arc<dyn ConcurrentIndex>)> {
+    vec![
+        ("P-CLHT", Arc::new(clht::PClht::new())),
+        ("CLHT(dram)", Arc::new(clht::DramClht::new())),
+        ("CCEH", Arc::new(cceh::PCceh::new())),
+        ("Level-Hashing", Arc::new(levelhash::PLevelHash::new())),
+    ]
+}
+
+fn all_indexes() -> Vec<(&'static str, Arc<dyn ConcurrentIndex>)> {
+    let mut v = ordered_indexes();
+    v.extend(hash_indexes());
+    v
+}
+
+#[test]
+fn point_operations_match_model() {
+    for (name, index) in all_indexes() {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        // Mixed inserts, updates and removes with a deterministic pattern.
+        for i in 0..20_000u64 {
+            let k = (i * 7919) % 10_000;
+            let newly_model = model.insert(k, i).is_none();
+            let newly_index = index.insert(&u64_key(k), i);
+            assert_eq!(newly_index, newly_model, "{name}: insert({k}) newness mismatch");
+            if i % 5 == 0 {
+                let k2 = (i * 104729) % 10_000;
+                assert_eq!(index.remove(&u64_key(k2)), model.remove(&k2).is_some(), "{name}: remove({k2})");
+            }
+        }
+        for k in 0..10_000u64 {
+            assert_eq!(index.get(&u64_key(k)), model.get(&k).copied(), "{name}: get({k})");
+        }
+    }
+}
+
+#[test]
+fn update_only_touches_existing_keys() {
+    for (name, index) in all_indexes() {
+        assert!(!index.update(&u64_key(1), 1), "{name}");
+        assert!(index.insert(&u64_key(1), 1), "{name}");
+        assert!(index.update(&u64_key(1), 2), "{name}");
+        assert_eq!(index.get(&u64_key(1)), Some(2), "{name}");
+    }
+}
+
+#[test]
+fn ordered_indexes_scan_in_sorted_order() {
+    for (name, index) in ordered_indexes() {
+        assert!(index.supports_scan(), "{name}");
+        let mut model = BTreeMap::new();
+        for i in 0..5_000u64 {
+            let k = (i * 37) % 60_000;
+            index.insert(&u64_key(k), i);
+            model.insert(u64_key(k).to_vec(), i);
+        }
+        for start in [0u64, 1, 30_000, 59_999, 70_000] {
+            let got = index.scan(&u64_key(start), 50);
+            let want: Vec<(Vec<u8>, u64)> =
+                model.range(u64_key(start).to_vec()..).take(50).map(|(k, v)| (k.clone(), *v)).collect();
+            assert_eq!(got, want, "{name}: scan from {start}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_mixed_workload_loses_nothing() {
+    for (name, index) in all_indexes() {
+        let index = Arc::new(index);
+        let threads = 8u64;
+        let per = 2_000u64;
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let index = Arc::clone(&index);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        let k = tid * per + i;
+                        assert!(index.insert(&u64_key(k), k + 1), "{name}: insert {k}");
+                        if i % 3 == 0 {
+                            assert_eq!(index.get(&u64_key(k)), Some(k + 1), "{name}: read-own-write {k}");
+                        }
+                    }
+                });
+            }
+        });
+        for k in 0..threads * per {
+            assert_eq!(index.get(&u64_key(k)), Some(k + 1), "{name}: key {k} lost");
+        }
+    }
+}
+
+#[test]
+fn dram_variants_issue_no_persistence_traffic() {
+    let dram_indexes: Vec<(&str, Arc<dyn ConcurrentIndex>)> = vec![
+        ("ART(dram)", Arc::new(art_index::DramArt::new())),
+        ("HOT(dram)", Arc::new(hot_trie::DramHot::new())),
+        ("CLHT(dram)", Arc::new(clht::DramClht::new())),
+    ];
+    for (name, index) in dram_indexes {
+        let before = pm::stats::snapshot();
+        for i in 0..2_000u64 {
+            index.insert(&u64_key(i), i);
+        }
+        let d = pm::stats::snapshot().since(&before);
+        assert_eq!(d.clwb, 0, "{name} issued clwb");
+        assert_eq!(d.fence, 0, "{name} issued fences");
+    }
+}

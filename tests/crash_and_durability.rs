@@ -1,0 +1,61 @@
+//! §5 / §7.5 integration: every RECIPE-converted index must pass the crash-recovery
+//! test (no acknowledged key lost, index usable after recovery) and the durability
+//! test (every dirtied cache line flushed and fenced) over many crash states.
+use crashtest::{run_crash_test, run_durability_test, CrashTestConfig};
+
+fn small_cfg() -> CrashTestConfig {
+    CrashTestConfig { load_keys: 2_000, post_ops: 2_000, threads: 4, crash_states: 40, seed: 11 }
+}
+
+#[test]
+fn p_art_survives_crash_states() {
+    let report = run_crash_test(art_index::PArt::new, &small_cfg());
+    assert!(report.crashes_triggered > 0);
+    assert!(report.passed(), "{report:?}");
+}
+
+#[test]
+fn p_hot_survives_crash_states() {
+    let report = run_crash_test(hot_trie::PHot::new, &small_cfg());
+    assert!(report.crashes_triggered > 0);
+    assert!(report.passed(), "{report:?}");
+}
+
+#[test]
+fn p_clht_survives_crash_states() {
+    let report = run_crash_test(clht::PClht::new, &small_cfg());
+    assert!(report.crashes_triggered > 0);
+    assert!(report.passed(), "{report:?}");
+}
+
+#[test]
+fn baselines_survive_crash_states_without_bug_features() {
+    // Built without their `*-bug` features the baselines should also pass.
+    let ff = run_crash_test(fastfair::PFastFair::new, &small_cfg());
+    assert!(ff.passed(), "{ff:?}");
+    let cceh = run_crash_test(cceh::PCceh::new, &small_cfg());
+    assert!(cceh.passed(), "{cceh:?}");
+}
+
+#[test]
+fn recipe_indexes_pass_durability_check() {
+    let art = run_durability_test(art_index::PArt::new, 2_000, 500);
+    assert!(art.passed(), "P-ART: {art:?}");
+    let hot = run_durability_test(hot_trie::PHot::new, 2_000, 500);
+    assert!(hot.passed(), "P-HOT: {hot:?}");
+    let clht = run_durability_test(clht::PClht::new, 2_000, 500);
+    assert!(clht.passed(), "P-CLHT: {clht:?}");
+}
+
+#[test]
+fn dram_indexes_never_crash_because_sites_are_inert() {
+    // Crash sites are only active in PM mode: the DRAM variant must run the same
+    // workload without a single site firing.
+    pm::crash::arm_count_only();
+    let t = art_index::DramArt::new();
+    for i in 0..2_000u64 {
+        t.insert(&recipe::key::u64_key(i), i);
+    }
+    assert_eq!(pm::crash::sites_hit(), 0);
+    pm::crash::disarm();
+}

@@ -1,0 +1,110 @@
+//! Property-based tests: arbitrary operation sequences applied to each index must
+//! observe exactly the same results as a BTreeMap model.
+use proptest::prelude::*;
+use recipe::index::ConcurrentIndex;
+use recipe::key::u64_key;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Insert(u16, u64),
+    Remove(u16),
+    Get(u16),
+    Scan(u16, u8),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<u16>(), any::<u64>()).prop_map(|(k, v)| Action::Insert(k, v)),
+        any::<u16>().prop_map(Action::Remove),
+        any::<u16>().prop_map(Action::Get),
+        (any::<u16>(), 1u8..32).prop_map(|(k, n)| Action::Scan(k, n)),
+    ]
+}
+
+fn check_against_model(index: &dyn ConcurrentIndex, actions: &[Action], check_scan: bool) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for action in actions {
+        match action {
+            Action::Insert(k, v) => {
+                let k = u64::from(*k);
+                assert_eq!(index.insert(&u64_key(k), *v), model.insert(k, *v).is_none(), "insert {k}");
+            }
+            Action::Remove(k) => {
+                let k = u64::from(*k);
+                assert_eq!(index.remove(&u64_key(k)), model.remove(&k).is_some(), "remove {k}");
+            }
+            Action::Get(k) => {
+                let k = u64::from(*k);
+                assert_eq!(index.get(&u64_key(k)), model.get(&k).copied(), "get {k}");
+            }
+            Action::Scan(k, n) => {
+                if check_scan {
+                    let k = u64::from(*k);
+                    let got = index.scan(&u64_key(k), *n as usize);
+                    let want: Vec<(Vec<u8>, u64)> = model
+                        .range(k..)
+                        .take(*n as usize)
+                        .map(|(k, v)| (u64_key(*k).to_vec(), *v))
+                        .collect();
+                    assert_eq!(got, want, "scan {k}x{n}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn p_art_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&art_index::PArt::new(), &actions, true);
+    }
+
+    #[test]
+    fn p_hot_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&hot_trie::PHot::new(), &actions, true);
+    }
+
+    #[test]
+    fn fastfair_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&fastfair::PFastFair::new(), &actions, true);
+    }
+
+    #[test]
+    fn p_clht_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&clht::PClht::new(), &actions, false);
+    }
+
+    #[test]
+    fn cceh_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&cceh::PCceh::new(), &actions, false);
+    }
+
+    #[test]
+    fn levelhash_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&levelhash::PLevelHash::new(), &actions, false);
+    }
+
+    #[test]
+    fn woart_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&woart::PWoart::new(), &actions, true);
+    }
+
+    #[test]
+    fn prefix_packing_roundtrips(prefix in proptest::collection::vec(any::<u8>(), 0..=7)) {
+        let w = art_index::node::pack_prefix(&prefix);
+        let (bytes, len) = art_index::node::unpack_prefix(w);
+        prop_assert_eq!(&bytes[..len], &prefix[..]);
+    }
+
+    #[test]
+    fn ycsb_generation_is_deterministic(seed in any::<u64>(), n in 10usize..200) {
+        let spec = ycsb::Spec { load_count: n, op_count: n, threads: 3, seed, ..ycsb::Spec::default() };
+        let a = ycsb::generate(&spec);
+        let b = ycsb::generate(&spec);
+        prop_assert_eq!(a.load, b.load);
+        prop_assert_eq!(a.run, b.run);
+    }
+}
