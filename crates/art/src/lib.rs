@@ -40,14 +40,9 @@ impl<P: PersistMode> ConcurrentIndex for Art<P> {
         Art::insert(self, key, value)
     }
 
-    fn update(&self, key: &[u8], value: u64) -> bool {
-        if Art::get(self, key).is_some() {
-            Art::insert(self, key, value);
-            true
-        } else {
-            false
-        }
-    }
+    // `update` uses the trait's default get-then-insert and inherits its documented
+    // non-atomicity: ART's write path locks one node at a time, so there is no
+    // single lock under which to check presence and re-insert.
 
     fn get(&self, key: &[u8]) -> Option<u64> {
         Art::get(self, key)
@@ -66,7 +61,11 @@ impl<P: PersistMode> ConcurrentIndex for Art<P> {
     }
 
     fn name(&self) -> String {
-        if P::PERSISTENT { "P-ART".into() } else { "ART".into() }
+        if P::PERSISTENT {
+            "P-ART".into()
+        } else {
+            "ART".into()
+        }
     }
 }
 

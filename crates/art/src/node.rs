@@ -73,7 +73,10 @@ pub struct Leaf {
 impl Leaf {
     /// Allocate a leaf on the PM pool and return its tagged pointer word.
     pub fn alloc(key: &[u8], value: u64) -> usize {
-        let leaf = pm::alloc::pm_box(Leaf { key: key.to_vec().into_boxed_slice(), value: AtomicU64::new(value) });
+        let leaf = pm::alloc::pm_box(Leaf {
+            key: key.to_vec().into_boxed_slice(),
+            value: AtomicU64::new(value),
+        });
         (leaf as usize) | 1
     }
 }
@@ -229,6 +232,7 @@ pub struct NodeRef {
 // SAFETY: NodeRef is a shared reference to an inner node whose mutation protocol is
 // lock + atomics; it can be sent/shared across threads like `&NodeHeader`.
 unsafe impl Send for NodeRef {}
+// SAFETY: as above — shared access follows the lock + atomics protocol.
 unsafe impl Sync for NodeRef {}
 
 impl NodeRef {
@@ -283,10 +287,15 @@ impl NodeRef {
     #[must_use]
     pub fn find_child(&self, b: u8) -> usize {
         match self.hdr().tag {
-            NodeTag::N4 => Self::find_linear(&self.as_n4().keys, &self.as_n4().children, &self.as_n4().hdr, b),
-            NodeTag::N16 => {
-                Self::find_linear(&self.as_n16().keys, &self.as_n16().children, &self.as_n16().hdr, b)
+            NodeTag::N4 => {
+                Self::find_linear(&self.as_n4().keys, &self.as_n4().children, &self.as_n4().hdr, b)
             }
+            NodeTag::N16 => Self::find_linear(
+                &self.as_n16().keys,
+                &self.as_n16().children,
+                &self.as_n16().hdr,
+                b,
+            ),
             NodeTag::N48 => {
                 let n = self.as_n48();
                 let idx = n.index[b as usize].load(Ordering::Acquire);
@@ -318,10 +327,18 @@ impl NodeRef {
     pub fn children(&self) -> Vec<(u8, usize)> {
         let mut out = Vec::new();
         match self.hdr().tag {
-            NodeTag::N4 => Self::collect_linear(&self.as_n4().keys, &self.as_n4().children, &self.as_n4().hdr, &mut out),
-            NodeTag::N16 => {
-                Self::collect_linear(&self.as_n16().keys, &self.as_n16().children, &self.as_n16().hdr, &mut out)
-            }
+            NodeTag::N4 => Self::collect_linear(
+                &self.as_n4().keys,
+                &self.as_n4().children,
+                &self.as_n4().hdr,
+                &mut out,
+            ),
+            NodeTag::N16 => Self::collect_linear(
+                &self.as_n16().keys,
+                &self.as_n16().children,
+                &self.as_n16().hdr,
+                &mut out,
+            ),
             NodeTag::N48 => {
                 let n = self.as_n48();
                 for b in 0..256usize {
@@ -347,7 +364,12 @@ impl NodeRef {
         out
     }
 
-    fn collect_linear(keys: &[AtomicU8], children: &[AtomicUsize], hdr: &NodeHeader, out: &mut Vec<(u8, usize)>) {
+    fn collect_linear(
+        keys: &[AtomicU8],
+        children: &[AtomicUsize],
+        hdr: &NodeHeader,
+        out: &mut Vec<(u8, usize)>,
+    ) {
         let count = hdr.count.load(Ordering::Acquire) as usize;
         for i in 0..count.min(keys.len()) {
             let c = children[i].load(Ordering::Acquire);
@@ -388,8 +410,12 @@ impl NodeRef {
     /// generic tree) drive the RECIPE conversion.
     pub fn add_child(&self, b: u8, child: usize, persist: &dyn Fn(*const u8, usize, bool)) -> bool {
         match self.hdr().tag {
-            NodeTag::N4 => self.add_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, child, persist),
-            NodeTag::N16 => self.add_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, child, persist),
+            NodeTag::N4 => {
+                self.add_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, child, persist)
+            }
+            NodeTag::N16 => {
+                self.add_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, child, persist)
+            }
             NodeTag::N48 => {
                 let n = self.as_n48();
                 let slot = (0..48).find(|&i| n.children[i].load(Ordering::Acquire) == 0);
@@ -444,12 +470,29 @@ impl NodeRef {
 
     /// Replace the existing child for byte `b` with `new_child` (single atomic store).
     /// Must be called with the node lock held; returns false if `b` has no child.
-    pub fn replace_child(&self, b: u8, new_child: usize, persist: &dyn Fn(*const u8, usize, bool)) -> bool {
+    pub fn replace_child(
+        &self,
+        b: u8,
+        new_child: usize,
+        persist: &dyn Fn(*const u8, usize, bool),
+    ) -> bool {
         match self.hdr().tag {
-            NodeTag::N4 => self.replace_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, new_child, persist),
-            NodeTag::N16 => {
-                self.replace_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, new_child, persist)
-            }
+            NodeTag::N4 => self.replace_linear(
+                &self.as_n4().keys,
+                &self.as_n4().children,
+                4,
+                b,
+                new_child,
+                persist,
+            ),
+            NodeTag::N16 => self.replace_linear(
+                &self.as_n16().keys,
+                &self.as_n16().children,
+                16,
+                b,
+                new_child,
+                persist,
+            ),
             NodeTag::N48 => {
                 let n = self.as_n48();
                 let idx = n.index[b as usize].load(Ordering::Acquire);
@@ -496,8 +539,12 @@ impl NodeRef {
     /// Remove the child for byte `b` (single atomic store). Lock must be held.
     pub fn remove_child(&self, b: u8, persist: &dyn Fn(*const u8, usize, bool)) -> bool {
         match self.hdr().tag {
-            NodeTag::N4 => self.remove_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, persist),
-            NodeTag::N16 => self.remove_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, persist),
+            NodeTag::N4 => {
+                self.remove_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, persist)
+            }
+            NodeTag::N16 => {
+                self.remove_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, persist)
+            }
             NodeTag::N48 => {
                 let n = self.as_n48();
                 let idx = n.index[b as usize].load(Ordering::Acquire);
@@ -654,9 +701,15 @@ mod tests {
                 assert!(n.add_child(b, leaf, &noop()));
             }
             inserted.push((b, leaf));
+            // SAFETY: `word` was produced by this test's own allocations above.
             let cur = unsafe { NodeRef::from_word(word) };
             for &(kb, c) in &inserted {
-                assert_eq!(cur.find_child(kb), c, "lost child {kb} after reaching {:?}", cur.hdr().tag);
+                assert_eq!(
+                    cur.find_child(kb),
+                    c,
+                    "lost child {kb} after reaching {:?}",
+                    cur.hdr().tag
+                );
             }
         }
         // SAFETY: current copy.

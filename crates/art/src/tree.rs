@@ -35,6 +35,7 @@ pub struct Art<P: PersistMode> {
 // SAFETY: all shared mutable state is reached through atomics and per-node locks; the
 // raw node words reference allocations that are never freed while the tree is alive.
 unsafe impl<P: PersistMode> Send for Art<P> {}
+// SAFETY: as above — all shared mutation is mediated by atomics and per-node locks.
 unsafe impl<P: PersistMode> Sync for Art<P> {}
 
 impl<P: PersistMode> Default for Art<P> {
@@ -228,7 +229,14 @@ impl<P: PersistMode> Art<P> {
     }
 
     /// Add a new leaf under `node` at byte `b`, growing the node if it is full.
-    fn add_leaf(&self, parent: Option<(NodeRef, u8)>, node: NodeRef, b: u8, key: &[u8], value: u64) -> AddLeafOutcome {
+    fn add_leaf(
+        &self,
+        parent: Option<(NodeRef, u8)>,
+        node: NodeRef,
+        b: u8,
+        key: &[u8],
+        value: u64,
+    ) -> AddLeafOutcome {
         let hdr = node.hdr();
         if !node.is_full() {
             let _g = hdr.lock.lock();
@@ -304,7 +312,10 @@ impl<P: PersistMode> Art<P> {
         }
         // Re-validate the prefix under the lock.
         let (cur_prefix, cur_len) = hdr.prefix();
-        if cur_len != plen || cur_prefix[..plen] != pbytes[..plen] || hdr.level as usize != depth + plen {
+        if cur_len != plen
+            || cur_prefix[..plen] != pbytes[..plen]
+            || hdr.level as usize != depth + plen
+        {
             return false;
         }
         let new_leaf = Leaf::alloc(key, value);
@@ -336,7 +347,15 @@ impl<P: PersistMode> Art<P> {
     /// leaf and the new key. Commits with a single atomic store into `node`'s slot.
     /// Returns `Some(true)` on insert, `Some(false)` for unsupported prefix keys, and
     /// `None` when the caller must retry.
-    fn leaf_split(&self, node: NodeRef, b: u8, existing: usize, depth: usize, key: &[u8], value: u64) -> Option<bool> {
+    fn leaf_split(
+        &self,
+        node: NodeRef,
+        b: u8,
+        existing: usize,
+        depth: usize,
+        key: &[u8],
+        value: u64,
+    ) -> Option<bool> {
         let hdr = node.hdr();
         let _g = hdr.lock.lock();
         if hdr.obsolete.load(Ordering::Acquire) || node.find_child(b) != existing {
@@ -347,7 +366,10 @@ impl<P: PersistMode> Art<P> {
         let old_key = &old_leaf.key;
         let base = depth + 1;
         let mut cp = 0usize;
-        while base + cp < key.len() && base + cp < old_key.len() && key[base + cp] == old_key[base + cp] {
+        while base + cp < key.len()
+            && base + cp < old_key.len()
+            && key[base + cp] == old_key[base + cp]
+        {
             cp += 1;
         }
         if base + cp >= key.len() || base + cp >= old_key.len() {
@@ -431,7 +453,14 @@ impl<P: PersistMode> Art<P> {
         out
     }
 
-    fn scan_rec(&self, word: usize, start: &[u8], bounded: bool, count: usize, out: &mut Vec<(Vec<u8>, u64)>) -> bool {
+    fn scan_rec(
+        &self,
+        word: usize,
+        start: &[u8],
+        bounded: bool,
+        count: usize,
+        out: &mut Vec<(Vec<u8>, u64)>,
+    ) -> bool {
         if is_leaf(word) {
             // SAFETY: leaves are never freed while the tree is alive.
             let leaf = unsafe { leaf_ref(word) };
@@ -452,18 +481,18 @@ impl<P: PersistMode> Art<P> {
             // reconstructed; we conservatively keep the subtree bounded.
             let (pbytes, plen) = hdr.prefix();
             if let Some(pfx_start) = level.checked_sub(plen) {
-                for i in 0..plen {
+                for (i, &pb) in pbytes.iter().enumerate().take(plen) {
                     match start.get(pfx_start + i).copied() {
                         None => {
                             bounded = false;
                             break;
                         }
                         Some(sb) => {
-                            if pbytes[i] > sb {
+                            if pb > sb {
                                 bounded = false;
                                 break;
                             }
-                            if pbytes[i] < sb {
+                            if pb < sb {
                                 return false; // whole subtree below the bound
                             }
                         }
@@ -565,7 +594,8 @@ fn build_split_subtree<P: PersistMode>(
     let final_plen = base + cp - final_start;
     let branch_pos = base + cp;
 
-    let final_node = Node4::alloc(branch_pos as u32, &new_key[final_start..final_start + final_plen]);
+    let final_node =
+        Node4::alloc(branch_pos as u32, &new_key[final_start..final_start + final_plen]);
     // SAFETY: freshly allocated.
     let final_ref = unsafe { NodeRef::from_word(final_node) };
     final_ref.add_child(old_key[branch_pos], existing, &noop);
@@ -574,7 +604,10 @@ fn build_split_subtree<P: PersistMode>(
 
     let mut child = final_node;
     for &seg_start in segments.iter().rev() {
-        let node = Node4::alloc((seg_start + MAX_PREFIX) as u32, &new_key[seg_start..seg_start + MAX_PREFIX]);
+        let node = Node4::alloc(
+            (seg_start + MAX_PREFIX) as u32,
+            &new_key[seg_start..seg_start + MAX_PREFIX],
+        );
         // SAFETY: freshly allocated.
         let r = unsafe { NodeRef::from_word(node) };
         r.add_child(new_key[seg_start + MAX_PREFIX], child, &noop);
@@ -684,7 +717,8 @@ mod tests {
     #[test]
     fn scan_with_variable_length_keys() {
         let t: Art<Dram> = Art::new();
-        let keys: Vec<&[u8]> = vec![b"aaaa0001", b"aaaa0002", b"aaab0001", b"abcd9999", b"zzzz0000"];
+        let keys: Vec<&[u8]> =
+            vec![b"aaaa0001", b"aaaa0002", b"aaab0001", b"abcd9999", b"zzzz0000"];
         for (i, k) in keys.iter().enumerate() {
             assert!(t.insert(k, i as u64));
         }
@@ -695,18 +729,18 @@ mod tests {
 
     #[test]
     fn pm_variant_flushes_and_dram_does_not() {
-        let before = pm::stats::snapshot();
+        let before = pm::stats::snapshot_local();
         let d: Art<Dram> = Art::new();
         for i in 0..500u64 {
             d.insert(&u64_key(i), i);
         }
-        let mid = pm::stats::snapshot();
+        let mid = pm::stats::snapshot_local();
         assert_eq!(mid.since(&before).clwb, 0);
         let p: Art<Pmem> = Art::new();
         for i in 0..500u64 {
             p.insert(&u64_key(i), i);
         }
-        let d2 = pm::stats::snapshot().since(&mid);
+        let d2 = pm::stats::snapshot_local().since(&mid);
         assert!(d2.clwb > 0);
         assert!(d2.fence > 0);
     }

@@ -3,19 +3,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recipe::index::ConcurrentIndex;
 use recipe::key::u64_key;
-use std::sync::Arc;
-
-fn all_indexes() -> Vec<bench::IndexEntry> {
-    let mut v = bench::ordered_indexes();
-    v.extend(bench::hash_indexes());
-    v.push(bench::IndexEntry { name: "WOART(lock)", build: || Arc::new(woart::PWoart::new()) });
-    v
-}
 
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert_1k_sequential");
     group.sample_size(10);
-    for entry in all_indexes() {
+    for entry in bench::all_indexes() {
         group.bench_function(BenchmarkId::from_parameter(entry.name), |b| {
             b.iter_batched(
                 entry.build,
@@ -34,7 +26,7 @@ fn bench_insert(c: &mut Criterion) {
 fn bench_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("lookup_1k_of_100k");
     group.sample_size(10);
-    for entry in all_indexes() {
+    for entry in bench::all_indexes() {
         let index = (entry.build)();
         for i in 0..100_000u64 {
             index.insert(&u64_key(i), i);

@@ -12,7 +12,13 @@ where
     I: ConcurrentIndex + Recoverable + Send + Sync,
     F: Fn() -> I + Copy,
 {
-    let cfg = CrashTestConfig { crash_states: states, load_keys: 10_000, post_ops: 10_000, threads: 4, seed: 7 };
+    let cfg = CrashTestConfig {
+        crash_states: states,
+        load_keys: 10_000,
+        post_ops: 10_000,
+        threads: 4,
+        seed: 7,
+    };
     let crash = run_crash_test(factory, &cfg);
     let durability = run_durability_test(factory, 5_000, 1_000);
     println!(
@@ -33,11 +39,12 @@ where
 
 fn main() {
     let states = bench::crash_states_from_env();
-    println!("== §7.5 — crash-recovery and durability testing ({states} crash states per index) ==");
-    report("P-ART", art_index::PArt::new, states);
-    report("P-HOT", hot_trie::PHot::new, states);
-    report("P-CLHT", clht::PClht::new, states);
-    report("FAST&FAIR", fastfair::PFastFair::new, states);
-    report("CCEH", cceh::PCceh::new, states);
-    report("Level-Hashing", levelhash::PLevelHash::new, states);
+    println!(
+        "== §7.5 — crash-recovery and durability testing ({states} crash states per index) =="
+    );
+    // The global-lock WOART baseline gets its own §7.3 comparison and is excluded
+    // here, as in the paper's Table 5 row set.
+    for entry in bench::registry::all_indexes().into_iter().filter(|e| !e.single_writer) {
+        report(entry.name, || entry.build_recoverable(bench::registry::PolicyMode::Pmem), states);
+    }
 }

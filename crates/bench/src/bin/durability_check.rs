@@ -1,14 +1,14 @@
 //! Standalone §5 durability check for every PM index (larger scale than the test suite).
 fn main() {
     println!("== §5 durability check (load 20k, 5k tracked inserts per index) ==");
-    let checks: Vec<(&str, crashtest::DurabilityReport)> = vec![
-        ("P-ART", crashtest::run_durability_test(art_index::PArt::new, 20_000, 5_000)),
-        ("P-HOT", crashtest::run_durability_test(hot_trie::PHot::new, 20_000, 5_000)),
-        ("P-CLHT", crashtest::run_durability_test(clht::PClht::new, 20_000, 5_000)),
-        ("FAST&FAIR", crashtest::run_durability_test(fastfair::PFastFair::new, 20_000, 5_000)),
-        ("CCEH", crashtest::run_durability_test(cceh::PCceh::new, 20_000, 5_000)),
-        ("Level-Hashing", crashtest::run_durability_test(levelhash::PLevelHash::new, 20_000, 5_000)),
-    ];
+    let checks: Vec<(&str, crashtest::DurabilityReport)> = bench::registry::all_indexes()
+        .into_iter()
+        .filter(|e| !e.single_writer)
+        .map(|e| {
+            let build = || e.build_recoverable(bench::registry::PolicyMode::Pmem);
+            (e.name, crashtest::run_durability_test(build, 20_000, 5_000))
+        })
+        .collect();
     for (name, r) in checks {
         println!(
             "{name:<14} construction-unflushed={} per-op-unflushed={} per-op-unfenced={} {}",

@@ -2,5 +2,9 @@
 fn main() {
     let workloads = ycsb::Workload::ALL;
     let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::RandInt);
-    bench::print_throughput_table("Fig 4a — ordered indexes, integer keys (YCSB)", &cells, &workloads);
+    bench::print_throughput_table(
+        "Fig 4a — ordered indexes, integer keys (YCSB)",
+        &cells,
+        &workloads,
+    );
 }

@@ -2,5 +2,9 @@
 fn main() {
     let workloads = ycsb::Workload::ALL;
     let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::RandInt);
-    bench::print_counter_table("Fig 4c — counters, ordered indexes, integer keys", &cells, &workloads);
+    bench::print_counter_table(
+        "Fig 4c — counters, ordered indexes, integer keys",
+        &cells,
+        &workloads,
+    );
 }

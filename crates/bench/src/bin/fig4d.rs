@@ -2,5 +2,9 @@
 fn main() {
     let workloads = ycsb::Workload::ALL;
     let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::String24);
-    bench::print_counter_table("Fig 4d — counters, ordered indexes, string keys", &cells, &workloads);
+    bench::print_counter_table(
+        "Fig 4d — counters, ordered indexes, string keys",
+        &cells,
+        &workloads,
+    );
 }

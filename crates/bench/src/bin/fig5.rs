@@ -1,7 +1,8 @@
 //! Figure 5: multi-threaded YCSB throughput, unordered (hash) indexes, integer keys.
 //! Workload E is excluded because hash tables do not support range scans.
 fn main() {
-    let workloads = [ycsb::Workload::LoadA, ycsb::Workload::A, ycsb::Workload::B, ycsb::Workload::C];
+    let workloads =
+        [ycsb::Workload::LoadA, ycsb::Workload::A, ycsb::Workload::B, ycsb::Workload::C];
     let cells = bench::run_matrix(&bench::hash_indexes(), &workloads, ycsb::KeyType::RandInt);
     bench::print_throughput_table("Fig 5 — hash indexes, integer keys (YCSB)", &cells, &workloads);
 }

@@ -1,6 +1,11 @@
 //! Table 4: clwb / fence per insert and LLC-miss proxy per operation, hash indexes.
 fn main() {
-    let workloads = [ycsb::Workload::LoadA, ycsb::Workload::A, ycsb::Workload::B, ycsb::Workload::C];
+    let workloads =
+        [ycsb::Workload::LoadA, ycsb::Workload::A, ycsb::Workload::B, ycsb::Workload::C];
     let cells = bench::run_matrix(&bench::hash_indexes(), &workloads, ycsb::KeyType::RandInt);
-    bench::print_counter_table("Table 4 — counters, hash indexes, integer keys", &cells, &workloads);
+    bench::print_counter_table(
+        "Table 4 — counters, hash indexes, integer keys",
+        &cells,
+        &workloads,
+    );
 }

@@ -2,8 +2,8 @@
 fn main() {
     println!("== Table 1 / Table 2 — RECIPE categorisation ==");
     println!(
-        "{:<10}{:<16}{:<14}{:<14}{:<9}{:<9}{:<24}{}",
-        "DRAM", "structure", "reader", "writer", "non-SMO", "SMO", "paper effort", "crate"
+        "{:<10}{:<16}{:<14}{:<14}{:<9}{:<9}{:<24}crate",
+        "DRAM", "structure", "reader", "writer", "non-SMO", "SMO", "paper effort"
     );
     for e in recipe::condition::catalog() {
         println!(

@@ -22,7 +22,12 @@ use recipe::index::ConcurrentIndex;
 use std::sync::Arc;
 use ycsb::{KeyType, PhaseResult, Spec, Workload};
 
+pub use harness::registry;
+
 /// A named index constructor used by the benchmark binaries.
+///
+/// Thin projection of [`registry::IndexEntry`]: the figure binaries only need the
+/// PM instantiation and its display name.
 pub struct IndexEntry {
     /// Display name (matches the paper's naming).
     pub name: &'static str,
@@ -30,25 +35,31 @@ pub struct IndexEntry {
     pub build: fn() -> Arc<dyn ConcurrentIndex>,
 }
 
-/// The ordered PM indexes of Fig. 4: FAST & FAIR (baseline) and the RECIPE-converted
-/// tries/radix trees. (P-BwTree and P-Masstree are added here as their crates land.)
-#[must_use]
-pub fn ordered_indexes() -> Vec<IndexEntry> {
-    vec![
-        IndexEntry { name: "FAST&FAIR", build: || Arc::new(fastfair::PFastFair::new()) },
-        IndexEntry { name: "P-ART", build: || Arc::new(art_index::PArt::new()) },
-        IndexEntry { name: "P-HOT", build: || Arc::new(hot_trie::PHot::new()) },
-    ]
+impl From<registry::IndexEntry> for IndexEntry {
+    fn from(e: registry::IndexEntry) -> Self {
+        IndexEntry { name: e.name, build: e.build_pmem }
+    }
 }
 
-/// The unordered PM indexes of Fig. 5 / Table 4.
+/// The ordered PM indexes of Fig. 4: FAST & FAIR (baseline) and the RECIPE-converted
+/// tries/radix trees, from the workspace registry. (P-BwTree and P-Masstree join
+/// automatically once their crates land in the registry.)
+#[must_use]
+pub fn ordered_indexes() -> Vec<IndexEntry> {
+    registry::ordered_indexes().into_iter().map(IndexEntry::from).collect()
+}
+
+/// The unordered PM indexes of Fig. 5 / Table 4, from the workspace registry.
 #[must_use]
 pub fn hash_indexes() -> Vec<IndexEntry> {
-    vec![
-        IndexEntry { name: "CCEH", build: || Arc::new(cceh::PCceh::new()) },
-        IndexEntry { name: "Level-Hashing", build: || Arc::new(levelhash::PLevelHash::new()) },
-        IndexEntry { name: "P-CLHT", build: || Arc::new(clht::PClht::new()) },
-    ]
+    registry::hash_indexes().into_iter().map(IndexEntry::from).collect()
+}
+
+/// Every PM index in the workspace registry, including the global-lock WOART
+/// baseline (used by the micro-benchmarks).
+#[must_use]
+pub fn all_indexes() -> Vec<IndexEntry> {
+    registry::all_indexes().into_iter().map(IndexEntry::from).collect()
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -155,7 +166,9 @@ pub fn print_counter_table(title: &str, cells: &[Cell], workloads: &[Workload]) 
         // The per-insert instruction counts come from the pure-insert Load A phase.
         let load = cells.iter().find(|c| c.index == idx && c.workload == "Load A");
         match load {
-            Some(c) => print!("{:<16}{:>10.1}{:>10.1} |", idx, c.result.clwb_per_op, c.result.fence_per_op),
+            Some(c) => {
+                print!("{:<16}{:>10.1}{:>10.1} |", idx, c.result.clwb_per_op, c.result.fence_per_op)
+            }
             None => print!("{idx:<16}{:>10}{:>10} |", "-", "-"),
         }
         for wl in workloads {

@@ -61,10 +61,13 @@ pub struct Cceh<P: PersistMode = Pmem> {
 
 /// The persistent CCEH evaluated in the paper.
 pub type PCceh = Cceh<Pmem>;
+/// The same structure with persistence compiled out (registry uniformity).
+pub type DramCceh = Cceh<recipe::persist::Dram>;
 
 // SAFETY: directories and segments are only mutated through atomics/locks and are
 // never freed while the table is alive (copy-on-write splits leak the old versions).
 unsafe impl<P: PersistMode> Send for Cceh<P> {}
+// SAFETY: as above — directories/segments are lock- or atomically-mutated, never freed.
 unsafe impl<P: PersistMode> Sync for Cceh<P> {}
 
 impl<P: PersistMode> Default for Cceh<P> {
@@ -97,7 +100,11 @@ impl<P: PersistMode> Cceh<P> {
             P::persist_range(d.segments.as_ptr().cast(), d.segments.len() * 8, false);
             P::persist_obj(dir, true);
         }
-        let t = Cceh { dir: AtomicPtr::new(dir), dir_lock: parking_lot::Mutex::new(()), _policy: PhantomData };
+        let t = Cceh {
+            dir: AtomicPtr::new(dir),
+            dir_lock: parking_lot::Mutex::new(()),
+            _policy: PhantomData,
+        };
         P::persist_obj(&t.dir, true);
         t
     }
@@ -159,12 +166,37 @@ impl<P: PersistMode> Cceh<P> {
             pm::stats::record_node_visit();
             match seg.insert::<P>(h, k, value) {
                 Ok(newly) => return newly,
-                Err(()) => {
+                Err(segment::SegmentFull) => {
                     drop(guard);
                     self.split_segment(seg_ptr, h);
                     // Retry the insert against the new layout.
                 }
             }
+        }
+    }
+
+    /// Atomic conditional update: write the new value under the segment lock only
+    /// if the key is already present; never inserts.
+    fn update_internal(&self, k: u64, value: u64) -> bool {
+        let h = hash_u64(k);
+        loop {
+            let dir_ptr = self.dir.load(Ordering::Acquire);
+            // SAFETY: directories are never freed while the table is alive.
+            let dir = unsafe { &*dir_ptr };
+            let idx = dir.index(h);
+            let seg_ptr = dir.segments[idx].load(Ordering::Acquire) as *mut Segment;
+            // SAFETY: segments are never freed while the table is alive.
+            let seg = unsafe { &*seg_ptr };
+            let guard = seg.lock.lock();
+            // Re-validate: a concurrent split/doubling may have replaced the mapping.
+            if self.dir.load(Ordering::Acquire) != dir_ptr
+                || dir.segments[idx].load(Ordering::Acquire) != seg_ptr as u64
+            {
+                drop(guard);
+                continue;
+            }
+            pm::stats::record_node_visit();
+            return seg.update_in_place::<P>(h, k, value);
         }
     }
 
@@ -201,13 +233,21 @@ impl<P: PersistMode> Cceh<P> {
             {
                 self.dir.store(new_dir_ptr, Ordering::Release);
                 P::crash_site("cceh.doubling.swapped_before_persist");
-                P::persist_range(new_dir.segments.as_ptr().cast(), new_dir.segments.len() * 8, false);
+                P::persist_range(
+                    new_dir.segments.as_ptr().cast(),
+                    new_dir.segments.len() * 8,
+                    false,
+                );
                 P::persist_obj(new_dir_ptr, true);
                 P::persist_obj(&self.dir, true);
             }
             #[cfg(not(feature = "doubling-bug"))]
             {
-                P::persist_range(new_dir.segments.as_ptr().cast(), new_dir.segments.len() * 8, false);
+                P::persist_range(
+                    new_dir.segments.as_ptr().cast(),
+                    new_dir.segments.len() * 8,
+                    false,
+                );
                 P::persist_obj(new_dir_ptr, true);
                 P::crash_site("cceh.doubling.new_dir_persisted");
                 self.dir.store(new_dir_ptr, Ordering::Release);
@@ -316,16 +356,11 @@ impl<P: PersistMode> ConcurrentIndex for Cceh<P> {
         }
     }
 
+    /// Atomic: presence check and value store happen under the same segment lock
+    /// (overrides the non-atomic trait default).
     fn update(&self, key: &[u8], value: u64) -> bool {
         match Self::internal_key(key) {
-            Some(k) => {
-                if self.get_internal(k).is_some() {
-                    self.put_internal(k, value);
-                    true
-                } else {
-                    false
-                }
-            }
+            Some(k) => self.update_internal(k, value),
             None => false,
         }
     }
@@ -342,7 +377,11 @@ impl<P: PersistMode> ConcurrentIndex for Cceh<P> {
     }
 
     fn name(&self) -> String {
-        "CCEH".into()
+        if P::PERSISTENT {
+            "CCEH".into()
+        } else {
+            "CCEH(dram)".into()
+        }
     }
 }
 

@@ -20,19 +20,19 @@ pub const LINEAR_PROBE: usize = 4;
 /// Sentinel for an empty key slot.
 pub const EMPTY_KEY: u64 = 0;
 
+/// Error returned by [`Segment::insert`] when the probe window is full and the
+/// caller must split the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentFull;
+
 /// One 64-byte bucket: four key/value pairs.
 #[repr(C, align(64))]
+#[derive(Default)]
 pub struct Bucket {
     /// Keys ([`EMPTY_KEY`] = free slot).
     pub keys: [AtomicU64; SLOTS_PER_BUCKET],
     /// Values paired with `keys`.
     pub vals: [AtomicU64; SLOTS_PER_BUCKET],
-}
-
-impl Default for Bucket {
-    fn default() -> Self {
-        Bucket { keys: Default::default(), vals: Default::default() }
-    }
 }
 
 /// A fixed-size segment of buckets plus extendible-hashing metadata.
@@ -51,7 +51,11 @@ impl Segment {
     pub fn alloc(local_depth: u64) -> *mut Segment {
         let mut buckets = Vec::with_capacity(BUCKETS_PER_SEGMENT);
         buckets.resize_with(BUCKETS_PER_SEGMENT, Bucket::default);
-        pm::alloc::pm_box(Segment { local_depth: AtomicU64::new(local_depth), lock: VersionLock::new(), buckets })
+        pm::alloc::pm_box(Segment {
+            local_depth: AtomicU64::new(local_depth),
+            lock: VersionLock::new(),
+            buckets,
+        })
     }
 
     /// Bucket index for a hash (low bits; the directory uses the high bits).
@@ -81,9 +85,14 @@ impl Segment {
     }
 
     /// Insert (or update) under the segment lock. Returns:
-    /// `Ok(true)` newly inserted, `Ok(false)` updated in place, `Err(())` probe window
+    /// `Ok(true)` newly inserted, `Ok(false)` updated in place, [`SegmentFull`] probe window
     /// full — the caller must split the segment.
-    pub fn insert<P: recipe::persist::PersistMode>(&self, hash: u64, key: u64, value: u64) -> Result<bool, ()> {
+    pub fn insert<P: recipe::persist::PersistMode>(
+        &self,
+        hash: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, SegmentFull> {
         let start = Self::bucket_index(hash);
         let mut free: Option<(usize, usize)> = None;
         for p in 0..LINEAR_PROBE {
@@ -102,7 +111,7 @@ impl Segment {
                 }
             }
         }
-        let Some((bi, i)) = free else { return Err(()) };
+        let Some((bi, i)) = free else { return Err(SegmentFull) };
         let b = &self.buckets[bi];
         // Value first, then the committing 8-byte key store; one flush covers the line.
         b.vals[i].store(value, Ordering::Release);
@@ -113,6 +122,29 @@ impl Segment {
         P::persist_range(b as *const Bucket as *const u8, 64, true);
         P::crash_site("cceh.insert.committed");
         Ok(true)
+    }
+
+    /// Update in place under the segment lock, without inserting. Returns `false`
+    /// if the key is not present in the probe window.
+    pub fn update_in_place<P: recipe::persist::PersistMode>(
+        &self,
+        hash: u64,
+        key: u64,
+        value: u64,
+    ) -> bool {
+        let start = Self::bucket_index(hash);
+        for p in 0..LINEAR_PROBE {
+            let b = &self.buckets[(start + p) & (BUCKETS_PER_SEGMENT - 1)];
+            for i in 0..SLOTS_PER_BUCKET {
+                if b.keys[i].load(Ordering::Acquire) == key {
+                    b.vals[i].store(value, Ordering::Release);
+                    P::mark_dirty_obj(&b.vals[i]);
+                    P::persist_obj(&b.vals[i], true);
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Remove under the segment lock.
@@ -181,7 +213,7 @@ mod tests {
         for i in 0..capacity as u64 {
             assert_eq!(seg.insert::<Dram>(base_hash, 1000 + i, i), Ok(true), "slot {i}");
         }
-        assert_eq!(seg.insert::<Dram>(base_hash, 9999, 1), Err(()));
+        assert_eq!(seg.insert::<Dram>(base_hash, 9999, 1), Err(SegmentFull));
         let mut n = 0;
         seg.for_each(|_, _| n += 1);
         assert_eq!(n, capacity);

@@ -54,6 +54,7 @@ pub type PClht = Clht<Pmem>;
 // pointed-to tables are never freed while the index is alive (copy-on-write rehash
 // with leaked old tables), so sharing across threads is sound.
 unsafe impl<P: PersistMode> Send for Clht<P> {}
+// SAFETY: as above — the table pointer is only mutated atomically and never freed.
 unsafe impl<P: PersistMode> Sync for Clht<P> {}
 
 impl<P: PersistMode> Clht<P> {
@@ -69,7 +70,11 @@ impl<P: PersistMode> Clht<P> {
         let tref = unsafe { &*t };
         P::persist_range(tref.buckets().as_ptr().cast(), tref.num_buckets() * 64, false);
         P::persist_obj(t, true);
-        let this = Clht { table: AtomicPtr::new(t), resize_lock: parking_lot::Mutex::new(()), _policy: PhantomData };
+        let this = Clht {
+            table: AtomicPtr::new(t),
+            resize_lock: parking_lot::Mutex::new(()),
+            _policy: PhantomData,
+        };
         P::persist_obj(&this.table, true);
         this
     }
@@ -217,6 +222,41 @@ impl<P: PersistMode> Clht<P> {
         }
     }
 
+    /// Atomic conditional update: write the new value under the chain's bucket
+    /// lock only if the key is already present; never inserts.
+    fn update_internal(&self, k: u64, value: u64) -> bool {
+        let h = hash_u64(k);
+        loop {
+            let tptr = self.table.load(Ordering::Acquire);
+            // SAFETY: tables are never freed while the index is alive.
+            let t = unsafe { &*tptr };
+            let first = t.bucket_for(h);
+            let _guard = first.lock.lock();
+            // A rehash may have swapped the table while we were waiting for the lock.
+            if self.table.load(Ordering::Acquire) != tptr {
+                continue;
+            }
+            pm::stats::record_node_visit();
+            let mut cur: &Bucket = first;
+            loop {
+                if let Some(i) = cur.slot_of(k) {
+                    // Same single-atomic-store commit as the in-place insert path.
+                    cur.vals[i].store(value, Ordering::Release);
+                    P::mark_dirty_obj(&cur.vals[i]);
+                    P::persist_obj(&cur.vals[i], true);
+                    return true;
+                }
+                let next = cur.next_ptr();
+                if next.is_null() {
+                    return false;
+                }
+                pm::stats::record_node_visit();
+                // SAFETY: chain buckets are never freed while reachable.
+                cur = unsafe { &*next };
+            }
+        }
+    }
+
     fn remove_internal(&self, k: u64) -> bool {
         let h = hash_u64(k);
         loop {
@@ -323,16 +363,11 @@ impl<P: PersistMode> ConcurrentIndex for Clht<P> {
         }
     }
 
+    /// Atomic: presence check and value store happen under the bucket lock
+    /// (overrides the non-atomic trait default).
     fn update(&self, key: &[u8], value: u64) -> bool {
         match Self::internal_key(key) {
-            Some(k) => {
-                if self.get_internal(k).is_some() {
-                    self.put_internal(k, value);
-                    true
-                } else {
-                    false
-                }
-            }
+            Some(k) => self.update_internal(k, value),
             None => false,
         }
     }
@@ -349,7 +384,11 @@ impl<P: PersistMode> ConcurrentIndex for Clht<P> {
     }
 
     fn name(&self) -> String {
-        if P::PERSISTENT { "P-CLHT".into() } else { "CLHT".into() }
+        if P::PERSISTENT {
+            "P-CLHT".into()
+        } else {
+            "CLHT".into()
+        }
     }
 }
 
@@ -440,11 +479,11 @@ mod tests {
     fn pclht_counts_flushes_per_insert() {
         let m: PClht = Clht::with_capacity(1 << 14);
         // Warm up (skip table-creation flushes).
-        let before = pm::stats::snapshot();
+        let before = pm::stats::snapshot_local();
         for i in 1..=1000u64 {
             m.insert(&k(i), i);
         }
-        let d = pm::stats::snapshot().since(&before);
+        let d = pm::stats::snapshot_local().since(&before);
         let per_insert = d.clwb as f64 / 1000.0;
         // Common-case P-CLHT insert touches a single cache line (paper Table 4: ~1.5
         // clwb per insert including rehashing; with no rehash we expect ~1).
@@ -455,11 +494,11 @@ mod tests {
     #[test]
     fn dram_clht_issues_no_flushes() {
         let m: DramClht = Clht::with_capacity(256);
-        let before = pm::stats::snapshot();
+        let before = pm::stats::snapshot_local();
         for i in 1..=100u64 {
             m.insert(&k(i), i);
         }
-        let d = pm::stats::snapshot().since(&before);
+        let d = pm::stats::snapshot_local().since(&before);
         assert_eq!(d.clwb, 0);
         assert_eq!(d.fence, 0);
     }

@@ -124,6 +124,7 @@ impl Drop for Table {
                 // SAFETY: overflow buckets were allocated with `pm_box` by this table
                 // and are unreachable once the table is dropped.
                 let next = unsafe { (*cur).next_ptr() };
+                // SAFETY: as above — `cur` is a live pm_box allocation owned by this table.
                 unsafe { pm::alloc::pm_drop(cur) };
                 cur = next;
             }

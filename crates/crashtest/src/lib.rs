@@ -46,7 +46,13 @@ pub struct CrashTestConfig {
 
 impl Default for CrashTestConfig {
     fn default() -> Self {
-        CrashTestConfig { load_keys: 10_000, post_ops: 10_000, threads: 4, crash_states: 100, seed: 7 }
+        CrashTestConfig {
+            load_keys: 10_000,
+            post_ops: 10_000,
+            threads: 4,
+            crash_states: 100,
+            seed: 7,
+        }
     }
 }
 
@@ -257,8 +263,10 @@ mod tests {
 
     /// A small lock-protected hash map with RECIPE-style crash sites, used to validate
     /// the harness itself (the real indexes are tested from the integration suite).
+    type Shard = (VersionLock, parking_lot::RwLock<HashMap<Vec<u8>, u64>>);
+
     struct ToyIndex {
-        shards: Vec<(VersionLock, parking_lot::RwLock<HashMap<Vec<u8>, u64>>)>,
+        shards: Vec<Shard>,
         durable: AtomicBool,
     }
 
@@ -271,7 +279,7 @@ mod tests {
             ToyIndex { shards, durable: AtomicBool::new(durable) }
         }
 
-        fn shard(&self, key: &[u8]) -> &(VersionLock, parking_lot::RwLock<HashMap<Vec<u8>, u64>>) {
+        fn shard(&self, key: &[u8]) -> &Shard {
             let h = recipe::key::hash64(key) as usize;
             &self.shards[h % self.shards.len()]
         }
@@ -316,7 +324,13 @@ mod tests {
 
     #[test]
     fn crash_harness_passes_a_correct_index() {
-        let cfg = CrashTestConfig { load_keys: 500, post_ops: 400, threads: 2, crash_states: 10, seed: 3 };
+        let cfg = CrashTestConfig {
+            load_keys: 500,
+            post_ops: 400,
+            threads: 2,
+            crash_states: 10,
+            seed: 3,
+        };
         let report = run_crash_test(|| ToyIndex::new(true), &cfg);
         assert_eq!(report.states_tested, 10);
         assert!(report.crashes_triggered > 0, "crash points must fire");

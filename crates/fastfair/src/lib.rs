@@ -35,14 +35,9 @@ impl<P: PersistMode> ConcurrentIndex for FastFair<P> {
         FastFair::insert(self, key, value)
     }
 
-    fn update(&self, key: &[u8], value: u64) -> bool {
-        if FastFair::get(self, key).is_some() {
-            FastFair::insert(self, key, value);
-            true
-        } else {
-            false
-        }
-    }
+    // `update` uses the trait's default get-then-insert and inherits its documented
+    // non-atomicity: FAST & FAIR acquires leaf locks per shift inside `insert`, so
+    // there is no single lock under which to check presence and re-insert.
 
     fn get(&self, key: &[u8]) -> Option<u64> {
         FastFair::get(self, key)
@@ -61,7 +56,11 @@ impl<P: PersistMode> ConcurrentIndex for FastFair<P> {
     }
 
     fn name(&self) -> String {
-        "FAST&FAIR".into()
+        if P::PERSISTENT {
+            "FAST&FAIR".into()
+        } else {
+            "FAST&FAIR(dram)".into()
+        }
     }
 }
 
@@ -219,11 +218,11 @@ mod tests {
     #[test]
     fn flushes_are_counted_per_insert() {
         let t: PFastFair = FastFair::new();
-        let before = pm::stats::snapshot();
+        let before = pm::stats::snapshot_local();
         for i in 0..1_000u64 {
             t.insert(&u64_key(i), i);
         }
-        let d = pm::stats::snapshot().since(&before);
+        let d = pm::stats::snapshot_local().since(&before);
         let per_insert = d.clwb as f64 / 1_000.0;
         // The FAST shift flushes once per shifted entry; the paper reports ~7 clwb per
         // insert for FAST & FAIR vs ~3 for P-ART (Fig. 4c). Sequential keys land at

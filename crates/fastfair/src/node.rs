@@ -61,7 +61,7 @@ pub fn cmp_word_key(mode: KeyMode, word: u64, key: &[u8]) -> CmpOrdering {
         KeyMode::Inline => word.cmp(&recipe::key::key_to_u64(key).wrapping_add(1)),
         KeyMode::Indirect => {
             pm::stats::record_node_visit(); // the extra dereference string keys pay
-            // SAFETY: indirect key words are pointers to leaked KeyBufs.
+                                            // SAFETY: indirect key words are pointers to leaked KeyBufs.
             let buf = unsafe { &*(word as *const KeyBuf) };
             (*buf.bytes).cmp(key)
         }
@@ -75,6 +75,7 @@ pub fn cmp_words(mode: KeyMode, a: u64, b: u64) -> CmpOrdering {
         KeyMode::Indirect => {
             // SAFETY: see `cmp_word_key`.
             let ka = unsafe { &*(a as *const KeyBuf) };
+            // SAFETY: see `cmp_word_key`.
             let kb = unsafe { &*(b as *const KeyBuf) };
             ka.bytes.cmp(&kb.bytes)
         }
@@ -214,7 +215,9 @@ impl Node {
         // Find insertion position.
         let mut pos = count;
         for i in 0..count {
-            if cmp_words(mode, self.entries[i].key.load(Ordering::Acquire), key_word) == CmpOrdering::Greater {
+            if cmp_words(mode, self.entries[i].key.load(Ordering::Acquire), key_word)
+                == CmpOrdering::Greater
+            {
                 pos = i;
                 break;
             }
@@ -263,7 +266,9 @@ impl Node {
         let count = self.count();
         let mut pos = None;
         for i in 0..count {
-            if cmp_word_key(mode, self.entries[i].key.load(Ordering::Acquire), key) == CmpOrdering::Equal {
+            if cmp_word_key(mode, self.entries[i].key.load(Ordering::Acquire), key)
+                == CmpOrdering::Equal
+            {
                 pos = Some(i);
                 break;
             }
@@ -271,7 +276,10 @@ impl Node {
         let Some(pos) = pos else { return false };
         for i in pos..count {
             let (nk, nv) = if i + 1 < count {
-                (self.entries[i + 1].key.load(Ordering::Acquire), self.entries[i + 1].val.load(Ordering::Acquire))
+                (
+                    self.entries[i + 1].key.load(Ordering::Acquire),
+                    self.entries[i + 1].val.load(Ordering::Acquire),
+                )
             } else {
                 (EMPTY, 0)
             };
@@ -292,7 +300,9 @@ impl Node {
     pub fn update_value<P: PersistMode>(&self, mode: KeyMode, key: &[u8], val: u64) -> bool {
         let count = self.count();
         for i in 0..count {
-            if cmp_word_key(mode, self.entries[i].key.load(Ordering::Acquire), key) == CmpOrdering::Equal {
+            if cmp_word_key(mode, self.entries[i].key.load(Ordering::Acquire), key)
+                == CmpOrdering::Equal
+            {
                 self.entries[i].val.store(val, Ordering::Release);
                 P::mark_dirty_obj(&self.entries[i].val);
                 P::persist_obj(&self.entries[i].val, true);

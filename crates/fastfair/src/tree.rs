@@ -27,6 +27,7 @@ pub struct FastFair<P: PersistMode> {
 // SAFETY: nodes are reached through atomic pointers, mutated under locks with
 // reader-tolerant store orderings, and never freed while the tree is alive.
 unsafe impl<P: PersistMode> Send for FastFair<P> {}
+// SAFETY: as above — node words are atomics and nodes are never freed while alive.
 unsafe impl<P: PersistMode> Sync for FastFair<P> {}
 
 impl<P: PersistMode> Default for FastFair<P> {
@@ -141,58 +142,55 @@ impl<P: PersistMode> FastFair<P> {
     /// Insert or update; returns `true` if the key was newly inserted.
     pub fn insert(&self, key: &[u8], value: u64) -> bool {
         let mode = self.key_mode(key);
-        loop {
-            let leaf_ptr = self.find_leaf(mode, key, None);
-            let mut leaf = self.node_ref(leaf_ptr);
-            let mut guard = leaf.lock.lock();
-            // Re-validate under the lock: a concurrent split may have moved our range.
-            while leaf.must_move_right(mode, key) {
-                let sib = leaf.sibling.load(Ordering::Acquire);
-                if sib.is_null() {
-                    break;
-                }
-                drop(guard);
-                leaf = self.node_ref(sib);
-                guard = leaf.lock.lock();
+        let leaf_ptr = self.find_leaf(mode, key, None);
+        let mut leaf = self.node_ref(leaf_ptr);
+        let mut guard = leaf.lock.lock();
+        // Re-validate under the lock: a concurrent split may have moved our range.
+        while leaf.must_move_right(mode, key) {
+            let sib = leaf.sibling.load(Ordering::Acquire);
+            if sib.is_null() {
+                break;
             }
-            if leaf.update_value::<P>(mode, key, value) {
-                return false;
-            }
-            if leaf.count() < CARDINALITY {
-                let w = encode_key::<P>(mode, key);
-                leaf.insert_sorted::<P>(mode, w, value);
-                return true;
-            }
-            // Split required: retry the whole operation under the SMO lock so that at
-            // most one structure modification is in flight (ordering: SMO lock before
-            // node lock).
             drop(guard);
-            let smo = self.smo_lock.lock();
-            let leaf_ptr = self.find_leaf(mode, key, None);
-            let mut leaf = self.node_ref(leaf_ptr);
-            let mut guard = leaf.lock.lock();
-            while leaf.must_move_right(mode, key) {
-                let sib = leaf.sibling.load(Ordering::Acquire);
-                if sib.is_null() {
-                    break;
-                }
-                drop(guard);
-                leaf = self.node_ref(sib);
-                guard = leaf.lock.lock();
-            }
-            if leaf.update_value::<P>(mode, key, value) {
-                return false;
-            }
-            if leaf.count() < CARDINALITY {
-                let w = encode_key::<P>(mode, key);
-                leaf.insert_sorted::<P>(mode, w, value);
-                return true;
-            }
-            self.split_and_insert(mode, leaf, key, value);
-            drop(guard);
-            drop(smo);
+            leaf = self.node_ref(sib);
+            guard = leaf.lock.lock();
+        }
+        if leaf.update_value::<P>(mode, key, value) {
+            return false;
+        }
+        if leaf.count() < CARDINALITY {
+            let w = encode_key::<P>(mode, key);
+            leaf.insert_sorted::<P>(mode, w, value);
             return true;
         }
+        // Split required: redo the descent under the SMO lock so that at most one
+        // structure modification is in flight (ordering: SMO lock before node lock).
+        drop(guard);
+        let smo = self.smo_lock.lock();
+        let leaf_ptr = self.find_leaf(mode, key, None);
+        let mut leaf = self.node_ref(leaf_ptr);
+        let mut guard = leaf.lock.lock();
+        while leaf.must_move_right(mode, key) {
+            let sib = leaf.sibling.load(Ordering::Acquire);
+            if sib.is_null() {
+                break;
+            }
+            drop(guard);
+            leaf = self.node_ref(sib);
+            guard = leaf.lock.lock();
+        }
+        if leaf.update_value::<P>(mode, key, value) {
+            return false;
+        }
+        if leaf.count() < CARDINALITY {
+            let w = encode_key::<P>(mode, key);
+            leaf.insert_sorted::<P>(mode, w, value);
+            return true;
+        }
+        self.split_and_insert(mode, leaf, key, value);
+        drop(guard);
+        drop(smo);
+        true
     }
 
     /// Split `node` (its lock and the SMO lock are held) and insert `key`.
@@ -212,11 +210,13 @@ impl<P: PersistMode> FastFair<P> {
             (mid + 1, node.entries[mid].val.load(Ordering::Acquire))
         };
         right.leftmost.store(leftmost, Ordering::Relaxed);
-        let mut j = 0;
-        for i in copy_from..count {
-            right.entries[j].key.store(node.entries[i].key.load(Ordering::Acquire), Ordering::Relaxed);
-            right.entries[j].val.store(node.entries[i].val.load(Ordering::Acquire), Ordering::Relaxed);
-            j += 1;
+        for (j, i) in (copy_from..count).enumerate() {
+            right.entries[j]
+                .key
+                .store(node.entries[i].key.load(Ordering::Acquire), Ordering::Relaxed);
+            right.entries[j]
+                .val
+                .store(node.entries[i].val.load(Ordering::Acquire), Ordering::Relaxed);
         }
         right.sibling.store(node.sibling.load(Ordering::Acquire), Ordering::Relaxed);
         right.high_key.store(node.high_key.load(Ordering::Acquire), Ordering::Relaxed);
@@ -257,7 +257,13 @@ impl<P: PersistMode> FastFair<P> {
 
     /// Insert `(split_word -> right)` into the parent of `left`, splitting parents as
     /// needed. Called with the SMO lock held.
-    fn insert_into_parent(&self, mode: KeyMode, left: *mut Node, split_word: u64, right: *mut Node) {
+    fn insert_into_parent(
+        &self,
+        mode: KeyMode,
+        left: *mut Node,
+        split_word: u64,
+        right: *mut Node,
+    ) {
         let root = self.root.load(Ordering::Acquire);
         if root == left {
             // Root split: build a new root and publish it with one atomic store.
@@ -295,11 +301,13 @@ impl<P: PersistMode> FastFair<P> {
         let new_parent_right = Node::alloc(false);
         let pr = self.node_ref(new_parent_right);
         pr.leftmost.store(parent.entries[mid].val.load(Ordering::Acquire), Ordering::Relaxed);
-        let mut j = 0;
-        for i in mid + 1..count {
-            pr.entries[j].key.store(parent.entries[i].key.load(Ordering::Acquire), Ordering::Relaxed);
-            pr.entries[j].val.store(parent.entries[i].val.load(Ordering::Acquire), Ordering::Relaxed);
-            j += 1;
+        for (j, i) in (mid + 1..count).enumerate() {
+            pr.entries[j]
+                .key
+                .store(parent.entries[i].key.load(Ordering::Acquire), Ordering::Relaxed);
+            pr.entries[j]
+                .val
+                .store(parent.entries[i].val.load(Ordering::Acquire), Ordering::Relaxed);
         }
         pr.sibling.store(parent.sibling.load(Ordering::Acquire), Ordering::Relaxed);
         pr.high_key.store(parent.high_key.load(Ordering::Acquire), Ordering::Relaxed);
@@ -432,7 +440,11 @@ impl<P: PersistMode> FastFair<P> {
     /// Number of stored keys (walks the leaf chain; tests and diagnostics only).
     #[must_use]
     pub fn len(&self) -> usize {
-        let mode = if self.mode.load(Ordering::Acquire) == 2 { KeyMode::Indirect } else { KeyMode::Inline };
+        let mode = if self.mode.load(Ordering::Acquire) == 2 {
+            KeyMode::Indirect
+        } else {
+            KeyMode::Inline
+        };
         let mut cur = self.root.load(Ordering::Acquire);
         // Descend to the leftmost leaf.
         loop {

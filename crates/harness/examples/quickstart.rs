@@ -17,7 +17,10 @@ fn main() {
 
     // Ordered indexes support range queries.
     let range = index.scan(&u64_key(100), 5);
-    println!("5 keys starting at 100: {:?}", range.iter().map(|(k, _)| recipe::key::key_to_u64(k)).collect::<Vec<_>>());
+    println!(
+        "5 keys starting at 100: {:?}",
+        range.iter().map(|(k, _)| recipe::key::key_to_u64(k)).collect::<Vec<_>>()
+    );
 
     let stats = pm::stats::snapshot().since(&before);
     println!(

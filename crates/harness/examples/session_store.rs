@@ -3,7 +3,7 @@
 //! the RECIPE-converted P-CLHT against the hand-crafted CCEH and Level Hashing.
 //!
 //! Run with `cargo run -p bench --release --example session_store`.
-use std::sync::Arc;
+use harness::registry;
 use ycsb::{KeyType, Spec, Workload};
 
 fn main() {
@@ -15,13 +15,12 @@ fn main() {
         workload: Workload::A,
         ..Spec::default()
     };
-    println!("session-store workload: YCSB A, {} sessions, {} ops, {} threads", spec.load_count, spec.op_count, spec.threads);
-    let indexes: Vec<(&str, Arc<dyn recipe::index::ConcurrentIndex>)> = vec![
-        ("P-CLHT", Arc::new(clht::PClht::new())),
-        ("CCEH", Arc::new(cceh::PCceh::new())),
-        ("Level-Hashing", Arc::new(levelhash::PLevelHash::new())),
-    ];
-    for (name, index) in indexes {
+    println!(
+        "session-store workload: YCSB A, {} sessions, {} ops, {} threads",
+        spec.load_count, spec.op_count, spec.threads
+    );
+    for entry in registry::hash_indexes() {
+        let (name, index) = (entry.name, (entry.build_pmem)());
         let res = ycsb::run_spec(&index, &spec);
         println!(
             "{name:<14} load: {:>6.2} Mops/s   run(A): {:>6.2} Mops/s   clwb/op: {:>4.1}   failed reads: {}",

@@ -1,0 +1,169 @@
+//! The single catalogue of every index in the workspace.
+//!
+//! Each [`IndexEntry`] can construct its index under either persistence policy
+//! ([`PolicyMode::Dram`] gives the original DRAM index, [`PolicyMode::Pmem`] the
+//! RECIPE-converted / hand-crafted PM index), as a plain [`ConcurrentIndex`] or
+//! as a [`RecoverableIndex`] for the crash harness. Tests, examples and the
+//! benchmark binaries all enumerate indexes through [`all_indexes`] so adding an
+//! index to the evaluation is a one-line change here.
+
+use recipe::index::{ConcurrentIndex, RecoverableIndex};
+use recipe::persist::{Dram, Pmem};
+use std::sync::Arc;
+
+/// Whether an index orders its keys (and therefore supports range scans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Lexicographically ordered keys; `scan` is meaningful.
+    Ordered,
+    /// Hashed keys; `scan` returns nothing.
+    Hash,
+}
+
+/// Which persistence policy to instantiate an index with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// The original concurrent DRAM index (persistence compiled out).
+    Dram,
+    /// The persistent index (flushes, fences, crash sites, durability tracking).
+    Pmem,
+}
+
+impl PolicyMode {
+    /// Both policy modes, for tests that iterate over them.
+    pub const ALL: [PolicyMode; 2] = [PolicyMode::Dram, PolicyMode::Pmem];
+}
+
+/// One index in the catalogue, with constructors for both policy modes.
+pub struct IndexEntry {
+    /// Display name of the PM instantiation (the paper's naming, e.g. `"P-ART"`).
+    pub name: &'static str,
+    /// Display name of the DRAM instantiation (e.g. `"ART"`).
+    pub dram_name: &'static str,
+    /// Ordered or hash index.
+    pub kind: IndexKind,
+    /// `true` for RECIPE-converted indexes, `false` for hand-crafted PM baselines.
+    pub converted: bool,
+    /// `true` if writers serialize on a single global lock (WOART); such indexes
+    /// are kept out of the multi-threaded figure registries.
+    pub single_writer: bool,
+    /// Construct the PM instantiation.
+    pub build_pmem: fn() -> Arc<dyn ConcurrentIndex>,
+    /// Construct the DRAM instantiation.
+    pub build_dram: fn() -> Arc<dyn ConcurrentIndex>,
+    /// Construct the PM instantiation for the crash harness.
+    pub build_pmem_recoverable: fn() -> Arc<dyn RecoverableIndex>,
+    /// Construct the DRAM instantiation for the crash harness.
+    pub build_dram_recoverable: fn() -> Arc<dyn RecoverableIndex>,
+}
+
+impl IndexEntry {
+    /// Construct the index under the given policy mode.
+    #[must_use]
+    pub fn build(&self, mode: PolicyMode) -> Arc<dyn ConcurrentIndex> {
+        match mode {
+            PolicyMode::Dram => (self.build_dram)(),
+            PolicyMode::Pmem => (self.build_pmem)(),
+        }
+    }
+
+    /// Construct the index under the given policy mode, with recovery support.
+    #[must_use]
+    pub fn build_recoverable(&self, mode: PolicyMode) -> Arc<dyn RecoverableIndex> {
+        match mode {
+            PolicyMode::Dram => (self.build_dram_recoverable)(),
+            PolicyMode::Pmem => (self.build_pmem_recoverable)(),
+        }
+    }
+
+    /// Display name under the given policy mode.
+    #[must_use]
+    pub fn name(&self, mode: PolicyMode) -> &'static str {
+        match mode {
+            PolicyMode::Dram => self.dram_name,
+            PolicyMode::Pmem => self.name,
+        }
+    }
+
+    /// Whether `scan` is meaningful for this index.
+    #[must_use]
+    pub fn supports_scan(&self) -> bool {
+        self.kind == IndexKind::Ordered
+    }
+}
+
+macro_rules! entry {
+    ($pname:literal, $dname:literal, $kind:ident, converted: $conv:literal,
+     single_writer: $sw:literal, $ty:ident :: $base:ident) => {
+        IndexEntry {
+            name: $pname,
+            dram_name: $dname,
+            kind: IndexKind::$kind,
+            converted: $conv,
+            single_writer: $sw,
+            build_pmem: || Arc::new($ty::$base::<Pmem>::new()),
+            build_dram: || Arc::new($ty::$base::<Dram>::new()),
+            build_pmem_recoverable: || Arc::new($ty::$base::<Pmem>::new()),
+            build_dram_recoverable: || Arc::new($ty::$base::<Dram>::new()),
+        }
+    };
+}
+
+/// Every index in the workspace, converted indexes first, in the order the
+/// paper's figures present them.
+#[must_use]
+pub fn all_indexes() -> Vec<IndexEntry> {
+    vec![
+        entry!("P-ART", "ART", Ordered, converted: true, single_writer: false, art_index::Art),
+        entry!("P-HOT", "HOT", Ordered, converted: true, single_writer: false, hot_trie::Hot),
+        entry!("P-CLHT", "CLHT", Hash, converted: true, single_writer: false, clht::Clht),
+        entry!("FAST&FAIR", "FAST&FAIR(dram)", Ordered, converted: false, single_writer: false, fastfair::FastFair),
+        entry!("WOART(global-lock)", "WOART(dram)", Ordered, converted: false, single_writer: true, woart::Woart),
+        entry!("CCEH", "CCEH(dram)", Hash, converted: false, single_writer: false, cceh::Cceh),
+        entry!("Level-Hashing", "Level-Hashing(dram)", Hash, converted: false, single_writer: false, levelhash::LevelHash),
+    ]
+}
+
+/// The ordered indexes of the paper's Fig. 4 (multi-threaded; excludes the
+/// global-lock WOART baseline, which gets its own §7.3 comparison).
+#[must_use]
+pub fn ordered_indexes() -> Vec<IndexEntry> {
+    all_indexes().into_iter().filter(|e| e.kind == IndexKind::Ordered && !e.single_writer).collect()
+}
+
+/// The unordered (hash) indexes of the paper's Fig. 5 / Table 4.
+#[must_use]
+pub fn hash_indexes() -> Vec<IndexEntry> {
+    all_indexes().into_iter().filter(|e| e.kind == IndexKind::Hash).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_both_kinds() {
+        let all = all_indexes();
+        assert_eq!(all.len(), 7);
+        assert!(all.iter().any(|e| e.kind == IndexKind::Ordered));
+        assert!(all.iter().any(|e| e.kind == IndexKind::Hash));
+        assert_eq!(ordered_indexes().len() + hash_indexes().len() + 1, all.len());
+    }
+
+    #[test]
+    fn names_match_policy_mode() {
+        for e in all_indexes() {
+            assert_eq!(e.build(PolicyMode::Pmem).name(), e.name, "{}", e.name);
+            assert_eq!(e.build(PolicyMode::Dram).name(), e.dram_name, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn recoverable_constructors_build_the_same_index() {
+        for e in all_indexes() {
+            let idx = e.build_recoverable(PolicyMode::Pmem);
+            assert_eq!(idx.name(), e.name);
+            idx.recover();
+        }
+    }
+}

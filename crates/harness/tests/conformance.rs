@@ -1,34 +1,28 @@
 //! Cross-index conformance suite: every index in the workspace must implement the
 //! paper's DRAM-index interface (§2.1) with the same observable semantics, checked
 //! against a BTreeMap model, sequentially and under concurrency.
+use harness::registry::{self, IndexKind, PolicyMode};
 use recipe::index::ConcurrentIndex;
 use recipe::key::u64_key;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-fn ordered_indexes() -> Vec<(&'static str, Arc<dyn ConcurrentIndex>)> {
-    vec![
-        ("P-ART", Arc::new(art_index::PArt::new())),
-        ("ART(dram)", Arc::new(art_index::DramArt::new())),
-        ("P-HOT", Arc::new(hot_trie::PHot::new())),
-        ("FAST&FAIR", Arc::new(fastfair::PFastFair::new())),
-        ("WOART", Arc::new(woart::PWoart::new())),
-    ]
+/// Every registry index in both policy modes: the DRAM original must conform to
+/// the same §2.1 semantics as its PM conversion.
+fn indexes_of_kind(kind: Option<IndexKind>) -> Vec<(&'static str, Arc<dyn ConcurrentIndex>)> {
+    registry::all_indexes()
+        .iter()
+        .filter(|e| kind.is_none_or(|k| e.kind == k))
+        .flat_map(|e| PolicyMode::ALL.map(|mode| (e.name(mode), e.build(mode))))
+        .collect()
 }
 
-fn hash_indexes() -> Vec<(&'static str, Arc<dyn ConcurrentIndex>)> {
-    vec![
-        ("P-CLHT", Arc::new(clht::PClht::new())),
-        ("CLHT(dram)", Arc::new(clht::DramClht::new())),
-        ("CCEH", Arc::new(cceh::PCceh::new())),
-        ("Level-Hashing", Arc::new(levelhash::PLevelHash::new())),
-    ]
+fn ordered_indexes() -> Vec<(&'static str, Arc<dyn ConcurrentIndex>)> {
+    indexes_of_kind(Some(IndexKind::Ordered))
 }
 
 fn all_indexes() -> Vec<(&'static str, Arc<dyn ConcurrentIndex>)> {
-    let mut v = ordered_indexes();
-    v.extend(hash_indexes());
-    v
+    indexes_of_kind(None)
 }
 
 #[test]
@@ -43,7 +37,11 @@ fn point_operations_match_model() {
             assert_eq!(newly_index, newly_model, "{name}: insert({k}) newness mismatch");
             if i % 5 == 0 {
                 let k2 = (i * 104729) % 10_000;
-                assert_eq!(index.remove(&u64_key(k2)), model.remove(&k2).is_some(), "{name}: remove({k2})");
+                assert_eq!(
+                    index.remove(&u64_key(k2)),
+                    model.remove(&k2).is_some(),
+                    "{name}: remove({k2})"
+                );
             }
         }
         for k in 0..10_000u64 {
@@ -74,8 +72,11 @@ fn ordered_indexes_scan_in_sorted_order() {
         }
         for start in [0u64, 1, 30_000, 59_999, 70_000] {
             let got = index.scan(&u64_key(start), 50);
-            let want: Vec<(Vec<u8>, u64)> =
-                model.range(u64_key(start).to_vec()..).take(50).map(|(k, v)| (k.clone(), *v)).collect();
+            let want: Vec<(Vec<u8>, u64)> = model
+                .range(u64_key(start).to_vec()..)
+                .take(50)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
             assert_eq!(got, want, "{name}: scan from {start}");
         }
     }
@@ -95,7 +96,11 @@ fn concurrent_mixed_workload_loses_nothing() {
                         let k = tid * per + i;
                         assert!(index.insert(&u64_key(k), k + 1), "{name}: insert {k}");
                         if i % 3 == 0 {
-                            assert_eq!(index.get(&u64_key(k)), Some(k + 1), "{name}: read-own-write {k}");
+                            assert_eq!(
+                                index.get(&u64_key(k)),
+                                Some(k + 1),
+                                "{name}: read-own-write {k}"
+                            );
                         }
                     }
                 });
@@ -109,17 +114,16 @@ fn concurrent_mixed_workload_loses_nothing() {
 
 #[test]
 fn dram_variants_issue_no_persistence_traffic() {
-    let dram_indexes: Vec<(&str, Arc<dyn ConcurrentIndex>)> = vec![
-        ("ART(dram)", Arc::new(art_index::DramArt::new())),
-        ("HOT(dram)", Arc::new(hot_trie::DramHot::new())),
-        ("CLHT(dram)", Arc::new(clht::DramClht::new())),
-    ];
+    let dram_indexes: Vec<(&str, Arc<dyn ConcurrentIndex>)> = registry::all_indexes()
+        .iter()
+        .map(|e| (e.name(PolicyMode::Dram), e.build(PolicyMode::Dram)))
+        .collect();
     for (name, index) in dram_indexes {
-        let before = pm::stats::snapshot();
+        let before = pm::stats::snapshot_local();
         for i in 0..2_000u64 {
             index.insert(&u64_key(i), i);
         }
-        let d = pm::stats::snapshot().since(&before);
+        let d = pm::stats::snapshot_local().since(&before);
         assert_eq!(d.clwb, 0, "{name} issued clwb");
         assert_eq!(d.fence, 0, "{name} issued fences");
     }

@@ -1,0 +1,63 @@
+//! §5 / §7.5 integration: every RECIPE-converted index must pass the crash-recovery
+//! test (no acknowledged key lost, index usable after recovery) and the durability
+//! test (every dirtied cache line flushed and fenced) over many crash states.
+use crashtest::{run_crash_test, run_durability_test, CrashTestConfig};
+use harness::registry::{self, PolicyMode};
+use std::sync::{Mutex, MutexGuard};
+
+/// The crash-arming mode, site counters and durability tracker in `pm` are
+/// process-global, so the tests in this binary cannot overlap: libtest runs
+/// tests on concurrent threads, and one test arming/disarming crash sites would
+/// corrupt another's run. Every test takes this lock first.
+static CRASH_HARNESS: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    CRASH_HARNESS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn small_cfg() -> CrashTestConfig {
+    CrashTestConfig { load_keys: 2_000, post_ops: 2_000, threads: 4, crash_states: 40, seed: 11 }
+}
+
+#[test]
+fn converted_indexes_survive_crash_states() {
+    let _exclusive = exclusive();
+    for entry in registry::all_indexes().into_iter().filter(|e| e.converted) {
+        let report = run_crash_test(|| entry.build_recoverable(PolicyMode::Pmem), &small_cfg());
+        assert!(report.crashes_triggered > 0, "{}: no crash state fired", entry.name);
+        assert!(report.passed(), "{}: {report:?}", entry.name);
+    }
+}
+
+#[test]
+fn baselines_survive_crash_states_without_bug_features() {
+    let _exclusive = exclusive();
+    // Built without their `*-bug` features the baselines should also pass.
+    for entry in registry::all_indexes().into_iter().filter(|e| !e.converted && !e.single_writer) {
+        let report = run_crash_test(|| entry.build_recoverable(PolicyMode::Pmem), &small_cfg());
+        assert!(report.passed(), "{}: {report:?}", entry.name);
+    }
+}
+
+#[test]
+fn recipe_indexes_pass_durability_check() {
+    let _exclusive = exclusive();
+    for entry in registry::all_indexes().into_iter().filter(|e| e.converted) {
+        let report = run_durability_test(|| entry.build_recoverable(PolicyMode::Pmem), 2_000, 500);
+        assert!(report.passed(), "{}: {report:?}", entry.name);
+    }
+}
+
+#[test]
+fn dram_indexes_never_crash_because_sites_are_inert() {
+    let _exclusive = exclusive();
+    // Crash sites are only active in PM mode: the DRAM variant must run the same
+    // workload without a single site firing.
+    pm::crash::arm_count_only();
+    let t = art_index::DramArt::new();
+    for i in 0..2_000u64 {
+        t.insert(&recipe::key::u64_key(i), i);
+    }
+    assert_eq!(pm::crash::sites_hit(), 0);
+    pm::crash::disarm();
+}

@@ -28,7 +28,11 @@ fn check_against_model(index: &dyn ConcurrentIndex, actions: &[Action], check_sc
         match action {
             Action::Insert(k, v) => {
                 let k = u64::from(*k);
-                assert_eq!(index.insert(&u64_key(k), *v), model.insert(k, *v).is_none(), "insert {k}");
+                assert_eq!(
+                    index.insert(&u64_key(k), *v),
+                    model.insert(k, *v).is_none(),
+                    "insert {k}"
+                );
             }
             Action::Remove(k) => {
                 let k = u64::from(*k);

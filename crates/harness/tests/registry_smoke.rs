@@ -1,0 +1,99 @@
+//! Registry conformance smoke test: every entry in `harness::registry` must build
+//! a working index in both policy modes, with `supports_scan()` matching actual
+//! scan behavior and names matching the catalogue.
+use harness::registry::{all_indexes, PolicyMode};
+use recipe::key::u64_key;
+
+#[test]
+fn every_entry_works_in_both_policy_modes() {
+    for entry in all_indexes() {
+        for mode in PolicyMode::ALL {
+            let index = entry.build(mode);
+            let name = entry.name(mode);
+            assert_eq!(index.name(), name, "registry name mismatch for {name}");
+
+            // insert / get / update / remove round-trip.
+            for i in 0..1_000u64 {
+                assert!(index.insert(&u64_key(i), i * 2), "{name}: insert {i}");
+            }
+            assert!(!index.insert(&u64_key(0), 1), "{name}: re-insert must report existing");
+            assert_eq!(index.get(&u64_key(0)), Some(1), "{name}: re-insert must overwrite");
+            for i in 1..1_000u64 {
+                assert_eq!(index.get(&u64_key(i)), Some(i * 2), "{name}: get {i}");
+            }
+            assert!(index.update(&u64_key(5), 99), "{name}: update existing");
+            assert_eq!(index.get(&u64_key(5)), Some(99), "{name}");
+            assert!(!index.update(&u64_key(1_000_000), 1), "{name}: update absent");
+            assert_eq!(index.get(&u64_key(1_000_000)), None, "{name}: update must not insert");
+            assert!(index.remove(&u64_key(7)), "{name}: remove present");
+            assert!(!index.remove(&u64_key(7)), "{name}: remove absent");
+            assert_eq!(index.get(&u64_key(7)), None, "{name}");
+        }
+    }
+}
+
+#[test]
+fn supports_scan_matches_actual_scan_behavior() {
+    for entry in all_indexes() {
+        for mode in PolicyMode::ALL {
+            let index = entry.build(mode);
+            let name = entry.name(mode);
+            assert_eq!(
+                index.supports_scan(),
+                entry.supports_scan(),
+                "{name}: registry kind disagrees with the index"
+            );
+            for i in 0..100u64 {
+                index.insert(&u64_key(i), i);
+            }
+            let got = index.scan(&u64_key(10), 20);
+            if index.supports_scan() {
+                let want: Vec<(Vec<u8>, u64)> =
+                    (10..30).map(|i| (u64_key(i).to_vec(), i)).collect();
+                assert_eq!(got, want, "{name}: scan must return sorted keys");
+            } else {
+                assert!(got.is_empty(), "{name}: unordered index must return an empty scan");
+            }
+        }
+    }
+}
+
+#[test]
+fn pmem_mode_flushes_and_dram_mode_does_not() {
+    for entry in all_indexes() {
+        // Constructors flush too; measure only the operation window.
+        let pmem = entry.build(PolicyMode::Pmem);
+        let dram = entry.build(PolicyMode::Dram);
+
+        let before = pm::stats::snapshot_local();
+        for i in 0..500u64 {
+            dram.insert(&u64_key(i), i);
+        }
+        let d = pm::stats::snapshot_local().since(&before);
+        assert_eq!(d.clwb, 0, "{}: dram mode issued clwb", entry.dram_name);
+        assert_eq!(d.fence, 0, "{}: dram mode issued fences", entry.dram_name);
+
+        let before = pm::stats::snapshot_local();
+        for i in 0..500u64 {
+            pmem.insert(&u64_key(i), i);
+        }
+        let d = pm::stats::snapshot_local().since(&before);
+        assert!(d.clwb > 0, "{}: pmem mode issued no clwb", entry.name);
+        assert!(d.fence > 0, "{}: pmem mode issued no fences", entry.name);
+    }
+}
+
+#[test]
+fn recoverable_entries_recover_and_stay_usable() {
+    for entry in all_indexes() {
+        let index = entry.build_recoverable(PolicyMode::Pmem);
+        for i in 0..200u64 {
+            index.insert(&u64_key(i), i);
+        }
+        index.recover();
+        for i in 0..200u64 {
+            assert_eq!(index.get(&u64_key(i)), Some(i), "{}: key {i} lost", entry.name);
+        }
+        assert!(index.insert(&u64_key(1_000), 1), "{}: unusable after recover", entry.name);
+    }
+}

@@ -1,20 +1,25 @@
 //! End-to-end YCSB smoke tests: every index runs every workload it supports at a small
 //! scale, and every read of a loaded key must succeed.
-use std::sync::Arc;
+use harness::registry;
 use ycsb::{KeyType, Spec, Workload};
 
 fn spec(workload: Workload, key_type: KeyType) -> Spec {
-    Spec { load_count: 5_000, op_count: 5_000, threads: 4, key_type, workload, scan_max: 20, seed: 99 }
+    Spec {
+        load_count: 5_000,
+        op_count: 5_000,
+        threads: 4,
+        key_type,
+        workload,
+        scan_max: 20,
+        seed: 99,
+    }
 }
 
 #[test]
 fn ordered_indexes_run_all_workloads_with_integer_and_string_keys() {
-    let indexes: Vec<(&str, Arc<dyn recipe::index::ConcurrentIndex>)> = vec![
-        ("P-ART", Arc::new(art_index::PArt::new())),
-        ("P-HOT", Arc::new(hot_trie::PHot::new())),
-        ("FAST&FAIR", Arc::new(fastfair::PFastFair::new())),
-    ];
-    for (name, index) in indexes {
+    for entry in registry::ordered_indexes() {
+        let name = entry.name;
+        let index = (entry.build_pmem)();
         for key_type in [KeyType::RandInt, KeyType::String24] {
             for wl in Workload::ALL {
                 let res = ycsb::run_spec(&index, &spec(wl, key_type));
@@ -26,12 +31,9 @@ fn ordered_indexes_run_all_workloads_with_integer_and_string_keys() {
 
 #[test]
 fn hash_indexes_run_point_workloads_with_integer_keys() {
-    let indexes: Vec<(&str, Arc<dyn recipe::index::ConcurrentIndex>)> = vec![
-        ("P-CLHT", Arc::new(clht::PClht::new())),
-        ("CCEH", Arc::new(cceh::PCceh::new())),
-        ("Level-Hashing", Arc::new(levelhash::PLevelHash::new())),
-    ];
-    for (name, index) in indexes {
+    for entry in registry::hash_indexes() {
+        let name = entry.name;
+        let index = (entry.build_pmem)();
         for wl in [Workload::LoadA, Workload::A, Workload::B, Workload::C] {
             let res = ycsb::run_spec(&index, &spec(wl, KeyType::RandInt));
             assert_eq!(res.run.failed_reads, 0, "{name} {}", wl.label());

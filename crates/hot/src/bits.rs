@@ -122,7 +122,10 @@ mod tests {
         if let Some(d) = first_diff_bit(a, b) {
             assert_eq!(cmp_bit_prefix(a, b, d), Equal);
             for start in (0..d.saturating_sub(5)).step_by(3) {
-                assert_eq!(extract_bits(a, start, MAX_BITS.min(d - start)), extract_bits(b, start, MAX_BITS.min(d - start)));
+                assert_eq!(
+                    extract_bits(a, start, MAX_BITS.min(d - start)),
+                    extract_bits(b, start, MAX_BITS.min(d - start))
+                );
             }
         }
     }

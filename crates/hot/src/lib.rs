@@ -41,14 +41,9 @@ impl<P: PersistMode> ConcurrentIndex for Hot<P> {
         Hot::insert(self, key, value)
     }
 
-    fn update(&self, key: &[u8], value: u64) -> bool {
-        if Hot::get(self, key).is_some() {
-            Hot::insert(self, key, value);
-            true
-        } else {
-            false
-        }
-    }
+    // `update` uses the trait's default get-then-insert and inherits its documented
+    // non-atomicity: HOT's write path locks one node at a time, so there is no
+    // single lock under which to check presence and re-insert.
 
     fn get(&self, key: &[u8]) -> Option<u64> {
         Hot::get(self, key)
@@ -67,7 +62,11 @@ impl<P: PersistMode> ConcurrentIndex for Hot<P> {
     }
 
     fn name(&self) -> String {
-        if P::PERSISTENT { "P-HOT".into() } else { "HOT".into() }
+        if P::PERSISTENT {
+            "P-HOT".into()
+        } else {
+            "HOT".into()
+        }
     }
 }
 

@@ -159,10 +159,13 @@ pub struct LevelHash<P: PersistMode = Pmem> {
 
 /// The persistent Level Hashing table evaluated in the paper.
 pub type PLevelHash = LevelHash<Pmem>;
+/// The same structure with persistence compiled out (registry uniformity).
+pub type DramLevelHash = LevelHash<recipe::persist::Dram>;
 
 // SAFETY: bucket mutation is lock-protected, reads use atomic snapshots, and old
 // generations are never freed while the table is alive.
 unsafe impl<P: PersistMode> Send for LevelHash<P> {}
+// SAFETY: as above — bucket writes are lock-protected and generations never freed.
 unsafe impl<P: PersistMode> Sync for LevelHash<P> {}
 
 impl<P: PersistMode> Default for LevelHash<P> {
@@ -180,9 +183,17 @@ impl<P: PersistMode> LevelHash<P> {
         // SAFETY: freshly allocated, private.
         let l = unsafe { &*levels };
         P::persist_range(l.top.as_ptr().cast(), l.top.len() * std::mem::size_of::<Bucket>(), false);
-        P::persist_range(l.bottom.as_ptr().cast(), l.bottom.len() * std::mem::size_of::<Bucket>(), false);
+        P::persist_range(
+            l.bottom.as_ptr().cast(),
+            l.bottom.len() * std::mem::size_of::<Bucket>(),
+            false,
+        );
         P::persist_obj(levels, true);
-        let t = LevelHash { levels: AtomicPtr::new(levels), resize_lock: parking_lot::Mutex::new(()), _policy: PhantomData };
+        let t = LevelHash {
+            levels: AtomicPtr::new(levels),
+            resize_lock: parking_lot::Mutex::new(()),
+            _policy: PhantomData,
+        };
         P::persist_obj(&t.levels, true);
         t
     }
@@ -287,8 +298,12 @@ impl<P: PersistMode> LevelHash<P> {
         let mut overflow: Vec<(u64, u64)> = Vec::new();
         old_l.for_each(|k, v| {
             let pos = new_l.positions(k);
-            let candidates: [&Bucket; 4] =
-                [&new_l.top[pos[0]], &new_l.top[pos[1]], &new_l.bottom[pos[0] / 2], &new_l.bottom[pos[1] / 2]];
+            let candidates: [&Bucket; 4] = [
+                &new_l.top[pos[0]],
+                &new_l.top[pos[1]],
+                &new_l.bottom[pos[0] / 2],
+                &new_l.bottom[pos[1] / 2],
+            ];
             if !candidates.iter().any(|b| b.try_insert::<recipe::persist::Dram>(k, v)) {
                 overflow.push((k, v));
             }
@@ -317,7 +332,11 @@ impl<P: PersistMode> LevelHash<P> {
     fn commit_generation(&self, new_ptr: *mut Levels) {
         // SAFETY: allocated by resize.
         let new_l = unsafe { &*new_ptr };
-        P::persist_range(new_l.top.as_ptr().cast(), new_l.top.len() * std::mem::size_of::<Bucket>(), false);
+        P::persist_range(
+            new_l.top.as_ptr().cast(),
+            new_l.top.len() * std::mem::size_of::<Bucket>(),
+            false,
+        );
         P::persist_range(
             new_l.bottom.as_ptr().cast(),
             new_l.bottom.len() * std::mem::size_of::<Bucket>(),
@@ -329,6 +348,36 @@ impl<P: PersistMode> LevelHash<P> {
         P::mark_dirty_obj(&self.levels);
         P::persist_obj(&self.levels, true);
         P::crash_site("level.resize.committed");
+    }
+
+    /// Atomic conditional update: write the new value under the owning bucket's
+    /// lock only if the key is already present; never inserts. The key lives in at
+    /// most one of its four candidate buckets, so the per-bucket critical section
+    /// makes the conditional update linearizable.
+    fn update_internal(&self, k: u64, value: u64) -> bool {
+        'retry: loop {
+            let ptr = self.levels.load(Ordering::Acquire);
+            // SAFETY: generations are never freed while the table is alive.
+            let l = unsafe { &*ptr };
+            let pos = l.positions(k);
+            let candidates: [&Bucket; 4] =
+                [&l.top[pos[0]], &l.top[pos[1]], &l.bottom[pos[0] / 2], &l.bottom[pos[1] / 2]];
+            for b in candidates {
+                let _g = b.lock.lock();
+                // A concurrent resize migrated the generation; our candidate set is
+                // stale.
+                if self.levels.load(Ordering::Acquire) != ptr {
+                    continue 'retry;
+                }
+                if b.update_in_place::<P>(k, value) {
+                    return true;
+                }
+            }
+            if self.levels.load(Ordering::Acquire) != ptr {
+                continue;
+            }
+            return false;
+        }
     }
 
     fn remove_internal(&self, k: u64) -> bool {
@@ -383,16 +432,11 @@ impl<P: PersistMode> ConcurrentIndex for LevelHash<P> {
         }
     }
 
+    /// Atomic: presence check and value store happen under the owning bucket's
+    /// lock (overrides the non-atomic trait default).
     fn update(&self, key: &[u8], value: u64) -> bool {
         match Self::internal_key(key) {
-            Some(k) => {
-                if self.get_internal(k).is_some() {
-                    self.put_internal(k, value);
-                    true
-                } else {
-                    false
-                }
-            }
+            Some(k) => self.update_internal(k, value),
             None => false,
         }
     }
@@ -409,7 +453,11 @@ impl<P: PersistMode> ConcurrentIndex for LevelHash<P> {
     }
 
     fn name(&self) -> String {
-        "Level-Hashing".into()
+        if P::PERSISTENT {
+            "Level-Hashing".into()
+        } else {
+            "Level-Hashing(dram)".into()
+        }
     }
 }
 

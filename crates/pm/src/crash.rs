@@ -139,11 +139,8 @@ fn site_slow(mode: u8, name: &'static str) {
     let hit = HITS.fetch_add(1, Ordering::SeqCst) + 1;
     match mode {
         MODE_COUNT => {}
-        MODE_NTH => {
-            if hit == PARAM.load(Ordering::SeqCst) {
-                fire(name);
-            }
-        }
+        MODE_NTH if hit == PARAM.load(Ordering::SeqCst) => fire(name),
+        MODE_NTH => {}
         MODE_PROB => {
             let p = PARAM.load(Ordering::SeqCst);
             if next_rand() % 1_000_000 < p {

@@ -109,9 +109,9 @@ mod tests {
     #[test]
     fn persist_range_counts_one_clwb_per_line() {
         let buf = vec![0u8; 4096];
-        let before = stats::snapshot();
+        let before = stats::snapshot_local();
         persist_range(buf.as_ptr(), 256, true);
-        let d = stats::snapshot().since(&before);
+        let d = stats::snapshot_local().since(&before);
         let expected = lines_spanned(buf.as_ptr() as usize, 256) as u64;
         assert_eq!(d.clwb, expected);
         assert_eq!(d.fence, 1);
@@ -120,11 +120,13 @@ mod tests {
     #[test]
     fn persist_obj_flushes_whole_object() {
         #[repr(align(64))]
-        struct Big([u8; 192]);
-        let b = Big([0; 192]);
-        let before = stats::snapshot();
+        struct Big {
+            _bytes: [u8; 192],
+        }
+        let b = Big { _bytes: [0; 192] };
+        let before = stats::snapshot_local();
         persist_obj(&b, false);
-        let d = stats::snapshot().since(&before);
+        let d = stats::snapshot_local().since(&before);
         assert_eq!(d.clwb, 3);
         assert_eq!(d.fence, 0);
     }
@@ -132,10 +134,10 @@ mod tests {
     #[test]
     fn zero_len_persist_only_fences_when_asked() {
         let x = 0u8;
-        let before = stats::snapshot();
+        let before = stats::snapshot_local();
         persist_range(&x, 0, false);
         persist_range(&x, 0, true);
-        let d = stats::snapshot().since(&before);
+        let d = stats::snapshot_local().since(&before);
         assert_eq!(d.clwb, 0);
         assert_eq!(d.fence, 1);
     }

@@ -9,12 +9,24 @@
 //! Counters are process-global relaxed atomics. Benchmarks snapshot them before and
 //! after a measurement phase and divide the delta by the number of operations; the
 //! per-increment cost (a relaxed `fetch_add`) is negligible relative to index work.
+//!
+//! Every event is additionally recorded in a **thread-local** mirror, snapshotted
+//! with [`snapshot_local`]. Tests that assert exact counter deltas for work done on
+//! their own thread must use the local snapshot: the global counters are shared by
+//! every test in the binary and libtest runs tests concurrently.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static CLWB: AtomicU64 = AtomicU64::new(0);
 static FENCE: AtomicU64 = AtomicU64::new(0);
 static NODE_VISITS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_CLWB: Cell<u64> = const { Cell::new(0) };
+    static TL_FENCE: Cell<u64> = const { Cell::new(0) };
+    static TL_NODE_VISITS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Synthetic latency charged per cache-line flush, in nanoseconds.
 static CLWB_NS: AtomicU64 = AtomicU64::new(0);
@@ -75,6 +87,19 @@ pub fn snapshot() -> Stats {
     }
 }
 
+/// Take a snapshot of the calling thread's counters only.
+///
+/// Use this (not [`snapshot`]) to assert exact deltas for single-threaded work:
+/// it cannot be perturbed by concurrent threads — including other tests in the
+/// same binary, which libtest runs in parallel.
+pub fn snapshot_local() -> Stats {
+    Stats {
+        clwb: TL_CLWB.with(Cell::get),
+        fence: TL_FENCE.with(Cell::get),
+        node_visits: TL_NODE_VISITS.with(Cell::get),
+    }
+}
+
 /// Reset all counters to zero. Intended for test isolation; benchmarks should prefer
 /// snapshot deltas because other threads may still be running.
 pub fn reset() {
@@ -86,11 +111,13 @@ pub fn reset() {
 #[inline]
 pub(crate) fn count_clwb() {
     CLWB.fetch_add(1, Ordering::Relaxed);
+    TL_CLWB.with(|c| c.set(c.get() + 1));
 }
 
 #[inline]
 pub(crate) fn count_fence() {
     FENCE.fetch_add(1, Ordering::Relaxed);
+    TL_FENCE.with(|c| c.set(c.get() + 1));
 }
 
 /// Record one index-node visit (pointer dereference into a node).
@@ -100,12 +127,14 @@ pub(crate) fn count_fence() {
 #[inline]
 pub fn record_node_visit() {
     NODE_VISITS.fetch_add(1, Ordering::Relaxed);
+    TL_NODE_VISITS.with(|c| c.set(c.get() + 1));
 }
 
 /// Record `n` node visits at once.
 #[inline]
 pub fn record_node_visits(n: u64) {
     NODE_VISITS.fetch_add(n, Ordering::Relaxed);
+    TL_NODE_VISITS.with(|c| c.set(c.get() + n));
 }
 
 /// Configure the synthetic latency model: nanoseconds charged per cache-line flush and
@@ -118,12 +147,8 @@ pub fn set_latency_model(clwb_ns: u64, fence_ns: u64) {
 /// Read the latency model from the `RECIPE_CLWB_NS` / `RECIPE_FENCE_NS` environment
 /// variables, if set. Returns the configured `(clwb_ns, fence_ns)`.
 pub fn latency_model_from_env() -> (u64, u64) {
-    let parse = |k: &str| {
-        std::env::var(k)
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .unwrap_or(0)
-    };
+    let parse =
+        |k: &str| std::env::var(k).ok().and_then(|v| v.trim().parse::<u64>().ok()).unwrap_or(0);
     let c = parse("RECIPE_CLWB_NS");
     let f = parse("RECIPE_FENCE_NS");
     set_latency_model(c, f);
@@ -146,17 +171,20 @@ mod tests {
 
     #[test]
     fn snapshot_delta_and_per_op() {
-        let before = snapshot();
+        let global_before = snapshot();
+        let before = snapshot_local();
         count_clwb();
         count_clwb();
         count_fence();
         record_node_visit();
         record_node_visits(3);
-        let after = snapshot();
-        let d = after.since(&before);
+        let d = snapshot_local().since(&before);
         assert_eq!(d.clwb, 2);
         assert_eq!(d.fence, 1);
         assert_eq!(d.node_visits, 4);
+        // The global counters move too (at least by this thread's contribution).
+        let g = snapshot().since(&global_before);
+        assert!(g.clwb >= 2 && g.fence >= 1 && g.node_visits >= 4);
         let p = d.per_op(2);
         assert!((p.clwb - 1.0).abs() < 1e-9);
         assert!((p.fence - 0.5).abs() < 1e-9);
@@ -176,6 +204,21 @@ mod tests {
         let b = Stats { clwb: 5, fence: 5, node_visits: 5 };
         let d = a.since(&b);
         assert_eq!(d, Stats::default());
+    }
+
+    #[test]
+    fn local_snapshot_ignores_other_threads() {
+        let before = snapshot_local();
+        std::thread::spawn(|| {
+            count_clwb();
+            count_fence();
+            record_node_visit();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(snapshot_local().since(&before), Stats::default());
+        count_clwb();
+        assert_eq!(snapshot_local().since(&before).clwb, 1);
     }
 
     #[test]

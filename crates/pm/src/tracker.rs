@@ -134,11 +134,8 @@ pub fn check(strict: bool) -> DurabilityReport {
         Some(s) => {
             let mut unflushed: Vec<usize> = s.dirty.iter().copied().collect();
             unflushed.sort_unstable();
-            let mut unfenced: Vec<usize> = if strict {
-                s.pending.iter().copied().collect()
-            } else {
-                Vec::new()
-            };
+            let mut unfenced: Vec<usize> =
+                if strict { s.pending.iter().copied().collect() } else { Vec::new() };
             unfenced.sort_unstable();
             DurabilityReport { unflushed, unfenced, allocations: s.allocs.len() }
         }

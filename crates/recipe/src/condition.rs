@@ -195,7 +195,8 @@ mod tests {
     #[test]
     fn only_bwtree_has_non_blocking_writers() {
         for e in catalog() {
-            let expect = if e.dram_index == "BwTree" { SyncStyle::NonBlocking } else { SyncStyle::Blocking };
+            let expect =
+                if e.dram_index == "BwTree" { SyncStyle::NonBlocking } else { SyncStyle::Blocking };
             assert_eq!(e.writer, expect, "{}", e.dram_index);
         }
     }

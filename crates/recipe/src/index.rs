@@ -21,6 +21,22 @@ pub trait ConcurrentIndex: Send + Sync {
 
     /// Update an existing key. Returns `false` (without inserting) if the key is
     /// absent.
+    ///
+    /// # Atomicity contract
+    ///
+    /// The provided default is a **non-atomic** `get`-then-`insert` sequence: under
+    /// concurrent mutation of the same key it can (a) resurrect a key that a
+    /// concurrent `remove` deleted between the two steps, or (b) report `false`
+    /// for a key that a concurrent `insert` published between the two steps. It
+    /// never corrupts the index — each step is individually linearizable — but the
+    /// conditional is not.
+    ///
+    /// Implementations that can check presence and write the new value under the
+    /// same write exclusion (e.g. a bucket or leaf lock, or a global writer lock)
+    /// **must override** this method so `update` is a single linearizable
+    /// conditional update. Callers that need update-only semantics under
+    /// contention should consult the implementation's documentation before relying
+    /// on the default.
     fn update(&self, key: &[u8], value: u64) -> bool {
         if self.get(key).is_some() {
             self.insert(key, value);
@@ -62,6 +78,24 @@ pub trait ConcurrentIndex: Send + Sync {
 pub trait Recoverable {
     /// Re-initialise all locks after a (simulated) crash, as a restart would.
     fn recover(&self);
+}
+
+/// An index that is both queryable and crash-recoverable — what the crash-testing
+/// harness and the registry hand out as a trait object.
+pub trait RecoverableIndex: ConcurrentIndex + Recoverable {}
+
+impl<T: ConcurrentIndex + Recoverable + ?Sized> RecoverableIndex for T {}
+
+impl<T: Recoverable + ?Sized> Recoverable for &T {
+    fn recover(&self) {
+        (**self).recover();
+    }
+}
+
+impl<T: Recoverable + ?Sized> Recoverable for std::sync::Arc<T> {
+    fn recover(&self) {
+        (**self).recover();
+    }
 }
 
 /// Blanket helper: treat a `&T` as the trait object the harnesses consume.

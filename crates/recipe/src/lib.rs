@@ -41,5 +41,5 @@ pub mod lock;
 pub mod persist;
 
 pub use condition::{catalog, CatalogEntry, Condition};
-pub use index::{ConcurrentIndex, Recoverable};
+pub use index::{ConcurrentIndex, Recoverable, RecoverableIndex};
 pub use persist::{Dram, PersistMode, Pmem};

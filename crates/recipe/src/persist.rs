@@ -114,23 +114,23 @@ mod tests {
 
     #[test]
     fn dram_policy_is_free() {
-        let before = pm::stats::snapshot();
+        let before = pm::stats::snapshot_local();
         let x = 5u64;
         Dram::persist_obj(&x, true);
         Dram::fence();
         Dram::mark_dirty_obj(&x);
         Dram::crash_site("never");
-        let d = pm::stats::snapshot().since(&before);
+        let d = pm::stats::snapshot_local().since(&before);
         assert_eq!(d.clwb, 0);
         assert_eq!(d.fence, 0);
     }
 
     #[test]
     fn pmem_policy_flushes_and_fences() {
-        let before = pm::stats::snapshot();
+        let before = pm::stats::snapshot_local();
         let x = [0u8; 128];
         Pmem::persist_obj(&x, true);
-        let d = pm::stats::snapshot().since(&before);
+        let d = pm::stats::snapshot_local().since(&before);
         assert!(d.clwb >= 2, "128 bytes span at least two lines");
         assert_eq!(d.fence, 1);
     }
@@ -138,8 +138,8 @@ mod tests {
     #[test]
     fn policy_names_differ() {
         assert_ne!(Dram::NAME, Pmem::NAME);
-        assert!(!Dram::PERSISTENT);
-        assert!(Pmem::PERSISTENT);
+        let flags = [Dram::PERSISTENT, Pmem::PERSISTENT];
+        assert_eq!(flags, [false, true]);
     }
 
     #[test]

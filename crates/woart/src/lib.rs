@@ -50,6 +50,8 @@ pub struct Woart<P: PersistMode = Pmem> {
 
 /// The configuration evaluated in the paper: persistent WOART + global lock.
 pub type PWoart = Woart<Pmem>;
+/// The same structure with persistence compiled out (registry uniformity).
+pub type DramWoart = Woart<recipe::persist::Dram>;
 
 impl<P: PersistMode> Default for Woart<P> {
     fn default() -> Self {
@@ -101,7 +103,11 @@ impl<P: PersistMode> Woart<P> {
             P::crash_site("woart.prefix_split");
             if common == key.len() {
                 node.value = Some(value);
-                P::persist_range(node as *const Node as *const u8, std::mem::size_of::<Node>(), true);
+                P::persist_range(
+                    node as *const Node as *const u8,
+                    std::mem::size_of::<Node>(),
+                    true,
+                );
                 return true;
             }
             node.children.push((key[common], Child::Leaf(full_key.to_vec(), value)));
@@ -119,7 +125,11 @@ impl<P: PersistMode> Woart<P> {
         match node.child_index(rest[0]) {
             Err(pos) => {
                 node.children.insert(pos, (rest[0], Child::Leaf(full_key.to_vec(), value)));
-                P::persist_range(node.children.as_ptr() as *const u8, node.children.len() * 16, true);
+                P::persist_range(
+                    node.children.as_ptr() as *const u8,
+                    node.children.len() * 16,
+                    true,
+                );
                 P::crash_site("woart.insert.committed");
                 true
             }
@@ -137,27 +147,40 @@ impl<P: PersistMode> Woart<P> {
                         // Replace the leaf by an inner node holding both keys.
                         let ek = existing_key.clone();
                         let ev = *existing_val;
-                        let shared =
-                            recipe::key::common_prefix_len(&ek[next_depth..], &full_key[next_depth..]);
-                        let mut inner = Node::new(full_key[next_depth..next_depth + shared].to_vec());
+                        let shared = recipe::key::common_prefix_len(
+                            &ek[next_depth..],
+                            &full_key[next_depth..],
+                        );
+                        let mut inner =
+                            Node::new(full_key[next_depth..next_depth + shared].to_vec());
                         let branch = next_depth + shared;
                         if branch >= ek.len() || branch >= full_key.len() {
                             // One key is a strict prefix of the other: store the shorter
                             // one as this inner node's value.
                             if ek.len() <= full_key.len() {
                                 inner.value = Some(ev);
-                                inner.children.push((full_key[branch.min(full_key.len() - 1)],
-                                    Child::Leaf(full_key.to_vec(), value)));
+                                inner.children.push((
+                                    full_key[branch.min(full_key.len() - 1)],
+                                    Child::Leaf(full_key.to_vec(), value),
+                                ));
                             } else {
                                 inner.value = Some(value);
-                                inner.children.push((ek[branch.min(ek.len() - 1)], Child::Leaf(ek, ev)));
+                                inner
+                                    .children
+                                    .push((ek[branch.min(ek.len() - 1)], Child::Leaf(ek, ev)));
                             }
                         } else {
                             inner.children.push((ek[branch], Child::Leaf(ek, ev)));
-                            inner.children.push((full_key[branch], Child::Leaf(full_key.to_vec(), value)));
+                            inner
+                                .children
+                                .push((full_key[branch], Child::Leaf(full_key.to_vec(), value)));
                             inner.children.sort_by_key(|(b, _)| *b);
                         }
-                        P::persist_range(&inner as *const Node as *const u8, std::mem::size_of::<Node>(), true);
+                        P::persist_range(
+                            &inner as *const Node as *const u8,
+                            std::mem::size_of::<Node>(),
+                            true,
+                        );
                         P::crash_site("woart.leaf_split");
                         node.children[i].1 = Child::Node(Box::new(inner));
                         P::persist_range(node.children.as_ptr() as *const u8, 16, true);
@@ -195,7 +218,13 @@ impl<P: PersistMode> Woart<P> {
         }
     }
 
-    fn scan_rec(node: &Node, prefix: &mut Vec<u8>, start: &[u8], count: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+    fn scan_rec(
+        node: &Node,
+        prefix: &mut Vec<u8>,
+        start: &[u8],
+        count: usize,
+        out: &mut Vec<(Vec<u8>, u64)>,
+    ) {
         if out.len() >= count {
             return;
         }
@@ -233,6 +262,20 @@ impl<P: PersistMode> ConcurrentIndex for Woart<P> {
         Self::insert_rec(&mut root, key, 0, value)
     }
 
+    /// Atomic: presence check and insert happen under the same global write lock
+    /// (overrides the non-atomic trait default).
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        if key.is_empty() {
+            return false;
+        }
+        let mut root = self.root.write();
+        if Self::get_rec(&root, key, 0).is_none() {
+            return false;
+        }
+        Self::insert_rec(&mut root, key, 0, value);
+        true
+    }
+
     fn get(&self, key: &[u8]) -> Option<u64> {
         if key.is_empty() {
             return None;
@@ -262,7 +305,11 @@ impl<P: PersistMode> ConcurrentIndex for Woart<P> {
     }
 
     fn name(&self) -> String {
-        "WOART(global-lock)".into()
+        if P::PERSISTENT {
+            "WOART(global-lock)".into()
+        } else {
+            "WOART(dram)".into()
+        }
     }
 }
 

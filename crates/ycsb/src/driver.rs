@@ -119,7 +119,12 @@ mod tests {
             self.map.write().remove(key).is_some()
         }
         fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-            self.map.read().range(start.to_vec()..).take(count).map(|(k, v)| (k.clone(), *v)).collect()
+            self.map
+                .read()
+                .range(start.to_vec()..)
+                .take(count)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
         }
         fn supports_scan(&self) -> bool {
             true

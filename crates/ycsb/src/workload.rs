@@ -38,7 +38,8 @@ pub enum Workload {
 
 impl Workload {
     /// All run-phase workloads in the order the paper plots them.
-    pub const ALL: [Workload; 5] = [Workload::LoadA, Workload::A, Workload::B, Workload::C, Workload::E];
+    pub const ALL: [Workload; 5] =
+        [Workload::LoadA, Workload::A, Workload::B, Workload::C, Workload::E];
 
     /// Short label used in tables and figures.
     #[must_use]
@@ -290,7 +291,8 @@ mod tests {
 
     #[test]
     fn workload_e_generates_scans() {
-        let spec = Spec { load_count: 500, op_count: 2000, workload: Workload::E, ..Spec::default() };
+        let spec =
+            Spec { load_count: 500, op_count: 2000, workload: Workload::E, ..Spec::default() };
         let g = generate(&spec);
         let scans: usize =
             g.run.iter().flat_map(|p| p.iter()).filter(|op| matches!(op, Op::Scan(..))).count();

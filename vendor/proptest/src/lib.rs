@@ -1,0 +1,454 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate: deterministic randomized property testing over composable
+//! [`Strategy`] values, with the `proptest!`, `prop_oneof!` and
+//! `prop_assert*!` macros this workspace uses.
+//!
+//! Differences from the real crate, acceptable for a stand-in: failing cases
+//! are *not* shrunk (the failing input is printed instead), and generation is
+//! seeded deterministically per test (override with `PROPTEST_SEED`).
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies during generation.
+#[derive(Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeded generator (one per property-test function).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform draw from `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy so heterogeneous strategies can be unioned.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { gen: std::rc::Rc::new(move |rng| self.generate(rng)) }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased strategy, returned by [`Strategy::boxed`].
+#[derive(Clone)]
+pub struct BoxedStrategy<V> {
+    #[allow(clippy::type_complexity)]
+    gen: std::rc::Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.gen)(rng)
+    }
+}
+
+/// Uniform choice between type-erased strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from a non-empty list of options.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for `Self`.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Strategy produced by [`any`].
+pub struct ArbitraryStrategy<T> {
+    gen: fn(&mut TestRng) -> T,
+}
+
+impl<T> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<Self> {
+                ArbitraryStrategy {
+                    #[allow(clippy::cast_possible_truncation)]
+                    gen: |rng| rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> ArbitraryStrategy<Self> {
+        ArbitraryStrategy { gen: |rng| rng.next_u64() & 1 == 1 }
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = u64::from(self.end - self.start);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = u64::from(end - start) + 1;
+                start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_ranges!(u8, u16, u32);
+
+macro_rules! impl_strategy_for_wide_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_for_wide_ranges!(u64, usize);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident/$i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths in `size`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Configuration accepted by `proptest!`'s `#![proptest_config(..)]` line.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for source compatibility with the real crate; this stand-in does
+    /// not shrink failing inputs, so the value is unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a of the test path, overridable via the
+/// `PROPTEST_SEED` environment variable.
+#[must_use]
+pub fn seed_for(test_path: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.trim().parse() {
+            return v;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `body` for `config.cases` generated cases (used by `proptest!`).
+pub fn run_cases(
+    test_path: &str,
+    config: &ProptestConfig,
+    mut body: impl FnMut(&mut TestRng, u32),
+) {
+    let mut rng = TestRng::seed_from_u64(seed_for(test_path));
+    for case in 0..config.cases {
+        body(&mut rng, case);
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        assert!($cond $(, $($fmt)*)?)
+    };
+}
+
+/// Assert equality inside a property, reporting both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)*)?) => {
+        assert_eq!($left, $right $(, $($fmt)*)?)
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ..) { .. }`
+/// becomes a normal `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(concat!(module_path!(), "::", stringify!($name)), &config, |rng, case| {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, rng);)+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest case {case} failed for {}:",
+                            stringify!($name),
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        ::std::panic::resume_unwind(panic);
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn union_picks_all_branches() {
+        let s = prop_oneof![0u32..1, 10u32..11, 20u32..21];
+        let mut rng = TestRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen, [0u32, 10, 20].into_iter().collect());
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let s = crate::collection::vec(any::<u8>(), 3..6);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((3..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (any::<u16>(), 1u8..32).prop_map(|(a, b)| u64::from(a) + u64::from(b));
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v >= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_smoke(x in any::<u16>(), n in 1usize..4) {
+            prop_assert!(n < 4);
+            prop_assert_eq!(u64::from(x) * n as u64, n as u64 * u64::from(x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in crate::collection::vec(any::<u8>(), 0..=7)) {
+            prop_assert!(v.len() <= 7);
+        }
+    }
+}

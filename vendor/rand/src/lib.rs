@@ -1,0 +1,289 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! Exposes the subset of the rand 0.8 API this workspace uses — [`Rng`],
+//! [`SeedableRng`], [`rngs::StdRng`], and [`seq::SliceRandom`] — with a
+//! deterministic xoshiro256** generator behind `StdRng`. Streams differ from
+//! the real crate's (`StdRng` is documented as unstable across rand versions
+//! anyway), but are stable across runs and platforms, which is what the
+//! workspace's seeded workload generation relies on.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform source of 64-bit randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing random-value API, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Generate a uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Generate a uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        // 53 random mantissa bits, exactly the real crate's construction.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types constructible from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Derive a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce uniformly ("standard" distribution).
+pub trait Standard {
+    /// Draw one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Debiased uniform draw from `[0, n)` via Lemire-style rejection.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    // Rejection zone keeps the draw exactly uniform.
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+/// Pre-seeded generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(super::uniform_below(rng, self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1usize..=5);
+            assert!((1..=5).contains(&w));
+            let x = rng.gen_range(0..100u32);
+            assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Must not panic or loop forever.
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+}
