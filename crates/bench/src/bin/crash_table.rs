@@ -7,7 +7,9 @@
 use crashtest::{run_crash_test, run_durability_test, CrashTestConfig};
 use recipe::index::{ConcurrentIndex, Recoverable};
 
-fn report<I, F>(name: &str, factory: F, states: usize)
+/// Run both §5 tests for one index, print the human-readable row and return the CSV
+/// row.
+fn report<I, F>(name: &str, factory: F, states: usize) -> String
 where
     I: ConcurrentIndex + Recoverable + Send + Sync,
     F: Fn() -> I + Copy,
@@ -35,6 +37,21 @@ where
         if durability.passed() { "PASS" } else { "FAIL" },
     );
     println!("               avg time per crash state: {:.1} ms", crash.avg_state_ms);
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+        name,
+        crash.states_tested,
+        crash.crashes_triggered,
+        crash.lost_keys,
+        crash.wrong_values,
+        crash.failed_post_ops,
+        if crash.passed() { "PASS" } else { "FAIL" },
+        durability.construction_unflushed,
+        durability.ops_with_unflushed_lines,
+        durability.ops_with_unfenced_lines,
+        if durability.passed() { "PASS" } else { "FAIL" },
+        crash.avg_state_ms,
+    )
 }
 
 fn main() {
@@ -44,7 +61,22 @@ fn main() {
     );
     // The global-lock WOART baseline gets its own §7.3 comparison and is excluded
     // here, as in the paper's Table 5 row set.
+    let mut rows = Vec::new();
     for entry in bench::registry::all_indexes().into_iter().filter(|e| !e.single_writer) {
-        report(entry.name, || entry.build_recoverable(bench::registry::PolicyMode::Pmem), states);
+        rows.push(report(
+            entry.name,
+            || entry.build_recoverable(bench::registry::PolicyMode::Pmem),
+            states,
+        ));
     }
+    bench::csv::report(
+        bench::csv::write_rows(
+            "crash_table",
+            "index,states,crashes,lost_keys,wrong_values,failed_post_ops,crash_result,\
+             construction_unflushed,per_op_unflushed,per_op_unfenced,durability_result,\
+             avg_state_ms",
+            &rows,
+        ),
+        "crash_table",
+    );
 }

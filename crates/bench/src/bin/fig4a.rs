@@ -7,4 +7,5 @@ fn main() {
         &cells,
         &workloads,
     );
+    bench::csv::report(bench::csv::write_cells("fig4a", &cells), "fig4a");
 }

@@ -5,4 +5,5 @@ fn main() {
         [ycsb::Workload::LoadA, ycsb::Workload::A, ycsb::Workload::B, ycsb::Workload::C];
     let cells = bench::run_matrix(&bench::hash_indexes(), &workloads, ycsb::KeyType::RandInt);
     bench::print_throughput_table("Fig 5 — hash indexes, integer keys (YCSB)", &cells, &workloads);
+    bench::csv::report(bench::csv::write_cells("fig5", &cells), "fig5");
 }

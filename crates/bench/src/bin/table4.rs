@@ -8,4 +8,5 @@ fn main() {
         &cells,
         &workloads,
     );
+    bench::csv::report(bench::csv::write_cells("table4", &cells), "table4");
 }

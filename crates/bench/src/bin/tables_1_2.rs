@@ -5,7 +5,8 @@ fn main() {
         "{:<10}{:<16}{:<14}{:<14}{:<9}{:<9}{:<24}crate",
         "DRAM", "structure", "reader", "writer", "non-SMO", "SMO", "paper effort"
     );
-    for e in recipe::condition::catalog() {
+    let catalog = recipe::condition::catalog();
+    for e in &catalog {
         println!(
             "{:<10}{:<16}{:<14}{:<14}{:<9}{:<9}{:<24}{}",
             e.dram_index,
@@ -26,4 +27,30 @@ fn main() {
     ] {
         println!("  {}: {}", c.label(), c.conversion_action());
     }
+
+    let rows: Vec<String> = catalog
+        .iter()
+        .map(|e| {
+            format!(
+                "{},{},{},{},{},{},{},\"{}\",{}",
+                e.dram_index,
+                e.pm_index,
+                e.structure,
+                e.reader,
+                e.writer,
+                e.non_smo.label(),
+                e.smo.label(),
+                e.paper_effort,
+                e.crate_name
+            )
+        })
+        .collect();
+    bench::csv::report(
+        bench::csv::write_rows(
+            "tables_1_2",
+            "dram_index,pm_index,structure,reader,writer,non_smo,smo,paper_effort,crate",
+            &rows,
+        ),
+        "tables_1_2",
+    );
 }

@@ -27,4 +27,5 @@ fn main() {
             part.result.mops / woart.result.mops.max(1e-9)
         );
     }
+    bench::csv::report(bench::csv::write_cells("woart_compare", &cells), "woart_compare");
 }

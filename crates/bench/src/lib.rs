@@ -14,6 +14,7 @@
 //! | `RECIPE_CLWB_NS`    | simulated latency per cache-line flush    | 0         |
 //! | `RECIPE_FENCE_NS`   | simulated latency per fence               | 0         |
 //! | `RECIPE_CRASH_STATES` | crash states per index (crash_table)    | 1000      |
+//! | `RECIPE_OUT_DIR`    | directory for the machine-readable CSVs   | target/figures |
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -21,6 +22,8 @@
 use recipe::index::ConcurrentIndex;
 use std::sync::Arc;
 use ycsb::{KeyType, PhaseResult, Spec, Workload};
+
+pub mod csv;
 
 pub use harness::registry;
 
@@ -118,6 +121,14 @@ pub fn run_matrix(indexes: &[IndexEntry], workloads: &[Workload], key_type: KeyT
             );
             let res = ycsb::run_spec(&index, &spec);
             let reported = if wl == Workload::LoadA { res.load.clone() } else { res.run.clone() };
+            eprintln!(
+                "#   {:<14} {:<6} -> {:>7.3} Mops/s, p50 {:>7.2} µs, p99 {:>7.2} µs",
+                entry.name,
+                wl.label(),
+                reported.mops,
+                reported.p50_ns as f64 / 1_000.0,
+                reported.p99_ns as f64 / 1_000.0
+            );
             cells.push(Cell { index: entry.name, workload: wl.label(), result: reported });
         }
     }

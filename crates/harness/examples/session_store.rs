@@ -23,8 +23,13 @@ fn main() {
         let (name, index) = (entry.name, (entry.build_pmem)());
         let res = ycsb::run_spec(&index, &spec);
         println!(
-            "{name:<14} load: {:>6.2} Mops/s   run(A): {:>6.2} Mops/s   clwb/op: {:>4.1}   failed reads: {}",
-            res.load.mops, res.run.mops, res.run.clwb_per_op, res.run.failed_reads
+            "{name:<14} load: {:>6.2} Mops/s   run(A): {:>6.2} Mops/s   p50: {:>5.1} µs   p99: {:>5.1} µs   clwb/op: {:>4.1}   failed reads: {}",
+            res.load.mops,
+            res.run.mops,
+            res.run.p50_ns as f64 / 1_000.0,
+            res.run.p99_ns as f64 / 1_000.0,
+            res.run.clwb_per_op,
+            res.run.failed_reads
         );
     }
 }

@@ -116,6 +116,7 @@ pub fn all_indexes() -> Vec<IndexEntry> {
     vec![
         entry!("P-ART", "ART", Ordered, converted: true, single_writer: false, art_index::Art),
         entry!("P-HOT", "HOT", Ordered, converted: true, single_writer: false, hot_trie::Hot),
+        entry!("P-Masstree", "Masstree", Ordered, converted: true, single_writer: false, masstree::Masstree),
         entry!("P-CLHT", "CLHT", Hash, converted: true, single_writer: false, clht::Clht),
         entry!("FAST&FAIR", "FAST&FAIR(dram)", Ordered, converted: false, single_writer: false, fastfair::FastFair),
         entry!("WOART(global-lock)", "WOART(dram)", Ordered, converted: false, single_writer: true, woart::Woart),
@@ -144,7 +145,7 @@ mod tests {
     #[test]
     fn registry_covers_both_kinds() {
         let all = all_indexes();
-        assert_eq!(all.len(), 7);
+        assert_eq!(all.len(), 8);
         assert!(all.iter().any(|e| e.kind == IndexKind::Ordered));
         assert!(all.iter().any(|e| e.kind == IndexKind::Hash));
         assert_eq!(ordered_indexes().len() + hash_indexes().len() + 1, all.len());

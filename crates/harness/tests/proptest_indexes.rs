@@ -72,6 +72,11 @@ proptest! {
     }
 
     #[test]
+    fn p_masstree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&masstree::PMasstree::new(), &actions, true);
+    }
+
+    #[test]
     fn fastfair_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
         check_against_model(&fastfair::PFastFair::new(), &actions, true);
     }

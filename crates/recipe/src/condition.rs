@@ -162,7 +162,7 @@ pub fn catalog() -> Vec<CatalogEntry> {
             non_smo: SingleAtomicStore,
             smo: WritersDontFixInconsistencies,
             paper_effort: "200 LOC of 2.2K (9%)",
-            crate_name: "(not implemented in this reproduction; see DESIGN.md §6)",
+            crate_name: "masstree",
         },
     ]
 }
@@ -181,6 +181,13 @@ mod tests {
         assert_eq!(by_name("BwTree").smo, Condition::WritersFixInconsistencies);
         assert_eq!(by_name("ART").smo, Condition::WritersDontFixInconsistencies);
         assert_eq!(by_name("Masstree").smo, Condition::WritersDontFixInconsistencies);
+        // The Condition #3 flagship is implemented: its entry must name the real
+        // crate, with no "(not implemented)" placeholder left behind.
+        assert_eq!(by_name("Masstree").crate_name, "masstree");
+        assert!(
+            !by_name("Masstree").crate_name.contains("not implemented"),
+            "P-Masstree must point at its crate"
+        );
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //!   avoid deadlock. [`VersionLock::force_unlock`] implements that re-initialisation
 //!   and is called from each index's [`crate::index::Recoverable::recover`].
 //!
-//! The lock word also carries a version counter (incremented on every unlock) which
-//! some readers use opportunistically; RECIPE forbids *retry-based* readers, so the
-//! indexes in this workspace only use the version for debugging assertions.
+//! The lock word also carries a version counter (incremented on every unlock).
+//! Masstree's readers use it the way the original does: an optimistic seqlock-style
+//! read section ([`VersionLock::read_begin`] / [`VersionLock::read_retry`]) that
+//! validates the node was not concurrently written, which is what lets a reader pair
+//! a slot's key with its value without taking the lock. The other indexes only use
+//! the version for debugging assertions.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -72,6 +75,27 @@ impl VersionLock {
     /// Current version (number of completed critical sections).
     pub fn version(&self) -> u64 {
         self.word.load(Ordering::Acquire) >> 1
+    }
+
+    /// Begin an optimistic read section: spin until no writer holds the lock and
+    /// return the lock word observed. Pair with [`VersionLock::read_retry`] — if the
+    /// word changed, a writer ran (or is running) and everything read in between must
+    /// be discarded and re-read. This is the Masstree-style version validation.
+    pub fn read_begin(&self) -> u64 {
+        loop {
+            let word = self.word.load(Ordering::Acquire);
+            if word & LOCKED_BIT == 0 {
+                return word;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Whether the lock word changed since [`VersionLock::read_begin`] returned
+    /// `begin` — i.e. a writer acquired (or completed) the lock, so optimistically
+    /// read state is possibly torn.
+    pub fn read_retry(&self, begin: u64) -> bool {
+        self.word.load(Ordering::Acquire) != begin
     }
 
     /// Forcefully clear the lock bit, regardless of owner.
@@ -165,6 +189,34 @@ mod tests {
         }
         assert_eq!(counter.load(Ordering::Relaxed), 8000);
         assert_eq!(l.version(), 8000);
+    }
+
+    #[test]
+    fn optimistic_read_sections_detect_writers() {
+        let l = VersionLock::new();
+        let begin = l.read_begin();
+        assert!(!l.read_retry(begin), "no writer ran; the read section is valid");
+        {
+            let _g = l.lock();
+            // A reader that began before the writer must observe the change even
+            // while the lock is still held (the lock bit flips the word).
+            assert!(l.read_retry(begin));
+        }
+        assert!(l.read_retry(begin), "completed writer bumps the version");
+        let begin2 = l.read_begin();
+        assert!(!l.read_retry(begin2));
+    }
+
+    #[test]
+    fn read_begin_waits_for_unlock() {
+        let l = Arc::new(VersionLock::new());
+        let g = l.lock();
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || l2.read_begin());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(g);
+        let word = h.join().unwrap();
+        assert_eq!(word & 1, 0, "read_begin must return an unlocked word");
     }
 
     #[test]

@@ -3,12 +3,18 @@
 //! Mirrors the paper's procedure (§7): operations are statically partitioned across
 //! threads, the load phase is executed first, then each run-phase partition is
 //! executed by its own thread while the wall-clock time and the PM substrate's
-//! per-operation counters (`clwb`, fences, node visits) are collected.
+//! per-operation counters (`clwb`, fences, node visits) are collected. Every
+//! [`LATENCY_SAMPLE_EVERY`]-th operation per thread is additionally timed end to end,
+//! yielding the p50/p99 tail-latency columns of [`PhaseResult`].
 
 use crate::workload::{GeneratedWorkload, Op, Spec};
 use recipe::index::ConcurrentIndex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// One in this many operations (per thread) is individually timed for the latency
+/// percentiles, keeping the `Instant` overhead off the other operations.
+pub const LATENCY_SAMPLE_EVERY: usize = 8;
 
 /// Result of executing one phase of a workload against one index.
 #[derive(Debug, Clone)]
@@ -28,6 +34,19 @@ pub struct PhaseResult {
     /// Number of reads that found no value (sanity signal; should be ~0 for reads of
     /// loaded keys).
     pub failed_reads: u64,
+    /// Median sampled operation latency, in nanoseconds (0 if the phase was empty).
+    pub p50_ns: u64,
+    /// 99th-percentile sampled operation latency, in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseResult {
@@ -35,35 +54,50 @@ fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseR
     let total_ops: u64 = partitions.iter().map(|p| p.len() as u64).sum();
     let before = pm::stats::snapshot();
     let start = Instant::now();
+    let mut samples: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
-        for part in partitions {
-            let failed = &failed_reads;
-            scope.spawn(move || {
-                for op in part {
-                    match op {
-                        Op::Insert(k, v) => {
-                            index.insert(k, *v);
-                        }
-                        Op::Read(k) => {
-                            if index.get(k).is_none() {
-                                failed.fetch_add(1, Ordering::Relaxed);
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                let failed = &failed_reads;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(part.len() / LATENCY_SAMPLE_EVERY + 1);
+                    for (i, op) in part.iter().enumerate() {
+                        let timed = i % LATENCY_SAMPLE_EVERY == 0;
+                        let t0 = if timed { Some(Instant::now()) } else { None };
+                        match op {
+                            Op::Insert(k, v) => {
+                                index.insert(k, *v);
+                            }
+                            Op::Read(k) => {
+                                if index.get(k).is_none() {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Op::Scan(k, len) => {
+                                if index.supports_scan() {
+                                    let _ = index.scan(k, *len);
+                                } else if index.get(k).is_none() {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
                         }
-                        Op::Scan(k, len) => {
-                            if index.supports_scan() {
-                                let _ = index.scan(k, *len);
-                            } else if index.get(k).is_none() {
-                                failed.fetch_add(1, Ordering::Relaxed);
-                            }
+                        if let Some(t0) = t0 {
+                            lat.push(t0.elapsed().as_nanos() as u64);
                         }
                     }
-                }
-            });
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            samples.extend(h.join().expect("worker thread panicked"));
         }
     });
     let secs = start.elapsed().as_secs_f64();
     let delta = pm::stats::snapshot().since(&before);
     let per_op = delta.per_op(total_ops);
+    samples.sort_unstable();
     PhaseResult {
         ops: total_ops,
         secs,
@@ -72,6 +106,8 @@ fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseR
         fence_per_op: per_op.fence,
         node_visits_per_op: per_op.node_visits,
         failed_reads: failed_reads.load(Ordering::Relaxed),
+        p50_ns: percentile(&samples, 0.50),
+        p99_ns: percentile(&samples, 0.99),
     }
 }
 
@@ -152,6 +188,36 @@ mod tests {
         assert_eq!(res.run.failed_reads, 0, "reads of loaded keys must succeed");
         assert!(res.load.mops > 0.0);
         assert!(res.run.secs > 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_sampled_and_ordered() {
+        let spec = Spec {
+            load_count: 4_000,
+            op_count: 4_000,
+            threads: 4,
+            key_type: KeyType::RandInt,
+            workload: Workload::A,
+            ..Spec::default()
+        };
+        let model = Model { map: RwLock::new(BTreeMap::new()) };
+        let res = run_spec(&model, &spec);
+        for phase in [&res.load, &res.run] {
+            assert!(phase.p50_ns > 0, "sampled phases must report a median");
+            assert!(phase.p50_ns <= phase.p99_ns, "p50 must not exceed p99");
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(super::percentile(&[], 0.5), 0);
+        assert_eq!(super::percentile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(super::percentile(&v, 0.0), 1);
+        // Index (n-1)*q rounds half away from zero: (99 * 0.5).round() = 50 -> 51.
+        assert_eq!(super::percentile(&v, 0.50), 51);
+        assert_eq!(super::percentile(&v, 0.99), 99);
+        assert_eq!(super::percentile(&v, 1.0), 100);
     }
 
     #[test]

@@ -12,5 +12,5 @@
 pub mod driver;
 pub mod workload;
 
-pub use driver::{execute, run_spec, PhaseResult, RunResult};
+pub use driver::{execute, run_spec, PhaseResult, RunResult, LATENCY_SAMPLE_EVERY};
 pub use workload::{generate, id_value, GeneratedWorkload, KeyType, Op, Spec, Workload};
