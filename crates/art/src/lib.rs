@@ -27,6 +27,24 @@ pub mod tree;
 
 pub use tree::Art;
 
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
+/// `art.helper.prefix_fixed` is the Condition #3 helper and only runs after a
+/// crash left a permanent prefix inconsistency (a post-recovery write exercises
+/// it).
+pub const CRASH_SITES: &[&str] = &[
+    "art.insert.leaf_persisted",
+    "art.insert.committed",
+    "art.grow.new_node_persisted",
+    "art.grow.committed",
+    "art.path_split.branch_persisted",
+    "art.path_split.installed",
+    "art.path_split.prefix_truncated",
+    "art.leaf_split.subtree_persisted",
+    "art.leaf_split.committed",
+    "art.remove.committed",
+    "art.helper.prefix_fixed",
+];
+
 use recipe::index::{ConcurrentIndex, Recoverable};
 use recipe::persist::{Dram, PersistMode, Pmem};
 

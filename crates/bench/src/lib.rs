@@ -13,7 +13,10 @@
 //! | `RECIPE_SCAN_MAX`   | max range-scan length (workload E)        | 100       |
 //! | `RECIPE_CLWB_NS`    | simulated latency per cache-line flush    | 0         |
 //! | `RECIPE_FENCE_NS`   | simulated latency per fence               | 0         |
-//! | `RECIPE_CRASH_STATES` | crash states per index (crash_table)    | 1000      |
+//! | `RECIPE_CRASH_STATES` | sampled crash states per index (crash_table) | 1000 |
+//! | `RECIPE_CRASH_LOAD_N` | mixed ops per crash-state load (crash_table) | 10000 |
+//! | `RECIPE_CRASH_POST_N` | post-recovery ops per crash state (crash_table) | 4000 |
+//! | `RECIPE_CHUNK_OPS`  | per-thread op-buffer chunk (sharded driver) | 8192    |
 //! | `RECIPE_OUT_DIR`    | directory for the machine-readable CSVs   | target/figures |
 
 #![forbid(unsafe_op_in_unsafe_fn)]
@@ -45,8 +48,8 @@ impl From<registry::IndexEntry> for IndexEntry {
 }
 
 /// The ordered PM indexes of Fig. 4: FAST & FAIR (baseline) and the RECIPE-converted
-/// tries/radix trees, from the workspace registry. (P-BwTree and P-Masstree join
-/// automatically once their crates land in the registry.)
+/// ordered indexes (P-ART, P-HOT, P-BwTree + its delta-chain ablation, P-Masstree),
+/// from the workspace registry.
 #[must_use]
 pub fn ordered_indexes() -> Vec<IndexEntry> {
     registry::ordered_indexes().into_iter().map(IndexEntry::from).collect()
@@ -85,10 +88,30 @@ pub fn spec_from_env(workload: Workload, key_type: KeyType) -> Spec {
     }
 }
 
-/// Number of crash states per index for the §7.5 reproduction.
+/// Number of *sampled* crash states per index for the §7.5 reproduction (the
+/// per-site exhaustive states are always run on top).
 #[must_use]
 pub fn crash_states_from_env() -> usize {
     env_usize("RECIPE_CRASH_STATES", 1_000)
+}
+
+/// Mixed operations in each crash state's load phase (`RECIPE_CRASH_LOAD_N`).
+#[must_use]
+pub fn crash_load_from_env() -> usize {
+    env_usize("RECIPE_CRASH_LOAD_N", 10_000)
+}
+
+/// Mixed operations in each crash state's post-recovery phase
+/// (`RECIPE_CRASH_POST_N`).
+#[must_use]
+pub fn crash_post_from_env() -> usize {
+    env_usize("RECIPE_CRASH_POST_N", 4_000)
+}
+
+/// Per-thread op-buffer chunk for the sharded YCSB driver (`RECIPE_CHUNK_OPS`).
+#[must_use]
+pub fn chunk_from_env() -> usize {
+    env_usize("RECIPE_CHUNK_OPS", ycsb::DEFAULT_CHUNK_OPS).max(1)
 }
 
 /// One measured cell of a figure: index × workload.
@@ -104,22 +127,27 @@ pub struct Cell {
 
 /// Run every (index × workload) combination for the given key type, reporting the run
 /// phase for A/B/C/E and the load phase for Load A — exactly what Fig. 4/5 plot.
+///
+/// Uses the sharded chunked driver, so the op-buffer footprint stays at
+/// `threads × RECIPE_CHUNK_OPS` operations regardless of `RECIPE_OPS_N`.
 #[must_use]
 pub fn run_matrix(indexes: &[IndexEntry], workloads: &[Workload], key_type: KeyType) -> Vec<Cell> {
+    let chunk = chunk_from_env();
     let mut cells = Vec::new();
     for entry in indexes {
         for &wl in workloads {
             let spec = spec_from_env(wl, key_type);
             let index = (entry.build)();
             eprintln!(
-                "# running {:<14} workload {:<6} (load {} / ops {} / {} threads)",
+                "# running {:<14} workload {:<6} (load {} / ops {} / {} threads, chunk {})",
                 entry.name,
                 wl.label(),
                 spec.load_count,
                 spec.op_count,
-                spec.threads
+                spec.threads,
+                chunk
             );
-            let res = ycsb::run_spec(&index, &spec);
+            let res = ycsb::run_spec_sharded(index.as_ref(), &spec, chunk);
             let reported = if wl == Workload::LoadA { res.load.clone() } else { res.run.clone() };
             eprintln!(
                 "#   {:<14} {:<6} -> {:>7.3} Mops/s, p50 {:>7.2} µs, p99 {:>7.2} µs",

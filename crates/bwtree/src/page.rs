@@ -1,0 +1,610 @@
+//! Pages, delta records and the mapping table of the Bw-tree.
+//!
+//! The Bw-tree (Levandoski et al., ICDE '13) never updates a page in place. Every
+//! page is named by a *logical page ID* (PID) resolved through a mapping table, and
+//! its current content is a *delta chain*: a base page plus a linked list of delta
+//! records prepended one CAS at a time on the mapping-table slot. Because a published
+//! chain is immutable, a single atomic load of the slot yields a consistent snapshot
+//! of the whole page — which is exactly why the paper classifies the Bw-tree's
+//! non-SMO operations under Condition #1 (single atomic store) and its multi-step
+//! SMOs under Condition #2 (non-blocking writers whose *helping mechanism* fixes any
+//! partial SMO they observe).
+//!
+//! This module holds the passive data structures — [`Delta`], [`BasePage`], the
+//! [`MappingTable`] and the chain-walking queries ([`leaf_lookup`], [`inner_route`],
+//! [`build_view`]) — while `tree` drives the CAS protocol, the persistence ordering
+//! and the SMOs.
+
+use recipe::persist::PersistMode;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+/// Logical page ID. PIDs are never reused within a tree's lifetime.
+pub type Pid = u64;
+
+/// The invalid PID (no page / no sibling).
+pub const NO_PID: Pid = 0;
+
+/// Immutable page snapshot at the tail of every delta chain.
+///
+/// Leaf bases map keys to record values; inner bases map separator keys to the child
+/// covering `[sep, next_sep)`, with [`BasePage::leftmost`] covering keys below every
+/// separator.
+pub struct BasePage {
+    /// Whether this is a leaf page.
+    pub leaf: bool,
+    /// Sorted keys: record keys (leaf) or separators (inner).
+    pub keys: Vec<Box<[u8]>>,
+    /// Values aligned with `keys`: record values (leaf) or child PIDs (inner).
+    pub vals: Vec<Pid>,
+    /// Child covering keys below every separator (inner pages only).
+    pub leftmost: Pid,
+    /// Exclusive upper bound of this page's key space (`None` = unbounded).
+    pub high: Option<Box<[u8]>>,
+    /// Right sibling PID at the time the base was built ([`NO_PID`] = none).
+    pub right: Pid,
+}
+
+impl BasePage {
+    /// An empty leaf base (the initial root page of a tree).
+    #[must_use]
+    pub fn empty_leaf() -> BasePage {
+        BasePage {
+            leaf: true,
+            keys: Vec::new(),
+            vals: Vec::new(),
+            leftmost: NO_PID,
+            high: None,
+            right: NO_PID,
+        }
+    }
+
+    /// Index of the rightmost separator `<= key`, if any (inner pages).
+    fn route_idx(&self, key: &[u8]) -> Option<usize> {
+        match self.keys.binary_search_by(|k| k.as_ref().cmp(key)) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+}
+
+/// One record in a delta chain.
+pub enum DeltaKind {
+    /// The base page terminating the chain.
+    Base(BasePage),
+    /// Leaf upsert: `key` now maps to `value`.
+    Insert {
+        /// Record key.
+        key: Box<[u8]>,
+        /// Record value.
+        value: u64,
+    },
+    /// Leaf delete: `key` is no longer mapped.
+    Delete {
+        /// Record key.
+        key: Box<[u8]>,
+    },
+    /// Split delta: this page is logically truncated at `sep`; keys `>= sep` now
+    /// live in the page `right`. Published as the *second* step of the split SMO
+    /// (after the right page is installed); the SMO is complete once the parent
+    /// routes `sep` to `right`.
+    Split {
+        /// First key owned by the right sibling (the new exclusive high key here).
+        sep: Box<[u8]>,
+        /// PID of the new right sibling.
+        right: Pid,
+        /// Transient completion hint: set once a helper confirmed the parent entry
+        /// exists, so later traversals skip the parent check. Purely an
+        /// optimization — it is re-derived after a crash.
+        done: AtomicBool,
+    },
+    /// Inner insert: the parent-side completion of a child split, routing keys
+    /// `>= sep` (up to the next separator) to `child`.
+    IndexEntry {
+        /// Separator key being installed.
+        sep: Box<[u8]>,
+        /// PID of the split-off child.
+        child: Pid,
+    },
+}
+
+/// A node of a delta chain. Chains are immutable once published: `next` is set
+/// before the node is CAS-installed and never changes afterwards, and nodes are
+/// reclaimed only when the whole tree is dropped (the PM allocator's
+/// garbage-collection assumption), so readers can traverse without protection.
+pub struct Delta {
+    /// Next (older) record; the chain ends at a [`DeltaKind::Base`] with a null
+    /// `next`.
+    pub next: AtomicPtr<Delta>,
+    /// Whether the chain this record belongs to is a leaf page.
+    pub leaf: bool,
+    /// Payload.
+    pub kind: DeltaKind,
+}
+
+impl Delta {
+    /// Allocate a chain node on the PM pool. The caller must persist it before
+    /// publishing it (CAS into a mapping-table slot).
+    pub fn alloc(next: *mut Delta, leaf: bool, kind: DeltaKind) -> *mut Delta {
+        pm::alloc::pm_box(Delta { next: AtomicPtr::new(next), leaf, kind })
+    }
+}
+
+#[inline]
+pub(crate) fn delta_ref<'a>(p: *mut Delta) -> &'a Delta {
+    debug_assert!(!p.is_null());
+    // SAFETY: chain nodes are published before any pointer to them escapes and are
+    // never freed while the tree is alive (deferred reclamation; see `Delta` docs).
+    unsafe { &*p }
+}
+
+/// Outcome of a point query against one leaf chain snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Find {
+    /// Key present with this value.
+    Val(u64),
+    /// Key absent from this page.
+    Missing,
+    /// Key is at or beyond this page's (possibly in-split) high key: continue at
+    /// the right sibling.
+    Right(Pid),
+}
+
+/// Point lookup over the immutable chain snapshot starting at `head`.
+///
+/// Walks newest-to-oldest: the first record mentioning `key` wins, and a split
+/// delta redirects keys at or beyond its separator *before* any older record is
+/// consulted (older records covering those keys were already copied right).
+pub fn leaf_lookup(head: *mut Delta, key: &[u8]) -> Find {
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        match &d.kind {
+            DeltaKind::Insert { key: k, value } if k.as_ref() == key => return Find::Val(*value),
+            DeltaKind::Delete { key: k } if k.as_ref() == key => return Find::Missing,
+            DeltaKind::Split { sep, right, .. } if key >= sep.as_ref() => {
+                return Find::Right(*right)
+            }
+            DeltaKind::Base(b) => {
+                if b.high.as_ref().is_some_and(|h| key >= h.as_ref()) {
+                    return Find::Right(b.right);
+                }
+                return match b.keys.binary_search_by(|k| k.as_ref().cmp(key)) {
+                    Ok(i) => Find::Val(b.vals[i]),
+                    Err(_) => Find::Missing,
+                };
+            }
+            _ => {}
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
+/// Outcome of routing a key through one inner chain snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Descend into this child.
+    Child(Pid),
+    /// Key is at or beyond this page's high key: continue at the right sibling.
+    Right(Pid),
+}
+
+/// Route `key` through the inner chain snapshot at `head`: the child under the
+/// largest separator `<= key`, taking uncombined [`DeltaKind::IndexEntry`] records
+/// and split truncation into account.
+pub fn inner_route(head: *mut Delta, key: &[u8]) -> Route {
+    let mut best: Option<(&[u8], Pid)> = None;
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        match &d.kind {
+            DeltaKind::IndexEntry { sep, child }
+                if sep.as_ref() <= key && best.is_none_or(|(b, _)| sep.as_ref() > b) =>
+            {
+                best = Some((sep.as_ref(), *child));
+            }
+            DeltaKind::Split { sep, right, .. } if key >= sep.as_ref() => {
+                return Route::Right(*right)
+            }
+            DeltaKind::Base(b) => {
+                if b.high.as_ref().is_some_and(|h| key >= h.as_ref()) {
+                    return Route::Right(b.right);
+                }
+                if let Some(i) = b.route_idx(key) {
+                    if best.is_none_or(|(bk, _)| b.keys[i].as_ref() > bk) {
+                        best = Some((b.keys[i].as_ref(), b.vals[i]));
+                    }
+                }
+                return Route::Child(best.map_or(b.leftmost, |(_, c)| c));
+            }
+            _ => {}
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
+/// Whether the inner chain at `head` already publishes the separator `sep`
+/// (i.e. the split SMO that promotes `sep` has completed on the parent side).
+pub fn inner_contains_sep(head: *mut Delta, sep: &[u8]) -> bool {
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        match &d.kind {
+            DeltaKind::IndexEntry { sep: s, .. } if s.as_ref() == sep => return true,
+            DeltaKind::Split { sep: s, .. } if sep >= s.as_ref() => return false,
+            DeltaKind::Base(b) => {
+                if b.high.as_ref().is_some_and(|h| sep >= h.as_ref()) {
+                    return false;
+                }
+                return b.keys.binary_search_by(|k| k.as_ref().cmp(sep)).is_ok();
+            }
+            _ => {}
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
+/// The newest (and only incomplete-able) split delta in the chain at `head`, if
+/// any: `(delta node, separator, right PID)`. Used by the helping mechanism.
+pub fn first_split(head: *mut Delta) -> Option<(&'static Delta, &'static [u8], Pid)> {
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        match &d.kind {
+            DeltaKind::Split { sep, right, .. } => {
+                // SAFETY of the 'static launder: see `delta_ref` — nodes live until
+                // the tree is dropped, and callers only use the borrow while the
+                // tree is alive.
+                return Some((d, sep.as_ref(), *right));
+            }
+            DeltaKind::Base(_) => return None,
+            _ => {}
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
+/// Number of records in the chain at `head`, including the base.
+pub fn chain_len(head: *mut Delta) -> usize {
+    let mut n = 0;
+    let mut cur = head;
+    while !cur.is_null() {
+        n += 1;
+        cur = delta_ref(cur).next.load(Ordering::Acquire);
+    }
+    n
+}
+
+/// A consolidated, owned snapshot of one page: the logical content the delta chain
+/// at `head` denotes. Used by consolidation, splits, scans and recovery.
+pub struct PageView {
+    /// Whether the page is a leaf.
+    pub leaf: bool,
+    /// Sorted live entries: records (leaf) or separator/child pairs (inner).
+    pub entries: Vec<(Box<[u8]>, u64)>,
+    /// Leftmost child (inner pages).
+    pub leftmost: Pid,
+    /// Effective exclusive upper bound (split truncation applied).
+    pub high: Option<Box<[u8]>>,
+    /// Effective right sibling (split redirection applied).
+    pub right: Pid,
+    /// Records in the chain (consolidation trigger).
+    pub chain_len: usize,
+    /// The newest split delta's `(sep, right)` if the chain has one.
+    pub pending_split: Option<(Box<[u8]>, Pid)>,
+}
+
+/// Build the consolidated view of the chain snapshot at `head`.
+pub fn build_view(head: *mut Delta) -> PageView {
+    // Newest-first overlay: the first record seen for a key wins; `None` = deleted.
+    let mut overlay: BTreeMap<&[u8], Option<u64>> = BTreeMap::new();
+    let mut pending_split: Option<(Box<[u8]>, Pid)> = None;
+    let mut n = 0usize;
+    let mut cur = head;
+    let base = loop {
+        let d = delta_ref(cur);
+        n += 1;
+        match &d.kind {
+            DeltaKind::Insert { key, value } => {
+                overlay.entry(key.as_ref()).or_insert(Some(*value));
+            }
+            DeltaKind::Delete { key } => {
+                overlay.entry(key.as_ref()).or_insert(None);
+            }
+            DeltaKind::IndexEntry { sep, child } => {
+                overlay.entry(sep.as_ref()).or_insert(Some(*child));
+            }
+            DeltaKind::Split { sep, right, .. } => {
+                if pending_split.is_none() {
+                    pending_split = Some((sep.clone(), *right));
+                }
+            }
+            DeltaKind::Base(b) => break b,
+        }
+        cur = d.next.load(Ordering::Acquire);
+    };
+
+    let (high, right) = match &pending_split {
+        // The newest split has the smallest separator and owns the truncation.
+        Some((sep, right)) => (Some(sep.clone()), *right),
+        None => (base.high.clone(), base.right),
+    };
+    let below_high = |k: &[u8]| high.as_ref().is_none_or(|h| k < h.as_ref());
+
+    // Merge-join the sorted base with the sorted overlay (overlay shadows base).
+    let ov: Vec<(&[u8], Option<u64>)> = overlay.iter().map(|(k, v)| (*k, *v)).collect();
+    let mut entries: Vec<(Box<[u8]>, u64)> = Vec::with_capacity(base.keys.len() + ov.len());
+    let push_overlay = |entries: &mut Vec<(Box<[u8]>, u64)>, k: &[u8], v: Option<u64>| {
+        if let Some(v) = v {
+            if below_high(k) {
+                entries.push((k.into(), v));
+            }
+        }
+    };
+    let (mut bi, mut oi) = (0usize, 0usize);
+    while bi < base.keys.len() || oi < ov.len() {
+        let take_overlay = match (base.keys.get(bi), ov.get(oi)) {
+            (Some(bk), Some((ok, _))) => {
+                if bk.as_ref() == *ok {
+                    bi += 1; // shadowed by the overlay entry
+                    true
+                } else {
+                    *ok < bk.as_ref()
+                }
+            }
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => unreachable!(),
+        };
+        if take_overlay {
+            let (ok, ov_val) = ov[oi];
+            push_overlay(&mut entries, ok, ov_val);
+            oi += 1;
+        } else {
+            if below_high(&base.keys[bi]) {
+                entries.push((base.keys[bi].clone(), base.vals[bi]));
+            }
+            bi += 1;
+        }
+    }
+
+    PageView {
+        leaf: base.leaf,
+        entries,
+        leftmost: base.leftmost,
+        high,
+        right,
+        chain_len: n,
+        pending_split,
+    }
+}
+
+const SEG_BITS: usize = 12;
+const SEG_SLOTS: usize = 1 << SEG_BITS;
+const SEG_COUNT: usize = 1 << 12;
+
+/// One lazily allocated block of mapping-table slots.
+struct Segment {
+    slots: Vec<AtomicPtr<Delta>>,
+}
+
+/// The mapping table: logical PID → current delta-chain head.
+///
+/// A two-level lazily grown array (up to [`SEG_COUNT`] segments of [`SEG_SLOTS`]
+/// slots). The indirection is what makes every page update a single CAS: writers
+/// swap the slot, never any in-page pointer.
+pub struct MappingTable {
+    segs: Vec<AtomicPtr<Segment>>,
+}
+
+impl MappingTable {
+    /// Create a table with the first segment allocated (PIDs start at 1).
+    pub fn new<P: PersistMode>() -> MappingTable {
+        let mut segs = Vec::with_capacity(SEG_COUNT);
+        segs.resize_with(SEG_COUNT, || AtomicPtr::new(std::ptr::null_mut()));
+        let t = MappingTable { segs };
+        t.ensure::<P>(1);
+        t
+    }
+
+    /// Make sure the segment covering `pid` exists (persisted before it is linked).
+    pub fn ensure<P: PersistMode>(&self, pid: Pid) {
+        let si = (pid as usize) >> SEG_BITS;
+        assert!(si < SEG_COUNT, "mapping table capacity exceeded");
+        if !self.segs[si].load(Ordering::Acquire).is_null() {
+            return;
+        }
+        let mut slots = Vec::with_capacity(SEG_SLOTS);
+        slots.resize_with(SEG_SLOTS, || AtomicPtr::new(std::ptr::null_mut()));
+        let seg = pm::alloc::pm_box(Segment { slots });
+        P::persist_obj(seg, true);
+        if self.segs[si]
+            .compare_exchange(std::ptr::null_mut(), seg, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // Another thread installed the segment first.
+            // SAFETY: `seg` was never published; no other thread can reach it.
+            unsafe { pm::alloc::pm_drop(seg) };
+        } else {
+            P::persist_obj(&self.segs[si], true);
+        }
+    }
+
+    /// The slot of `pid`. The segment must exist (PIDs are only handed out after
+    /// [`MappingTable::ensure`]).
+    #[inline]
+    pub fn slot(&self, pid: Pid) -> &AtomicPtr<Delta> {
+        let si = (pid as usize) >> SEG_BITS;
+        let seg = self.segs[si].load(Ordering::Acquire);
+        debug_assert!(!seg.is_null(), "slot({pid}) before ensure");
+        // SAFETY: segments are never freed while the table is alive.
+        let seg = unsafe { &*seg };
+        &seg.slots[(pid as usize) & (SEG_SLOTS - 1)]
+    }
+
+    /// Free every segment. Must only be called with exclusive access (Drop), after
+    /// all chains reachable from the slots were already reclaimed.
+    pub fn free_segments(&mut self) {
+        for s in &self.segs {
+            let p = s.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: exclusive access; segments are only allocated by `ensure`.
+                unsafe { pm::alloc::pm_drop(p) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe::persist::Dram;
+
+    fn bx(s: &[u8]) -> Box<[u8]> {
+        s.into()
+    }
+
+    fn free_chain(mut p: *mut Delta) {
+        while !p.is_null() {
+            let next = delta_ref(p).next.load(Ordering::Acquire);
+            // SAFETY: test-local chains, no other references.
+            unsafe { pm::alloc::pm_drop(p) };
+            p = next;
+        }
+    }
+
+    fn leaf_base(pairs: &[(&[u8], u64)], high: Option<&[u8]>, right: Pid) -> *mut Delta {
+        let base = BasePage {
+            leaf: true,
+            keys: pairs.iter().map(|(k, _)| bx(k)).collect(),
+            vals: pairs.iter().map(|(_, v)| *v).collect(),
+            leftmost: NO_PID,
+            high: high.map(bx),
+            right,
+        };
+        Delta::alloc(std::ptr::null_mut(), true, DeltaKind::Base(base))
+    }
+
+    #[test]
+    fn leaf_lookup_honours_newest_first_overlay() {
+        let base = leaf_base(&[(b"b", 2), (b"d", 4)], None, NO_PID);
+        let del = Delta::alloc(base, true, DeltaKind::Delete { key: bx(b"b") });
+        let ins = Delta::alloc(del, true, DeltaKind::Insert { key: bx(b"b"), value: 9 });
+        assert_eq!(leaf_lookup(base, b"b"), Find::Val(2));
+        assert_eq!(leaf_lookup(del, b"b"), Find::Missing);
+        assert_eq!(leaf_lookup(ins, b"b"), Find::Val(9), "newest record wins");
+        assert_eq!(leaf_lookup(ins, b"d"), Find::Val(4));
+        assert_eq!(leaf_lookup(ins, b"x"), Find::Missing);
+        free_chain(ins);
+    }
+
+    #[test]
+    fn leaf_lookup_redirects_at_split_before_older_records() {
+        let base = leaf_base(&[(b"a", 1), (b"m", 13), (b"z", 26)], None, NO_PID);
+        let split = Delta::alloc(
+            base,
+            true,
+            DeltaKind::Split { sep: bx(b"m"), right: 7, done: AtomicBool::new(false) },
+        );
+        // `m` and `z` were copied to page 7; the stale base records must be shadowed.
+        assert_eq!(leaf_lookup(split, b"m"), Find::Right(7));
+        assert_eq!(leaf_lookup(split, b"z"), Find::Right(7));
+        assert_eq!(leaf_lookup(split, b"a"), Find::Val(1));
+        // A consolidated base with a high key redirects the same way.
+        let cons = leaf_base(&[(b"a", 1)], Some(b"m"), 7);
+        assert_eq!(leaf_lookup(cons, b"z"), Find::Right(7));
+        free_chain(split);
+        free_chain(cons);
+    }
+
+    #[test]
+    fn inner_route_combines_base_and_index_entry_deltas() {
+        let base = Delta::alloc(
+            std::ptr::null_mut(),
+            false,
+            DeltaKind::Base(BasePage {
+                leaf: false,
+                keys: vec![bx(b"h")],
+                vals: vec![20],
+                leftmost: 10,
+                high: None,
+                right: NO_PID,
+            }),
+        );
+        let ie = Delta::alloc(base, false, DeltaKind::IndexEntry { sep: bx(b"p"), child: 30 });
+        assert_eq!(inner_route(ie, b"a"), Route::Child(10));
+        assert_eq!(inner_route(ie, b"h"), Route::Child(20));
+        assert_eq!(inner_route(ie, b"k"), Route::Child(20));
+        assert_eq!(inner_route(ie, b"p"), Route::Child(30), "delta separator routes");
+        assert_eq!(inner_route(ie, b"z"), Route::Child(30));
+        assert!(inner_contains_sep(ie, b"p"));
+        assert!(inner_contains_sep(ie, b"h"));
+        assert!(!inner_contains_sep(ie, b"k"));
+        let split = Delta::alloc(
+            ie,
+            false,
+            DeltaKind::Split { sep: bx(b"p"), right: 5, done: AtomicBool::new(false) },
+        );
+        assert_eq!(inner_route(split, b"z"), Route::Right(5));
+        assert_eq!(inner_route(split, b"h"), Route::Child(20));
+        free_chain(split);
+    }
+
+    #[test]
+    fn build_view_consolidates_overlay_split_and_base() {
+        let base = leaf_base(&[(b"a", 1), (b"c", 3), (b"p", 16), (b"t", 20)], None, NO_PID);
+        let d1 = Delta::alloc(base, true, DeltaKind::Insert { key: bx(b"b"), value: 2 });
+        let d2 = Delta::alloc(d1, true, DeltaKind::Delete { key: bx(b"c") });
+        let d3 = Delta::alloc(
+            d2,
+            true,
+            DeltaKind::Split { sep: bx(b"p"), right: 9, done: AtomicBool::new(false) },
+        );
+        let d4 = Delta::alloc(d3, true, DeltaKind::Insert { key: bx(b"a"), value: 11 });
+        let v = build_view(d4);
+        assert!(v.leaf);
+        assert_eq!(v.chain_len, 5);
+        assert_eq!(v.pending_split, Some((bx(b"p"), 9)));
+        assert_eq!(v.high.as_deref(), Some(&b"p"[..]));
+        assert_eq!(v.right, 9);
+        let got: Vec<(&[u8], u64)> = v.entries.iter().map(|(k, v)| (k.as_ref(), *v)).collect();
+        // `c` deleted, `a` overwritten, `p`/`t` truncated away by the split.
+        assert_eq!(got, vec![(&b"a"[..], 11), (&b"b"[..], 2)]);
+        free_chain(d4);
+    }
+
+    #[test]
+    fn chain_len_and_first_split() {
+        let base = leaf_base(&[], None, NO_PID);
+        assert_eq!(chain_len(base), 1);
+        assert!(first_split(base).is_none());
+        let s1 = Delta::alloc(
+            base,
+            true,
+            DeltaKind::Split { sep: bx(b"m"), right: 3, done: AtomicBool::new(false) },
+        );
+        let s2 = Delta::alloc(
+            s1,
+            true,
+            DeltaKind::Split { sep: bx(b"f"), right: 4, done: AtomicBool::new(false) },
+        );
+        let (_, sep, right) = first_split(s2).expect("split present");
+        assert_eq!((sep, right), (&b"f"[..], 4), "newest (smallest) split wins");
+        assert_eq!(chain_len(s2), 3);
+        free_chain(s2);
+    }
+
+    #[test]
+    fn mapping_table_hands_out_independent_slots() {
+        let mut t = MappingTable::new::<Dram>();
+        t.ensure::<Dram>(SEG_SLOTS as u64 + 5);
+        let d = leaf_base(&[], None, NO_PID);
+        t.slot(1).store(d, Ordering::Release);
+        assert_eq!(t.slot(1).load(Ordering::Acquire), d);
+        assert!(t.slot(2).load(Ordering::Acquire).is_null());
+        assert!(t.slot(SEG_SLOTS as u64 + 5).load(Ordering::Acquire).is_null());
+        free_chain(t.slot(1).swap(std::ptr::null_mut(), Ordering::AcqRel));
+        t.free_segments();
+    }
+}

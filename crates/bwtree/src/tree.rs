@@ -1,0 +1,559 @@
+//! The Bw-tree and its RECIPE Condition #2 conversion.
+//!
+//! Both readers and writers are non-blocking: every operation works on an immutable
+//! delta-chain snapshot obtained with one atomic mapping-table load, and every write
+//! becomes visible through a single CAS of the mapping-table slot. Structure
+//! modifications are *ordered atomic steps* — install the new right page, publish
+//! the split delta, publish the parent index entry — and any thread that observes
+//! the middle state **helps complete it** (the Bw-tree's help-along protocol). That
+//! is exactly the paper's Condition #2, so the conversion (§4.4) is:
+//!
+//! * flush + fence after every store that publishes state (each delta before its
+//!   CAS, the mapping-table slot after it, the root pointer), and
+//! * flush + fence after the *loads the helping mechanism participates in*: before
+//!   a helper acts on a split delta it did not create, it persists the delta and
+//!   the right page's mapping entry it just read, so the helper's dependent store
+//!   can never become durable before the state it was derived from.
+//!
+//! Crash sites sit after each ordered step; [`BwTree::recover`] replays incomplete
+//! split-delta installations (the same helper code) at restart. Node *merges* are
+//! not needed for correctness: a fully emptied page keeps answering lookups and
+//! routing scans through its right link, mirroring how the paper's other converted
+//! indexes leave empty structures in place.
+
+use crate::page::{
+    build_view, chain_len, delta_ref, first_split, inner_contains_sep, inner_route, leaf_lookup,
+    BasePage, Delta, DeltaKind, Find, MappingTable, PageView, Pid, Route, NO_PID,
+};
+use recipe::persist::PersistMode;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Delta-chain length at which a traversing operation consolidates the page.
+pub const DEFAULT_CONSOLIDATE_AFTER: usize = 8;
+
+/// Consolidated page size at which consolidation splits instead.
+pub const DEFAULT_SPLIT_AT: usize = 24;
+
+/// The Bw-tree, generic over the persistence policy: `BwTree<Dram>` is the original
+/// lock-free DRAM index, `BwTree<Pmem>` is P-BwTree.
+pub struct BwTree<P: PersistMode> {
+    map: MappingTable,
+    root: AtomicU64,
+    next_pid: AtomicU64,
+    consolidate_after: usize,
+    split_at: usize,
+    suffix: &'static str,
+    /// Chain heads replaced by consolidation, kept until `Drop` (deferred
+    /// reclamation; stored as addresses so the tree stays `Send + Sync`).
+    retired: parking_lot::Mutex<Vec<usize>>,
+    _policy: PhantomData<P>,
+}
+
+impl<P: PersistMode> Default for BwTree<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: PersistMode> BwTree<P> {
+    /// Create an empty tree with the default consolidation/split thresholds.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_CONSOLIDATE_AFTER, DEFAULT_SPLIT_AT, "")
+    }
+
+    /// Create an empty tree with explicit thresholds. `suffix` is appended to the
+    /// display name (used by the registry's delta-chain ablation entry).
+    #[must_use]
+    pub fn with_config(consolidate_after: usize, split_at: usize, suffix: &'static str) -> Self {
+        assert!(split_at >= 2, "a split needs at least two entries");
+        let map = MappingTable::new::<P>();
+        let base =
+            Delta::alloc(std::ptr::null_mut(), true, DeltaKind::Base(BasePage::empty_leaf()));
+        P::persist_obj(base, true);
+        map.slot(1).store(base, Ordering::Release);
+        let t = BwTree {
+            map,
+            root: AtomicU64::new(1),
+            next_pid: AtomicU64::new(2),
+            consolidate_after: consolidate_after.max(2),
+            split_at,
+            suffix,
+            retired: parking_lot::Mutex::new(Vec::new()),
+            _policy: PhantomData,
+        };
+        P::persist_obj(t.map.slot(1), false);
+        P::persist_obj(&t.root, true);
+        t
+    }
+
+    /// Display-name suffix configured at construction.
+    #[must_use]
+    pub fn suffix(&self) -> &'static str {
+        self.suffix
+    }
+
+    fn alloc_pid(&self) -> Pid {
+        let pid = self.next_pid.fetch_add(1, Ordering::AcqRel);
+        self.map.ensure::<P>(pid);
+        pid
+    }
+
+    #[inline]
+    fn head(&self, pid: Pid) -> *mut Delta {
+        self.map.slot(pid).load(Ordering::Acquire)
+    }
+
+    /// Publish `delta` (already persisted) as the new head of `pid`'s chain iff the
+    /// head is still `expected`; on success persist the slot and fence.
+    fn publish(&self, pid: Pid, expected: *mut Delta, delta: *mut Delta) -> bool {
+        let slot = self.map.slot(pid);
+        if slot.compare_exchange(expected, delta, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            P::mark_dirty_obj(slot);
+            P::persist_obj(slot, true);
+            true
+        } else {
+            // Never published: no other thread has seen it.
+            // SAFETY: `delta` came from `Delta::alloc` and never escaped.
+            unsafe { pm::alloc::pm_drop(delta) };
+            false
+        }
+    }
+
+    /// Descend from the root to the leaf whose key space contains `key`, helping
+    /// along the way: any split delta observed on the path is completed first.
+    fn descend_to_leaf(&self, key: &[u8]) -> Pid {
+        let mut pid = self.root.load(Ordering::Acquire);
+        loop {
+            let head = self.head(pid);
+            self.help_page(pid, head);
+            if delta_ref(head).leaf {
+                return pid;
+            }
+            match inner_route(head, key) {
+                Route::Right(r) => pid = r,
+                Route::Child(c) => {
+                    debug_assert_ne!(c, NO_PID, "inner page routed to no child");
+                    pid = c;
+                }
+            }
+        }
+    }
+
+    /// The Condition #2 helping mechanism: if the chain at `head` carries a split
+    /// delta whose parent entry is not yet confirmed, complete the SMO. Called by
+    /// readers and writers alike on every page they traverse.
+    fn help_page(&self, pid: Pid, head: *mut Delta) {
+        let Some((delta, sep, right)) = first_split(head) else { return };
+        let DeltaKind::Split { done, .. } = &delta.kind else { unreachable!() };
+        if done.load(Ordering::Acquire) {
+            return;
+        }
+        // Flush + fence after the loads the helper participates in (§4.4): the
+        // split delta and the right page's mapping entry were written by another
+        // thread and may not be durable yet; the helper's parent store must not
+        // become durable before them.
+        P::persist_obj(delta as *const Delta, false);
+        P::persist_obj(self.map.slot(right), true);
+        P::crash_site("bwtree.help.split_flushed");
+        self.complete_smo(pid, sep, right);
+        done.store(true, Ordering::Release);
+    }
+
+    /// Complete the split SMO `(left, sep) -> right`: make the parent route `sep`
+    /// to `right` (installing an index-entry delta, or a new root if `left` *is*
+    /// the root). Idempotent; runs from the splitting writer, from every helper
+    /// that observes the split, and from [`BwTree::recover`].
+    fn complete_smo(&self, left: Pid, sep: &[u8], right: Pid) {
+        loop {
+            let root = self.root.load(Ordering::Acquire);
+            if root == left {
+                if self.split_root(left, sep, right) {
+                    return;
+                }
+                continue;
+            }
+            // Find the parent of `left` by routing toward `sep` from the root.
+            let mut cur = root;
+            let mut parent = None;
+            let found = loop {
+                if cur == left {
+                    break true;
+                }
+                if cur == right {
+                    return; // routed into the right page: entry already installed
+                }
+                let head = self.head(cur);
+                if delta_ref(head).leaf {
+                    break false; // trail lost (concurrent restructuring); retry
+                }
+                match inner_route(head, sep) {
+                    Route::Right(r) => cur = r,
+                    Route::Child(c) => {
+                        parent = Some(cur);
+                        cur = c;
+                    }
+                }
+            };
+            if !found {
+                continue;
+            }
+            let Some(parent) = parent else {
+                continue; // left became the root in between; redo from the top
+            };
+            match self.try_install_index_entry(parent, sep, right) {
+                Some(()) => return,
+                None => continue,
+            }
+        }
+    }
+
+    /// Try to publish the index entry `(sep -> right)` on `parent`. Returns
+    /// `Some(())` when the entry is (now) present, `None` when the parent no longer
+    /// covers `sep` and the caller must re-route.
+    fn try_install_index_entry(&self, parent: Pid, sep: &[u8], right: Pid) -> Option<()> {
+        loop {
+            let head = self.head(parent);
+            if delta_ref(head).leaf {
+                return None;
+            }
+            if inner_contains_sep(head, sep) {
+                return Some(());
+            }
+            if let Route::Right(_) = inner_route(head, sep) {
+                return None;
+            }
+            let delta =
+                Delta::alloc(head, false, DeltaKind::IndexEntry { sep: sep.into(), child: right });
+            P::persist_obj(delta, true);
+            if self.publish(parent, head, delta) {
+                P::crash_site("bwtree.smo.parent_published");
+                self.try_consolidate(parent);
+                return Some(());
+            }
+        }
+    }
+
+    /// Grow the tree: replace the root `left` with a fresh inner page routing
+    /// `sep` to `right`. Returns `false` if `left` stopped being the root.
+    fn split_root(&self, left: Pid, sep: &[u8], right: Pid) -> bool {
+        let base = BasePage {
+            leaf: false,
+            keys: vec![sep.into()],
+            vals: vec![right],
+            leftmost: left,
+            high: None,
+            right: NO_PID,
+        };
+        let delta = Delta::alloc(std::ptr::null_mut(), false, DeltaKind::Base(base));
+        P::persist_obj(delta, true);
+        let new_root = self.alloc_pid();
+        let slot = self.map.slot(new_root);
+        slot.store(delta, Ordering::Release);
+        P::mark_dirty_obj(slot);
+        P::persist_obj(slot, true);
+        P::crash_site("bwtree.root_split.new_root_installed");
+        if self.root.compare_exchange(left, new_root, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            P::mark_dirty_obj(&self.root);
+            P::persist_obj(&self.root, true);
+            P::crash_site("bwtree.root_split.committed");
+            true
+        } else {
+            // Lost the race: the page under `new_root` stays unreachable and is
+            // reclaimed when the tree is dropped (allocator GC assumption).
+            false
+        }
+    }
+
+    /// Consolidate `pid` if its chain grew past the threshold, splitting when the
+    /// consolidated page is too large. Best-effort: a lost CAS is simply abandoned
+    /// (some later traversal will retry).
+    fn try_consolidate(&self, pid: Pid) {
+        let head = self.head(pid);
+        if chain_len(head) <= self.consolidate_after {
+            return;
+        }
+        // Never absorb a split delta whose SMO might still be incomplete: the delta
+        // *is* the in-progress marker helpers and recovery look for.
+        self.help_page(pid, head);
+        let view = build_view(head);
+        if view.entries.len() > self.split_at {
+            self.split_page(pid, head, &view);
+            return;
+        }
+        let base = BasePage {
+            leaf: view.leaf,
+            keys: view.entries.iter().map(|(k, _)| k.clone()).collect(),
+            vals: view.entries.iter().map(|(_, v)| *v).collect(),
+            leftmost: view.leftmost,
+            high: view.high.clone(),
+            right: view.right,
+        };
+        let delta = Delta::alloc(std::ptr::null_mut(), view.leaf, DeltaKind::Base(base));
+        P::persist_obj(delta, true);
+        if self.publish(pid, head, delta) {
+            P::crash_site("bwtree.consolidate.installed");
+            self.retired.lock().push(head as usize);
+        }
+    }
+
+    /// Split `pid` (leaf or inner): the ordered atomic steps of the Condition #2
+    /// SMO. `head` is the chain the caller consolidated `view` from.
+    fn split_page(&self, pid: Pid, head: *mut Delta, view: &PageView) {
+        let n = view.entries.len();
+        debug_assert!(n >= 2);
+        let m = n / 2;
+        let sep: Box<[u8]> = view.entries[m].0.clone();
+
+        // Step 1: build and install the right page under a fresh PID. Until the
+        // split delta is published the page is unreachable, so a crash here only
+        // leaks it.
+        let right_base = if view.leaf {
+            BasePage {
+                leaf: true,
+                keys: view.entries[m..].iter().map(|(k, _)| k.clone()).collect(),
+                vals: view.entries[m..].iter().map(|(_, v)| *v).collect(),
+                leftmost: NO_PID,
+                high: view.high.clone(),
+                right: view.right,
+            }
+        } else {
+            // Promote entries[m]: its child becomes the right page's leftmost.
+            BasePage {
+                leaf: false,
+                keys: view.entries[m + 1..].iter().map(|(k, _)| k.clone()).collect(),
+                vals: view.entries[m + 1..].iter().map(|(_, v)| *v).collect(),
+                leftmost: view.entries[m].1,
+                high: view.high.clone(),
+                right: view.right,
+            }
+        };
+        let right_delta =
+            Delta::alloc(std::ptr::null_mut(), view.leaf, DeltaKind::Base(right_base));
+        P::persist_obj(right_delta, true);
+        let right = self.alloc_pid();
+        let slot = self.map.slot(right);
+        slot.store(right_delta, Ordering::Release);
+        P::mark_dirty_obj(slot);
+        P::persist_obj(slot, true);
+        P::crash_site("bwtree.split.right_installed");
+
+        // Step 2: publish the split delta — the single CAS that makes the split
+        // logically visible (keys >= sep redirect through the B-link).
+        let split = Delta::alloc(
+            head,
+            view.leaf,
+            DeltaKind::Split { sep: sep.clone(), right, done: AtomicBool::new(false) },
+        );
+        P::persist_obj(split, true);
+        if !self.publish(pid, head, split) {
+            return; // chain moved on; the right page leaks until Drop
+        }
+        P::crash_site("bwtree.split.delta_published");
+
+        // Step 3: the splitting writer is the SMO's first helper.
+        self.help_page(pid, self.head(pid));
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut pid = self.descend_to_leaf(key);
+        loop {
+            pm::stats::record_node_visit();
+            match leaf_lookup(self.head(pid), key) {
+                Find::Val(v) => return Some(v),
+                Find::Missing => return None,
+                Find::Right(r) => pid = r,
+            }
+        }
+    }
+
+    /// Insert `key -> value`. Returns `true` if the key was newly inserted, `false`
+    /// if it already existed (its value is overwritten).
+    pub fn insert(&self, key: &[u8], value: u64) -> bool {
+        self.leaf_write(key, Some(value), false, "bwtree.insert.delta_published")
+            .expect("unconditional upsert always publishes")
+    }
+
+    /// Conditional update: store `value` only if `key` is present. Linearizes at
+    /// the CAS (the presence check and the publish act on the same chain snapshot).
+    pub fn update(&self, key: &[u8], value: u64) -> bool {
+        self.leaf_write(key, Some(value), true, "bwtree.update.delta_published").is_some()
+    }
+
+    /// Remove `key`. Returns `true` if it was present.
+    pub fn remove(&self, key: &[u8]) -> bool {
+        self.leaf_write(key, None, true, "bwtree.remove.delta_published").is_some()
+    }
+
+    /// Shared leaf write path: publish an insert (`Some(value)`) or delete (`None`)
+    /// delta. With `require_present`, absent keys publish nothing and return `None`.
+    /// Returns `Some(newly)` once a delta was published.
+    fn leaf_write(
+        &self,
+        key: &[u8],
+        value: Option<u64>,
+        require_present: bool,
+        site: &'static str,
+    ) -> Option<bool> {
+        let mut pid = self.descend_to_leaf(key);
+        loop {
+            pm::stats::record_node_visit();
+            let head = self.head(pid);
+            let existed = match leaf_lookup(head, key) {
+                Find::Right(r) => {
+                    pid = r;
+                    continue;
+                }
+                Find::Val(_) => true,
+                Find::Missing => false,
+            };
+            if require_present && !existed {
+                // Linearized at the `head` load: no delta needed.
+                return None;
+            }
+            let kind = match value {
+                Some(v) => DeltaKind::Insert { key: key.into(), value: v },
+                None => DeltaKind::Delete { key: key.into() },
+            };
+            let delta = Delta::alloc(head, true, kind);
+            P::persist_obj(delta, true);
+            if self.publish(pid, head, delta) {
+                P::crash_site(site);
+                self.try_consolidate(pid);
+                return Some(!existed);
+            }
+        }
+    }
+
+    /// Range scan: up to `count` pairs with keys `>= start`, ascending, following
+    /// the leaf B-link chain. Each page contributes one immutable snapshot.
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut out: Vec<(Vec<u8>, u64)> = Vec::with_capacity(count.min(1024));
+        let mut pid = self.descend_to_leaf(start);
+        while pid != NO_PID && out.len() < count {
+            pm::stats::record_node_visit();
+            let view = build_view(self.head(pid));
+            let from = view.entries.partition_point(|(k, _)| k.as_ref() < start);
+            for (k, v) in &view.entries[from..] {
+                if out.len() >= count {
+                    return out;
+                }
+                // Cross-page duplicate suppression (defence in depth; the split
+                // truncation already keeps page snapshots disjoint).
+                if out.last().is_some_and(|(last, _)| last.as_slice() >= k.as_ref()) {
+                    continue;
+                }
+                out.push((k.to_vec(), *v));
+            }
+            pid = view.right;
+        }
+        out
+    }
+
+    /// Post-crash recovery: replay every incomplete split-delta installation.
+    ///
+    /// The Bw-tree has no locks to re-initialise; restart only needs the helping
+    /// mechanism run over the surviving state, exactly as RECIPE prescribes for
+    /// Condition #2. Scans the mapping table (the tree's own structure) and
+    /// completes every split SMO whose parent entry is missing — including a torn
+    /// root split, which re-roots the tree. Must run single-threaded, like a
+    /// restart would.
+    pub fn recover(&self) {
+        let max = self.next_pid.load(Ordering::Acquire);
+        for pid in 1..max {
+            let head = self.head(pid);
+            if head.is_null() {
+                continue;
+            }
+            self.help_page(pid, head);
+        }
+    }
+
+    /// Diagnostic: split deltas whose separator the parent level does not route
+    /// yet — in-progress (or crash-torn) SMOs. Zero on a quiescent consistent
+    /// tree; [`BwTree::recover`] restores it to zero. Single-threaded use only.
+    #[must_use]
+    pub fn incomplete_smos(&self) -> usize {
+        let max = self.next_pid.load(Ordering::Acquire);
+        let mut n = 0;
+        for pid in 1..max {
+            let head = self.head(pid);
+            if head.is_null() {
+                continue;
+            }
+            if let Some((_, sep, right)) = first_split(head) {
+                if !self.routed_from_parent(sep, right) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Whether routing `sep` from the root reaches `right` through parent links
+    /// (index entries) rather than only through the split delta's B-link.
+    fn routed_from_parent(&self, sep: &[u8], right: Pid) -> bool {
+        let mut pid = self.root.load(Ordering::Acquire);
+        loop {
+            if pid == right {
+                return true;
+            }
+            let head = self.head(pid);
+            if delta_ref(head).leaf {
+                return false;
+            }
+            match inner_route(head, sep) {
+                Route::Right(r) if r == right => return false,
+                Route::Right(r) => pid = r,
+                Route::Child(c) if c == right => return true,
+                Route::Child(c) => pid = c,
+            }
+        }
+    }
+
+    /// Number of stored keys (full scan; tests and diagnostics only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scan(&[], usize::MAX).len()
+    }
+
+    /// Whether the tree holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scan(&[], 1).is_empty()
+    }
+
+    /// Display name under this persistence policy (plus the config suffix).
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        if P::PERSISTENT {
+            format!("P-BwTree{}", self.suffix)
+        } else {
+            format!("BwTree{}", self.suffix)
+        }
+    }
+}
+
+impl<P: PersistMode> Drop for BwTree<P> {
+    fn drop(&mut self) {
+        fn free_chain(mut p: *mut Delta) {
+            while !p.is_null() {
+                let next = delta_ref(p).next.load(Ordering::Acquire);
+                // SAFETY: exclusive access (`&mut self` in drop); chains were
+                // detached just before and nodes are never shared across chains.
+                unsafe { pm::alloc::pm_drop(p) };
+                p = next;
+            }
+        }
+        let max = *self.next_pid.get_mut();
+        for pid in 1..max {
+            free_chain(self.map.slot(pid).swap(std::ptr::null_mut(), Ordering::AcqRel));
+        }
+        for head in std::mem::take(&mut *self.retired.lock()) {
+            free_chain(head as *mut Delta);
+        }
+        self.map.free_segments();
+    }
+}

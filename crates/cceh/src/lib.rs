@@ -18,6 +18,30 @@
 
 pub mod segment;
 
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
+/// The directory-doubling sites depend on the `doubling-bug` feature (the buggy
+/// ordering has one site where the correct ordering has two).
+#[cfg(not(feature = "doubling-bug"))]
+pub const CRASH_SITES: &[&str] = &[
+    "cceh.insert.value_written",
+    "cceh.insert.committed",
+    "cceh.doubling.new_dir_persisted",
+    "cceh.doubling.committed",
+    "cceh.split.segments_persisted",
+    "cceh.split.directory_updated",
+];
+
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep
+/// (`doubling-bug` build).
+#[cfg(feature = "doubling-bug")]
+pub const CRASH_SITES: &[&str] = &[
+    "cceh.insert.value_written",
+    "cceh.insert.committed",
+    "cceh.doubling.swapped_before_persist",
+    "cceh.split.segments_persisted",
+    "cceh.split.directory_updated",
+];
+
 use recipe::index::{ConcurrentIndex, Recoverable};
 use recipe::key::{hash_u64, key_to_u64};
 use recipe::persist::{PersistMode, Pmem};

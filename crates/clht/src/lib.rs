@@ -50,6 +50,16 @@ pub type DramClht = Clht<Dram>;
 /// P-CLHT: the RECIPE-converted persistent CLHT.
 pub type PClht = Clht<Pmem>;
 
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
+pub const CRASH_SITES: &[&str] = &[
+    "clht.insert.value_written",
+    "clht.insert.committed",
+    "clht.insert.overflow_allocated",
+    "clht.remove.committed",
+    "clht.rehash.table_built",
+    "clht.rehash.committed",
+];
+
 // SAFETY: the raw table pointer is only mutated through atomic operations and the
 // pointed-to tables are never freed while the index is alive (copy-on-write rehash
 // with leaked old tables), so sharing across threads is sound.

@@ -21,6 +21,10 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
+pub use sweep::{run_crash_sweep, MixedGen, MixedOp, SiteOutcome, SweepConfig, SweepReport};
+
 use pm::crash;
 use recipe::index::{ConcurrentIndex, Recoverable};
 use recipe::key::u64_key;
@@ -261,6 +265,10 @@ mod tests {
     use std::collections::HashMap;
     use std::sync::atomic::AtomicBool;
 
+    /// Crash arming and site counters are process-global; tests that arm them
+    /// must not overlap.
+    static CRASH_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
     /// A small lock-protected hash map with RECIPE-style crash sites, used to validate
     /// the harness itself (the real indexes are tested from the integration suite).
     type Shard = (VersionLock, parking_lot::RwLock<HashMap<Vec<u8>, u64>>);
@@ -324,6 +332,7 @@ mod tests {
 
     #[test]
     fn crash_harness_passes_a_correct_index() {
+        let _g = CRASH_LOCK.lock();
         let cfg = CrashTestConfig {
             load_keys: 500,
             post_ops: 400,
@@ -355,5 +364,66 @@ mod tests {
         assert_eq!(cfg.load_keys, 10_000);
         assert_eq!(cfg.post_ops, 10_000);
         assert_eq!(cfg.threads, 4);
+        let s = SweepConfig::default();
+        assert_eq!(s.load_ops, 10_000);
+        assert!(s.sampled_states > 0);
+    }
+
+    const TOY_SITES: &[&str] = &["toy.insert.locked", "toy.insert.committed"];
+
+    #[test]
+    fn sweep_passes_a_correct_index_with_full_coverage() {
+        let _g = CRASH_LOCK.lock();
+        let cfg =
+            SweepConfig { load_ops: 400, post_ops: 300, threads: 2, sampled_states: 5, seed: 3 };
+        let report = run_crash_sweep(|| ToyIndex::new(true), TOY_SITES, &cfg);
+        assert_eq!(report.states_tested, TOY_SITES.len() + 5);
+        assert!(report.crashes_triggered >= TOY_SITES.len(), "{report:?}");
+        for s in &report.per_site {
+            assert!(s.hits_in_load > 0, "{s:?}");
+            assert!(s.crash_fired, "{s:?}");
+            assert!(s.exercised, "{s:?}");
+        }
+        assert!(report.full_coverage());
+        assert!(report.passed(), "{report:?}");
+        assert!(report.avg_state_ms >= 0.0);
+    }
+
+    #[test]
+    fn sweep_flags_never_exercised_sites() {
+        let _g = CRASH_LOCK.lock();
+        const WITH_HOLE: &[&str] = &["toy.insert.locked", "toy.never.reached"];
+        let cfg =
+            SweepConfig { load_ops: 200, post_ops: 100, threads: 2, sampled_states: 2, seed: 9 };
+        let report = run_crash_sweep(|| ToyIndex::new(true), WITH_HOLE, &cfg);
+        assert!(report.consistent(), "{report:?}");
+        assert!(!report.full_coverage(), "hole must be detected");
+        assert!(!report.passed());
+        assert_eq!(report.sites_defined(), 2);
+        assert_eq!(report.sites_exercised(), 1);
+        let hole = report.per_site.iter().find(|s| s.site == "toy.never.reached").unwrap();
+        assert_eq!(hole.hits_in_load, 0);
+        assert!(!hole.crash_fired);
+        assert!(!hole.exercised);
+        // The same sweep also proves the reverse direction: `toy.insert.committed`
+        // executed but was left out of the declaration.
+        assert_eq!(report.undeclared_sites, vec!["toy.insert.committed"]);
+    }
+
+    #[test]
+    fn sweep_flags_emitted_but_undeclared_sites() {
+        let _g = CRASH_LOCK.lock();
+        // Declare only one of the two sites the toy index emits: consistency and
+        // declared-site coverage are fine, but the sweep must still fail because
+        // an executed atomic step has no targeted crash state.
+        const PARTIAL: &[&str] = &["toy.insert.locked"];
+        let cfg =
+            SweepConfig { load_ops: 200, post_ops: 100, threads: 2, sampled_states: 2, seed: 5 };
+        let report = run_crash_sweep(|| ToyIndex::new(true), PARTIAL, &cfg);
+        assert!(report.consistent(), "{report:?}");
+        assert_eq!(report.sites_exercised(), report.sites_defined());
+        assert_eq!(report.undeclared_sites, vec!["toy.insert.committed"]);
+        assert!(!report.full_coverage());
+        assert!(!report.passed());
     }
 }

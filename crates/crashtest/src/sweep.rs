@@ -1,0 +1,472 @@
+//! Per-site exhaustive crash sweeps with coverage accounting.
+//!
+//! [`super::run_crash_test`] samples crash points uniformly over an insert-only
+//! load, which is how the paper *presents* its numbers (§7.5) but weaker than what
+//! §5 actually claims: the methodology *enumerates* the interesting crash points,
+//! because operations are a small number of ordered atomic steps. This module
+//! implements that claim:
+//!
+//! * every crash site an index **declares** (`CRASH_SITES` in its crate) gets its
+//!   own targeted crash state — armed at a deterministically chosen hit of exactly
+//!   that site — plus the familiar uniformly sampled states on top;
+//! * the load is a **mixed** workload (inserts of fresh keys, re-inserts of
+//!   removed keys, updates, removes) so update/remove commit points and
+//!   SMO-heavy paths are all reachable;
+//! * a **coverage report** records, per site, how often the load exercises it,
+//!   whether a crash fired there, and whether it executed at all anywhere in the
+//!   sweep — including post-recovery phases, which is where pure *helper* sites
+//!   (e.g. `art.helper.prefix_fixed`, which only runs once a crash left a
+//!   permanent inconsistency behind) are reached;
+//! * the sweep **fails** if consistency is violated *or* if any declared site was
+//!   never exercised — a never-exercised site means the crash matrix has a hole.
+
+use pm::crash;
+use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::key::u64_key;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Configuration of one per-index sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Mixed operations executed (single-threaded) while a crash is armed.
+    pub load_ops: usize,
+    /// Mixed operations executed (multi-threaded) after recovery.
+    pub post_ops: usize,
+    /// Threads for the post-recovery phase.
+    pub threads: usize,
+    /// Uniformly sampled crash states run in addition to the per-site states.
+    pub sampled_states: usize,
+    /// Base RNG seed; the whole sweep is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { load_ops: 10_000, post_ops: 4_000, threads: 4, sampled_states: 100, seed: 7 }
+    }
+}
+
+/// Coverage outcome for one declared crash site.
+#[derive(Debug, Clone)]
+pub struct SiteOutcome {
+    /// The declared site name.
+    pub site: &'static str,
+    /// Times the (crash-free) calibration load executes the site.
+    pub hits_in_load: u64,
+    /// Whether the targeted state actually crashed at this site.
+    pub crash_fired: bool,
+    /// Whether the site executed at least once anywhere in the sweep (targeted
+    /// loads, sampled loads, recovery, or post-recovery phases).
+    pub exercised: bool,
+}
+
+/// Outcome of a full per-index sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Per declared site, in declaration order.
+    pub per_site: Vec<SiteOutcome>,
+    /// Sites the sweep observed executing that the index's `CRASH_SITES` list
+    /// does **not** declare — each one is an atomic step the per-site
+    /// enumeration silently skipped, so any entry here fails the sweep.
+    pub undeclared_sites: Vec<&'static str>,
+    /// Crash states run (per-site states + sampled states).
+    pub states_tested: usize,
+    /// States in which a crash fired.
+    pub crashes_triggered: usize,
+    /// Acknowledged keys unreadable after recovery.
+    pub lost_keys: usize,
+    /// Acknowledged keys read back with the wrong value.
+    pub wrong_values: usize,
+    /// Acknowledged removals that resurrected after recovery.
+    pub resurrected_keys: usize,
+    /// Post-recovery operations with wrong results.
+    pub failed_post_ops: usize,
+    /// Average milliseconds per crash state.
+    pub avg_state_ms: f64,
+}
+
+impl SweepReport {
+    /// Declared crash sites.
+    #[must_use]
+    pub fn sites_defined(&self) -> usize {
+        self.per_site.len()
+    }
+
+    /// Declared sites that executed at least once during the sweep.
+    #[must_use]
+    pub fn sites_exercised(&self) -> usize {
+        self.per_site.iter().filter(|s| s.exercised).count()
+    }
+
+    /// Whether every declared site was exercised *and* every executed site was
+    /// declared (the coverage check is two-directional: an emitted-but-undeclared
+    /// site would otherwise dodge its targeted crash state unnoticed).
+    #[must_use]
+    pub fn full_coverage(&self) -> bool {
+        self.sites_exercised() == self.sites_defined() && self.undeclared_sites.is_empty()
+    }
+
+    /// Whether recovery preserved consistency in every state.
+    #[must_use]
+    pub fn consistent(&self) -> bool {
+        self.lost_keys == 0
+            && self.wrong_values == 0
+            && self.resurrected_keys == 0
+            && self.failed_post_ops == 0
+    }
+
+    /// Consistency *and* full site coverage.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.consistent() && self.full_coverage()
+    }
+}
+
+use pm::mix64;
+
+/// One operation of the deterministic mixed load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixedOp {
+    /// Insert (or re-insert) `key -> value`.
+    Insert(u64, u64),
+    /// Conditional update of an existing key.
+    Update(u64, u64),
+    /// Remove an existing key.
+    Remove(u64),
+}
+
+/// Deterministic mixed-operation generator: ~72% inserts (a slice of them
+/// re-inserting previously removed keys, to exercise slot recycling), ~14%
+/// updates of live keys, ~14% removes. Entirely a function of the seed.
+pub struct MixedGen {
+    rng: u64,
+    next_id: u64,
+    live: Vec<u64>,
+    removed: Vec<u64>,
+}
+
+impl MixedGen {
+    /// Create a generator for the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> MixedGen {
+        MixedGen { rng: seed | 1, next_id: 0, live: Vec::new(), removed: Vec::new() }
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.rng)
+    }
+
+    /// The `i`-th operation's value for `key` (updates write fresh values).
+    #[must_use]
+    pub fn value(key: u64, i: u64) -> u64 {
+        mix64(key ^ i.wrapping_mul(0xA24B_AED4_963E_E407)) | 1
+    }
+
+    /// Produce the next operation (for op index `i`).
+    pub fn next_op(&mut self, i: u64) -> MixedOp {
+        let r = self.rand();
+        let dice = r % 100;
+        if dice < 72 || self.live.len() < 8 {
+            let id = if dice % 6 == 0 && !self.removed.is_empty() {
+                self.removed.pop().unwrap()
+            } else {
+                self.next_id += 1;
+                self.next_id
+            };
+            self.live.push(id);
+            MixedOp::Insert(id, Self::value(id, i))
+        } else if dice < 86 {
+            let id = self.live[(r >> 8) as usize % self.live.len()];
+            MixedOp::Update(id, Self::value(id, i))
+        } else {
+            let idx = (r >> 8) as usize % self.live.len();
+            let id = self.live.swap_remove(idx);
+            self.removed.push(id);
+            MixedOp::Remove(id)
+        }
+    }
+}
+
+/// How one crash state arms the injector.
+enum Arm {
+    Nth(u64),
+    AtSite(&'static str, u64),
+}
+
+#[derive(Debug, Default)]
+struct StateResult {
+    crashed_at: Option<&'static str>,
+    lost: usize,
+    wrong: usize,
+    resurrected: usize,
+    failed_post: usize,
+}
+
+/// Run one crash state: mixed load with a crash armed, recovery, post-recovery
+/// mixed phase, then a full read-back against the acknowledged model.
+fn run_state<I>(index: &I, cfg: &SweepConfig, arm: &Arm) -> StateResult
+where
+    I: ConcurrentIndex + Recoverable + Send + Sync,
+{
+    match arm {
+        Arm::Nth(n) => crash::arm_nth(*n),
+        Arm::AtSite(site, hit) => crash::arm_at_site(site, *hit),
+    }
+    // Model of *acknowledged* state: Some(v) = present with value v, None =
+    // removed. Only updated when the operation returned.
+    let mut model: HashMap<u64, Option<u64>> = HashMap::new();
+    let mut gen = MixedGen::new(cfg.seed);
+    let mut result = StateResult::default();
+    for i in 0..cfg.load_ops as u64 {
+        let op = gen.next_op(i);
+        let r = crash::catch_crash(AssertUnwindSafe(|| match op {
+            MixedOp::Insert(k, v) => {
+                index.insert(&u64_key(k), v);
+            }
+            MixedOp::Update(k, v) => {
+                index.update(&u64_key(k), v);
+            }
+            MixedOp::Remove(k) => {
+                index.remove(&u64_key(k));
+            }
+        }));
+        let key = match op {
+            MixedOp::Insert(k, _) | MixedOp::Update(k, _) | MixedOp::Remove(k) => k,
+        };
+        match r {
+            Ok(()) => {
+                match op {
+                    MixedOp::Insert(k, v) => {
+                        model.insert(k, Some(v));
+                    }
+                    MixedOp::Update(k, v) => {
+                        if model.get(&k).is_some_and(Option::is_some) {
+                            model.insert(k, Some(v));
+                        }
+                    }
+                    MixedOp::Remove(k) => {
+                        model.insert(k, None);
+                    }
+                };
+            }
+            Err(site) => {
+                // The interrupted operation is unacknowledged: both outcomes are
+                // legal for its key, so it is exempt from the read-back.
+                model.remove(&key);
+                result.crashed_at = Some(site);
+                break;
+            }
+        }
+    }
+    crash::disarm();
+
+    // "Restart": recovery replays helpers / re-initialises locks. Count-only
+    // arming keeps recording site coverage (recovery and post-recovery phases are
+    // where crash-only helper sites execute) without ever crashing again.
+    crash::arm_count_only();
+    index.recover();
+
+    // Post-recovery phase: fresh inserts, idempotent updates of acknowledged keys
+    // (traversing the crashed region, which triggers observation-driven helpers)
+    // and reads, from several threads.
+    let present: Vec<(u64, u64)> = model.iter().filter_map(|(k, v)| v.map(|v| (*k, v))).collect();
+    let failed_ops = AtomicU64::new(0);
+    let per_thread = cfg.post_ops / cfg.threads.max(1);
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads.max(1) as u64 {
+            let index = &index;
+            let present = &present;
+            let failed_ops = &failed_ops;
+            scope.spawn(move || {
+                for j in 0..per_thread as u64 {
+                    match j % 3 {
+                        0 => {
+                            let id = 1_000_000 + t * per_thread as u64 + j;
+                            index.insert(&u64_key(id), MixedGen::value(id, j));
+                            if index.get(&u64_key(id)) != Some(MixedGen::value(id, j)) {
+                                failed_ops.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 if !present.is_empty() => {
+                            let (k, v) =
+                                present[(t as usize * 7919 + j as usize * 13) % present.len()];
+                            // Idempotent rewrite: exercises the write path over the
+                            // crash-torn region without changing the model.
+                            index.update(&u64_key(k), v);
+                        }
+                        _ if !present.is_empty() => {
+                            let (k, v) = present[(j as usize * 31 + 7) % present.len()];
+                            if index.get(&u64_key(k)) != Some(v) {
+                                failed_ops.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            });
+        }
+    });
+    result.failed_post = failed_ops.load(Ordering::Relaxed) as usize;
+
+    // Read-back: every acknowledged key must be in its acknowledged state.
+    for (k, state) in &model {
+        let got = index.get(&u64_key(*k));
+        match (state, got) {
+            (Some(v), Some(g)) if g == *v => {}
+            (Some(_), Some(_)) => result.wrong += 1,
+            (Some(_), None) => result.lost += 1,
+            (None, Some(_)) => result.resurrected += 1,
+            (None, None) => {}
+        }
+    }
+    crash::disarm();
+    result
+}
+
+/// Run the exhaustive per-site sweep for one index.
+///
+/// `declared` is the index crate's `CRASH_SITES` list. Each declared site gets one
+/// targeted crash state (armed at a seed-chosen hit of that site), followed by
+/// `cfg.sampled_states` uniformly sampled states; the coverage columns are
+/// computed over everything the whole sweep executed.
+pub fn run_crash_sweep<I, F>(
+    factory: F,
+    declared: &'static [&'static str],
+    cfg: &SweepConfig,
+) -> SweepReport
+where
+    I: ConcurrentIndex + Recoverable + Send + Sync,
+    F: Fn() -> I,
+{
+    crash::install_quiet_hook();
+    crash::start_named_counts();
+    let started = Instant::now();
+
+    // Calibration: run the mixed load crash-free, counting per-site hits (used to
+    // pick which hit of each site to crash at) and the total hit count (used to
+    // spread the sampled states).
+    crash::arm_count_only();
+    let mut gen = MixedGen::new(cfg.seed);
+    {
+        let index = factory();
+        for i in 0..cfg.load_ops as u64 {
+            match gen.next_op(i) {
+                MixedOp::Insert(k, v) => {
+                    index.insert(&u64_key(k), v);
+                }
+                MixedOp::Update(k, v) => {
+                    index.update(&u64_key(k), v);
+                }
+                MixedOp::Remove(k) => {
+                    index.remove(&u64_key(k));
+                }
+            }
+        }
+    }
+    let total_sites = crash::sites_hit().max(1);
+    let load_hits: HashMap<&'static str, u64> =
+        declared.iter().map(|s| (*s, crash::named_count(s))).collect();
+    crash::disarm();
+
+    let mut report = SweepReport::default();
+
+    // One targeted crash state per declared site.
+    let mut fired: Vec<bool> = Vec::with_capacity(declared.len());
+    for (si, site) in declared.iter().enumerate() {
+        let hits = load_hits[site];
+        let hit =
+            1 + mix64(cfg.seed ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % hits.max(1);
+        let index = factory();
+        let r = run_state(&index, cfg, &Arm::AtSite(site, hit));
+        report.states_tested += 1;
+        if r.crashed_at.is_some() {
+            report.crashes_triggered += 1;
+        }
+        fired.push(r.crashed_at == Some(site));
+        report.lost_keys += r.lost;
+        report.wrong_values += r.wrong;
+        report.resurrected_keys += r.resurrected;
+        report.failed_post_ops += r.failed_post;
+    }
+
+    // The uniformly sampled mixed states on top.
+    for s in 0..cfg.sampled_states as u64 {
+        let crash_at = mix64(cfg.seed ^ s.wrapping_mul(0xD6E8_FEB8_6659_FD93)) % total_sites + 1;
+        let index = factory();
+        let r = run_state(&index, cfg, &Arm::Nth(crash_at));
+        report.states_tested += 1;
+        if r.crashed_at.is_some() {
+            report.crashes_triggered += 1;
+        }
+        report.lost_keys += r.lost;
+        report.wrong_values += r.wrong;
+        report.resurrected_keys += r.resurrected;
+        report.failed_post_ops += r.failed_post;
+    }
+
+    report.per_site = declared
+        .iter()
+        .zip(fired)
+        .map(|(site, crash_fired)| SiteOutcome {
+            site,
+            hits_in_load: load_hits[site],
+            crash_fired,
+            exercised: crash::named_count(site) > 0,
+        })
+        .collect();
+    // Two-directional coverage: the sweep only ran this index, so any counted
+    // name missing from its declaration is an undeclared atomic step.
+    report.undeclared_sites = crash::named_counts()
+        .into_iter()
+        .filter(|(name, _)| !declared.contains(name))
+        .map(|(name, _)| name)
+        .collect();
+    report.undeclared_sites.sort_unstable();
+    report.avg_state_ms =
+        started.elapsed().as_secs_f64() * 1000.0 / report.states_tested.max(1) as f64;
+    crash::stop_named_counts();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_gen_is_deterministic_and_mixed() {
+        let mut a = MixedGen::new(42);
+        let mut b = MixedGen::new(42);
+        let (mut ins, mut upd, mut rem, mut reins) = (0, 0, 0, 0);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5_000u64 {
+            let op = a.next_op(i);
+            assert_eq!(op, b.next_op(i), "same seed, same stream");
+            match op {
+                MixedOp::Insert(k, _) => {
+                    if !seen.insert(k) {
+                        reins += 1;
+                    }
+                    ins += 1;
+                }
+                MixedOp::Update(..) => upd += 1,
+                MixedOp::Remove(..) => rem += 1,
+            }
+        }
+        assert!(ins > 3_000, "inserts dominate ({ins})");
+        assert!(upd > 300, "updates present ({upd})");
+        assert!(rem > 300, "removes present ({rem})");
+        assert!(reins > 50, "re-inserts of removed keys present ({reins})");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = MixedGen::new(1);
+        let mut b = MixedGen::new(2);
+        let differs = (0..100u64).any(|i| a.next_op(i) != b.next_op(i));
+        assert!(differs);
+    }
+}

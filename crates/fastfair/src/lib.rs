@@ -22,6 +22,21 @@ pub mod tree;
 pub use node::KeyMode;
 pub use tree::FastFair;
 
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
+pub const CRASH_SITES: &[&str] = &[
+    "fastfair.shift.step",
+    "fastfair.insert.value_written",
+    "fastfair.insert.committed",
+    "fastfair.remove.step",
+    "fastfair.split.sibling_persisted",
+    "fastfair.split.sibling_linked",
+    "fastfair.split.left_truncated",
+    "fastfair.root_split.new_root_persisted",
+    "fastfair.root_split.committed",
+    "fastfair.parent_split.sibling_persisted",
+    "fastfair.parent_split.left_truncated",
+];
+
 use recipe::index::{ConcurrentIndex, Recoverable};
 use recipe::persist::{Dram, PersistMode, Pmem};
 

@@ -47,6 +47,9 @@ pub struct IndexEntry {
     /// `true` if writers serialize on a single global lock (WOART); such indexes
     /// are kept out of the multi-threaded figure registries.
     pub single_writer: bool,
+    /// Every crash site the index's crate can emit, for the §5 per-site
+    /// exhaustive sweep and its coverage report.
+    pub crash_sites: &'static [&'static str],
     /// Construct the PM instantiation.
     pub build_pmem: fn() -> Arc<dyn ConcurrentIndex>,
     /// Construct the DRAM instantiation.
@@ -94,13 +97,14 @@ impl IndexEntry {
 
 macro_rules! entry {
     ($pname:literal, $dname:literal, $kind:ident, converted: $conv:literal,
-     single_writer: $sw:literal, $ty:ident :: $base:ident) => {
+     single_writer: $sw:literal, $ty:ident :: $base:ident, $sites:expr) => {
         IndexEntry {
             name: $pname,
             dram_name: $dname,
             kind: IndexKind::$kind,
             converted: $conv,
             single_writer: $sw,
+            crash_sites: $sites,
             build_pmem: || Arc::new($ty::$base::<Pmem>::new()),
             build_dram: || Arc::new($ty::$base::<Dram>::new()),
             build_pmem_recoverable: || Arc::new($ty::$base::<Pmem>::new()),
@@ -109,19 +113,64 @@ macro_rules! entry {
     };
 }
 
+/// Delta-chain ablation: the same P-BwTree with a longer consolidation threshold
+/// (16 instead of 8). Longer chains trade flushes (fewer consolidations) for
+/// pointer chases, the Bw-tree's central tuning knob.
+fn bwtree_dc16() -> IndexEntry {
+    const DC: usize = 16;
+    IndexEntry {
+        name: "P-BwTree(dc16)",
+        dram_name: "BwTree(dc16)",
+        kind: IndexKind::Ordered,
+        converted: true,
+        single_writer: false,
+        crash_sites: bwtree::CRASH_SITES,
+        build_pmem: || {
+            Arc::new(bwtree::BwTree::<Pmem>::with_config(
+                DC,
+                bwtree::tree::DEFAULT_SPLIT_AT,
+                "(dc16)",
+            ))
+        },
+        build_dram: || {
+            Arc::new(bwtree::BwTree::<Dram>::with_config(
+                DC,
+                bwtree::tree::DEFAULT_SPLIT_AT,
+                "(dc16)",
+            ))
+        },
+        build_pmem_recoverable: || {
+            Arc::new(bwtree::BwTree::<Pmem>::with_config(
+                DC,
+                bwtree::tree::DEFAULT_SPLIT_AT,
+                "(dc16)",
+            ))
+        },
+        build_dram_recoverable: || {
+            Arc::new(bwtree::BwTree::<Dram>::with_config(
+                DC,
+                bwtree::tree::DEFAULT_SPLIT_AT,
+                "(dc16)",
+            ))
+        },
+    }
+}
+
 /// Every index in the workspace, converted indexes first, in the order the
 /// paper's figures present them.
 #[must_use]
 pub fn all_indexes() -> Vec<IndexEntry> {
     vec![
-        entry!("P-ART", "ART", Ordered, converted: true, single_writer: false, art_index::Art),
-        entry!("P-HOT", "HOT", Ordered, converted: true, single_writer: false, hot_trie::Hot),
-        entry!("P-Masstree", "Masstree", Ordered, converted: true, single_writer: false, masstree::Masstree),
-        entry!("P-CLHT", "CLHT", Hash, converted: true, single_writer: false, clht::Clht),
-        entry!("FAST&FAIR", "FAST&FAIR(dram)", Ordered, converted: false, single_writer: false, fastfair::FastFair),
-        entry!("WOART(global-lock)", "WOART(dram)", Ordered, converted: false, single_writer: true, woart::Woart),
-        entry!("CCEH", "CCEH(dram)", Hash, converted: false, single_writer: false, cceh::Cceh),
-        entry!("Level-Hashing", "Level-Hashing(dram)", Hash, converted: false, single_writer: false, levelhash::LevelHash),
+        entry!("P-ART", "ART", Ordered, converted: true, single_writer: false, art_index::Art, art_index::CRASH_SITES),
+        entry!("P-HOT", "HOT", Ordered, converted: true, single_writer: false, hot_trie::Hot, hot_trie::CRASH_SITES),
+        entry!("P-BwTree", "BwTree", Ordered, converted: true, single_writer: false, bwtree::BwTree, bwtree::CRASH_SITES),
+        entry!("P-Masstree", "Masstree", Ordered, converted: true, single_writer: false, masstree::Masstree, masstree::CRASH_SITES),
+        entry!("P-CLHT", "CLHT", Hash, converted: true, single_writer: false, clht::Clht, clht::CRASH_SITES),
+        bwtree_dc16(),
+        entry!("FAST&FAIR", "FAST&FAIR(dram)", Ordered, converted: false, single_writer: false, fastfair::FastFair, fastfair::CRASH_SITES),
+        entry!("WOART(global-lock)", "WOART(dram)", Ordered, converted: false, single_writer: true, woart::Woart, woart::CRASH_SITES),
+        entry!("CCEH", "CCEH(dram)", Hash, converted: false, single_writer: false, cceh::Cceh, cceh::CRASH_SITES),
+        entry!("Level-Hashing", "Level-Hashing(dram)", Hash, converted: false, single_writer: false, levelhash::LevelHash, levelhash::CRASH_SITES),
     ]
 }
 
@@ -145,10 +194,38 @@ mod tests {
     #[test]
     fn registry_covers_both_kinds() {
         let all = all_indexes();
-        assert_eq!(all.len(), 8);
+        assert_eq!(all.len(), 10);
         assert!(all.iter().any(|e| e.kind == IndexKind::Ordered));
         assert!(all.iter().any(|e| e.kind == IndexKind::Hash));
         assert_eq!(ordered_indexes().len() + hash_indexes().len() + 1, all.len());
+    }
+
+    #[test]
+    fn every_converted_table_1_index_is_registered() {
+        // The paper's five converted indexes are all present (the Bw-tree twice:
+        // default and the delta-chain ablation).
+        let all = all_indexes();
+        for name in ["P-ART", "P-HOT", "P-BwTree", "P-Masstree", "P-CLHT", "P-BwTree(dc16)"] {
+            assert!(
+                all.iter().any(|e| e.name == name && e.converted),
+                "{name} missing from the registry"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_site_lists_are_distinct_and_crate_prefixed() {
+        for e in all_indexes() {
+            assert!(!e.crash_sites.is_empty(), "{}: no crash sites declared", e.name);
+            let set: std::collections::HashSet<_> = e.crash_sites.iter().collect();
+            assert_eq!(set.len(), e.crash_sites.len(), "{}: duplicate site", e.name);
+            let prefix = e.crash_sites[0].split('.').next().unwrap();
+            assert!(
+                e.crash_sites.iter().all(|s| s.starts_with(prefix)),
+                "{}: mixed-crate site names",
+                e.name
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Property-based tests: arbitrary operation sequences applied to each index must
 //! observe exactly the same results as a BTreeMap model.
+use harness::registry::{self, PolicyMode};
 use proptest::prelude::*;
 use recipe::index::ConcurrentIndex;
 use recipe::key::u64_key;
@@ -8,6 +9,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 enum Action {
     Insert(u16, u64),
+    Update(u16, u64),
     Remove(u16),
     Get(u16),
     Scan(u16, u8),
@@ -16,9 +18,24 @@ enum Action {
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
         (any::<u16>(), any::<u64>()).prop_map(|(k, v)| Action::Insert(k, v)),
+        (any::<u16>(), any::<u64>()).prop_map(|(k, v)| Action::Update(k, v)),
         any::<u16>().prop_map(Action::Remove),
         any::<u16>().prop_map(Action::Get),
         (any::<u16>(), 1u8..32).prop_map(|(k, n)| Action::Scan(k, n)),
+    ]
+}
+
+/// Delete-heavy mix over a small key domain (dense collisions): removes outweigh
+/// inserts, so sequences drain structures, recycle slots and hit empty-node edge
+/// cases that the insert-dominated default mix under-exercises.
+fn delete_heavy_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Action::Insert(u16::from(k), v)),
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Action::Update(u16::from(k), v)),
+        any::<u8>().prop_map(|k| Action::Remove(u16::from(k))),
+        any::<u8>().prop_map(|k| Action::Remove(u16::from(k))),
+        any::<u8>().prop_map(|k| Action::Get(u16::from(k))),
+        (any::<u8>(), 1u8..16).prop_map(|(k, n)| Action::Scan(u16::from(k), n)),
     ]
 }
 
@@ -33,6 +50,14 @@ fn check_against_model(index: &dyn ConcurrentIndex, actions: &[Action], check_sc
                     model.insert(k, *v).is_none(),
                     "insert {k}"
                 );
+            }
+            Action::Update(k, v) => {
+                let k = u64::from(*k);
+                let present = model.contains_key(&k);
+                assert_eq!(index.update(&u64_key(k), *v), present, "update {k}");
+                if present {
+                    model.insert(k, *v);
+                }
             }
             Action::Remove(k) => {
                 let k = u64::from(*k);
@@ -69,6 +94,11 @@ proptest! {
     #[test]
     fn p_hot_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
         check_against_model(&hot_trie::PHot::new(), &actions, true);
+    }
+
+    #[test]
+    fn p_bwtree_matches_model(actions in proptest::collection::vec(action_strategy(), 1..400)) {
+        check_against_model(&bwtree::PBwTree::new(), &actions, true);
     }
 
     #[test]
@@ -115,5 +145,26 @@ proptest! {
         let b = ycsb::generate(&spec);
         prop_assert_eq!(a.load, b.load);
         prop_assert_eq!(a.run, b.run);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every registry entry, both policy modes, under the delete-heavy mix:
+    /// deletes were under-exercised relative to inserts by the per-index
+    /// properties above, and slot recycling / emptied-structure paths only show
+    /// up when removes dominate.
+    #[test]
+    fn all_registry_entries_match_model_delete_heavy(
+        actions in proptest::collection::vec(delete_heavy_strategy(), 1..300)
+    ) {
+        for entry in registry::all_indexes() {
+            for mode in PolicyMode::ALL {
+                let index = entry.build(mode);
+                let scan = entry.supports_scan();
+                check_against_model(index.as_ref(), &actions, scan);
+            }
+        }
     }
 }

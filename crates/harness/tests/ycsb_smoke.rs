@@ -40,3 +40,28 @@ fn hash_indexes_run_point_workloads_with_integer_keys() {
         }
     }
 }
+
+/// The sharded chunked driver (what `bench::run_matrix` uses at scale) must hit
+/// every loaded key too, for every index, with a bounded op-buffer footprint.
+#[test]
+fn sharded_driver_matches_smoke_expectations_for_all_indexes() {
+    const CHUNK: usize = 512;
+    ycsb::reset_peak_resident_ops();
+    for entry in registry::all_indexes() {
+        let name = entry.name;
+        let index = (entry.build_pmem)();
+        let workloads: &[Workload] = if entry.supports_scan() {
+            &[Workload::A, Workload::E]
+        } else {
+            &[Workload::A, Workload::C]
+        };
+        for &wl in workloads {
+            let s = spec(wl, KeyType::RandInt);
+            let res = ycsb::run_spec_sharded(index.as_ref(), &s, CHUNK);
+            assert_eq!(res.run.failed_reads, 0, "{name} {} (sharded)", wl.label());
+            assert_eq!(res.load.ops, s.load_count as u64, "{name}");
+        }
+    }
+    let peak = ycsb::peak_resident_ops();
+    assert!(peak <= (4 * CHUNK) as u64, "op-buffer footprint regressed: {peak}");
+}

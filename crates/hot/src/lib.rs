@@ -28,6 +28,17 @@ pub mod trie;
 
 pub use trie::Hot;
 
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
+pub const CRASH_SITES: &[&str] = &[
+    "hot.insert.root_leaf_persisted",
+    "hot.insert.root_committed",
+    "hot.insert.leaf_persisted",
+    "hot.insert.slot_committed",
+    "hot.branch.built",
+    "hot.branch.committed",
+    "hot.remove.committed",
+];
+
 use recipe::index::{ConcurrentIndex, Recoverable};
 use recipe::persist::{Dram, PersistMode, Pmem};
 

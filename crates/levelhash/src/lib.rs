@@ -162,6 +162,14 @@ pub type PLevelHash = LevelHash<Pmem>;
 /// The same structure with persistence compiled out (registry uniformity).
 pub type DramLevelHash = LevelHash<recipe::persist::Dram>;
 
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
+pub const CRASH_SITES: &[&str] = &[
+    "level.insert.value_written",
+    "level.insert.committed",
+    "level.resize.generation_persisted",
+    "level.resize.committed",
+];
+
 // SAFETY: bucket mutation is lock-protected, reads use atomic snapshots, and old
 // generations are never freed while the table is alive.
 unsafe impl<P: PersistMode> Send for LevelHash<P> {}

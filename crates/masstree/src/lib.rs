@@ -25,6 +25,25 @@ pub mod tree;
 
 pub use tree::{Layer, Masstree};
 
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
+pub const CRASH_SITES: &[&str] = &[
+    "masstree.insert.slot_written",
+    "masstree.insert.committed",
+    "masstree.update.committed",
+    "masstree.remove.committed",
+    "masstree.split.sibling_persisted",
+    "masstree.split.sibling_linked",
+    "masstree.split.high_set",
+    "masstree.split.left_truncated",
+    "masstree.root_split.new_root_persisted",
+    "masstree.root_split.committed",
+    "masstree.parent_split.sibling_persisted",
+    "masstree.parent_split.sibling_linked",
+    "masstree.parent_split.left_truncated",
+    "masstree.parent.slot_written",
+    "masstree.parent.committed",
+];
+
 use recipe::index::{ConcurrentIndex, Recoverable};
 use recipe::persist::{Dram, PersistMode, Pmem};
 

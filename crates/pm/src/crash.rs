@@ -25,6 +25,7 @@
 //! Only one crash fires per arming.
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 /// Panic payload identifying a simulated crash. Carries the name of the crash site
@@ -45,6 +46,11 @@ static CRASHED: AtomicBool = AtomicBool::new(false);
 static RNG_STATE: AtomicU64 = AtomicU64::new(0x9E3779B97F4A7C15);
 static TARGET_SITE: Mutex<Option<&'static str>> = Mutex::new(None);
 static LAST_CRASH_SITE: Mutex<Option<&'static str>> = Mutex::new(None);
+/// Fast-path gate for per-name accounting: checked with a relaxed load before
+/// touching the map's mutex, so multi-threaded phases that run armed but with
+/// accounting off never serialize on it.
+static NAMED_ENABLED: AtomicBool = AtomicBool::new(false);
+static NAMED_HITS: Mutex<Option<HashMap<&'static str, u64>>> = Mutex::new(None);
 
 /// Disarm crash injection entirely (the default).
 pub fn disarm() {
@@ -100,16 +106,46 @@ pub fn last_crash_site() -> Option<&'static str> {
     *LAST_CRASH_SITE.lock()
 }
 
+/// Start (or restart) per-name site-hit accounting with empty counters.
+///
+/// While enabled, every site hit under *any* armed mode (including
+/// [`arm_count_only`]) is tallied by name. Accounting survives [`disarm`] and
+/// re-arming, so a test harness can accumulate coverage across many crash states;
+/// call [`stop_named_counts`] to turn it off again. The §5 coverage report is built
+/// from these counters.
+pub fn start_named_counts() {
+    *NAMED_HITS.lock() = Some(HashMap::new());
+    NAMED_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop per-name accounting and drop the counters.
+pub fn stop_named_counts() {
+    NAMED_ENABLED.store(false, Ordering::SeqCst);
+    *NAMED_HITS.lock() = None;
+}
+
+/// Snapshot of the per-name site-hit counters (empty if accounting is off).
+#[must_use]
+pub fn named_counts() -> Vec<(&'static str, u64)> {
+    NAMED_HITS
+        .lock()
+        .as_ref()
+        .map(|m| m.iter().map(|(k, v)| (*k, *v)).collect())
+        .unwrap_or_default()
+}
+
+/// Hits recorded for one named site since [`start_named_counts`] (0 if accounting
+/// is off or the site never fired).
+#[must_use]
+pub fn named_count(name: &str) -> u64 {
+    NAMED_HITS.lock().as_ref().and_then(|m| m.get(name).copied()).unwrap_or(0)
+}
+
 #[inline]
 fn next_rand() -> u64 {
     // SplitMix64 step on a shared atomic state; collisions between threads only make
     // the sequence less predictable, which is fine for crash fuzzing.
-    let mut x = RNG_STATE.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D049BB133111EB);
-    x ^ (x >> 31)
+    crate::mix64(RNG_STATE.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed))
 }
 
 #[cold]
@@ -136,6 +172,11 @@ pub fn site(name: &'static str) {
 
 #[inline(never)]
 fn site_slow(mode: u8, name: &'static str) {
+    if NAMED_ENABLED.load(Ordering::Relaxed) {
+        if let Some(map) = NAMED_HITS.lock().as_mut() {
+            *map.entry(name).or_insert(0) += 1;
+        }
+    }
     let hit = HITS.fetch_add(1, Ordering::SeqCst) + 1;
     match mode {
         MODE_COUNT => {}
@@ -275,6 +316,34 @@ mod tests {
             0
         });
         assert_eq!(r, Err("p"));
+        disarm();
+    }
+
+    #[test]
+    fn named_counts_accumulate_across_armings() {
+        let _g = LOCK.lock();
+        install_quiet_hook();
+        start_named_counts();
+        arm_count_only();
+        site("alpha");
+        site("alpha");
+        site("beta");
+        disarm();
+        // Accounting must survive disarm + re-arm (coverage accumulates over states).
+        arm_nth(1);
+        let r = catch_crash(|| site("beta"));
+        assert_eq!(r, Err("beta"));
+        assert_eq!(named_count("alpha"), 2);
+        assert_eq!(named_count("beta"), 2);
+        assert_eq!(named_count("gamma"), 0);
+        let mut all = named_counts();
+        all.sort_unstable();
+        assert_eq!(all, vec![("alpha", 2), ("beta", 2)]);
+        stop_named_counts();
+        arm_count_only();
+        site("alpha");
+        assert_eq!(named_count("alpha"), 0, "accounting is off");
+        assert!(named_counts().is_empty());
         disarm();
     }
 

@@ -45,6 +45,22 @@ pub fn line_of(addr: usize) -> usize {
     addr & !(CACHE_LINE - 1)
 }
 
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit hash step.
+///
+/// The single source of the pseudo-random mixing used across the workspace
+/// (crash-point selection, sweep state derivation, sharded workload
+/// generation), so every deterministic stream stays in sync with one
+/// definition.
+#[inline]
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,10 @@ pub type PWoart = Woart<Pmem>;
 /// The same structure with persistence compiled out (registry uniformity).
 pub type DramWoart = Woart<recipe::persist::Dram>;
 
+/// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
+pub const CRASH_SITES: &[&str] =
+    &["woart.prefix_split", "woart.insert.committed", "woart.leaf_split"];
+
 impl<P: PersistMode> Default for Woart<P> {
     fn default() -> Self {
         Self::new()
