@@ -8,7 +8,7 @@ fn bench_flush_latency(c: &mut Criterion) {
     group.sample_size(10);
     for latency_ns in [0u64, 100, 300] {
         group.bench_function(BenchmarkId::from_parameter(latency_ns), |b| {
-            pm::stats::set_latency_model(latency_ns, 0);
+            pm::latency::Model { clwb_ns: latency_ns, ..pm::latency::Model::ZERO }.install();
             b.iter_batched(
                 art_index::PArt::new,
                 |t| {
@@ -20,7 +20,7 @@ fn bench_flush_latency(c: &mut Criterion) {
             );
         });
     }
-    pm::stats::set_latency_model(0, 0);
+    pm::latency::Model::ZERO.install();
     // DRAM baseline for comparison: the same index with persistence compiled out.
     group.bench_function("dram_baseline", |b| {
         b.iter_batched(

@@ -1,0 +1,339 @@
+//! Checked-in throughput baseline and the perf-regression comparison behind
+//! `bench --bin perf_gate`.
+//!
+//! The baseline is a small JSON file (`crates/bench/baselines/throughput.json`)
+//! holding one `mops` number per (index × workload) entry of a reduced-load
+//! `run_matrix`, plus the scale and latency model that produced it. The workspace
+//! vendors no JSON crate, so this module emits a fixed, line-regular JSON shape and
+//! parses exactly that shape back (one entry object per line); both directions are
+//! unit-tested against each other.
+
+use crate::Cell;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Provenance of a baseline: the scale and latency model it was measured at.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Meta {
+    /// Load-phase keys per cell.
+    pub load_n: u64,
+    /// Run-phase operations per cell.
+    pub ops_n: u64,
+    /// Worker threads.
+    pub threads: u64,
+    /// Latency model constants the baseline was measured under.
+    pub clwb_ns: u64,
+    /// See [`Meta::clwb_ns`].
+    pub fence_ns: u64,
+    /// See [`Meta::clwb_ns`].
+    pub read_ns: u64,
+}
+
+/// One baseline data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Index display name.
+    pub index: String,
+    /// Workload label.
+    pub workload: String,
+    /// Throughput in Mops/s.
+    pub mops: f64,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Scale + model provenance.
+    pub meta: Meta,
+    /// Measured entries.
+    pub entries: Vec<Entry>,
+}
+
+/// Render a baseline as JSON (one entry object per line — the shape [`parse`]
+/// understands).
+#[must_use]
+pub fn render(meta: &Meta, entries: &[Entry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"meta\": { ");
+    let _ = write!(
+        s,
+        "\"load_n\": {}, \"ops_n\": {}, \"threads\": {}, \
+         \"clwb_ns\": {}, \"fence_ns\": {}, \"read_ns\": {}",
+        meta.load_n, meta.ops_n, meta.threads, meta.clwb_ns, meta.fence_ns, meta.read_ns
+    );
+    s.push_str(" },\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"index\": \"{}\", \"workload\": \"{}\", \"mops\": {:.4} }}{}",
+            e.index,
+            e.workload,
+            e.mops,
+            if i + 1 == entries.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a baseline file produced by [`render`]. Returns a readable error on any
+/// malformed entry line rather than silently skipping it.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut b = Baseline::default();
+    let mut seen_meta = false;
+    for (no, line) in text.lines().enumerate() {
+        if line.contains("\"load_n\"") {
+            let get = |k: &str| num_field(line, k).map(|v| v as u64);
+            b.meta = Meta {
+                load_n: get("load_n").ok_or_else(|| format!("line {}: bad meta", no + 1))?,
+                ops_n: get("ops_n").unwrap_or(0),
+                threads: get("threads").unwrap_or(0),
+                clwb_ns: get("clwb_ns").unwrap_or(0),
+                fence_ns: get("fence_ns").unwrap_or(0),
+                read_ns: get("read_ns").unwrap_or(0),
+            };
+            seen_meta = true;
+        } else if line.contains("\"index\"") {
+            let entry = (|| {
+                Some(Entry {
+                    index: str_field(line, "index")?,
+                    workload: str_field(line, "workload")?,
+                    mops: num_field(line, "mops")?,
+                })
+            })();
+            match entry {
+                Some(e) => b.entries.push(e),
+                None => return Err(format!("line {}: malformed entry: {line}", no + 1)),
+            }
+        }
+    }
+    if !seen_meta {
+        return Err("no meta object found".into());
+    }
+    if b.entries.is_empty() {
+        return Err("no entries found".into());
+    }
+    Ok(b)
+}
+
+/// Read and parse a baseline file.
+pub fn read(path: &Path) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// Convert measured cells into baseline entries.
+#[must_use]
+pub fn entries_from_cells(cells: &[Cell]) -> Vec<Entry> {
+    cells
+        .iter()
+        .map(|c| Entry {
+            index: c.index.to_string(),
+            workload: c.workload.to_string(),
+            mops: c.result.mops,
+        })
+        .collect()
+}
+
+/// One entry that regressed past the tolerance.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Index display name.
+    pub index: String,
+    /// Workload label.
+    pub workload: String,
+    /// Baseline throughput.
+    pub base_mops: f64,
+    /// Measured throughput.
+    pub cur_mops: f64,
+    /// Raw `cur / base`.
+    pub ratio: f64,
+    /// `ratio / median_ratio` — the machine-speed-normalized ratio the gate
+    /// actually checks.
+    pub normalized: f64,
+}
+
+/// Outcome of comparing a current run against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Entries below `(1 − tolerance) × baseline`.
+    pub regressions: Vec<Regression>,
+    /// Baseline entries the current run did not produce (coverage shrank → gate
+    /// fails).
+    pub missing: Vec<String>,
+    /// Current entries absent from the baseline (informational: regenerate the
+    /// baseline to start tracking them).
+    pub untracked: Vec<String>,
+    /// Median `cur / base` ratio over matched entries — the machine-speed factor
+    /// the per-entry check divides out.
+    pub median_ratio: f64,
+}
+
+impl CompareReport {
+    /// Whether the gate passes.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compare current cells against a baseline: an entry fails when its
+/// machine-speed-normalized throughput falls below `(1 − tolerance)` of the
+/// baseline value (tolerance 0.25 = the >25% regression gate).
+///
+/// Normalization: every matched entry's raw `cur / base` ratio is divided by the
+/// **median** ratio across all entries, so a uniformly slower (or faster) host —
+/// the baseline is authored on one machine, CI runs on another — cancels out and
+/// only *relative* per-entry regressions fail. The trade-off is explicit: a
+/// change that slows every entry by the same factor is invisible to this gate
+/// (the scheduled bench workflow tracks absolute numbers); a change that slows
+/// *some* entries is exactly what it catches.
+#[must_use]
+pub fn compare(base: &Baseline, current: &[Entry], tolerance: f64) -> CompareReport {
+    let mut report = CompareReport::default();
+    let mut matched: Vec<(&Entry, &Entry, f64)> = Vec::new();
+    for b in &base.entries {
+        match current.iter().find(|c| c.index == b.index && c.workload == b.workload) {
+            None => report.missing.push(format!("{} / {}", b.index, b.workload)),
+            Some(c) => {
+                let ratio = if b.mops > 0.0 { c.mops / b.mops } else { 1.0 };
+                matched.push((b, c, ratio));
+            }
+        }
+    }
+    let mut ratios: Vec<f64> = matched.iter().map(|(_, _, r)| *r).collect();
+    ratios.sort_by(f64::total_cmp);
+    report.median_ratio = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] };
+    let speed = if report.median_ratio > 0.0 { report.median_ratio } else { 1.0 };
+    for (b, c, ratio) in matched {
+        let normalized = ratio / speed;
+        if normalized < 1.0 - tolerance {
+            report.regressions.push(Regression {
+                index: b.index.clone(),
+                workload: b.workload.clone(),
+                base_mops: b.mops,
+                cur_mops: c.mops,
+                ratio,
+                normalized,
+            });
+        }
+    }
+    for c in current {
+        if !base.entries.iter().any(|b| b.index == c.index && b.workload == c.workload) {
+            report.untracked.push(format!("{} / {}", c.index, c.workload));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Meta, Vec<Entry>) {
+        let meta = Meta {
+            load_n: 20_000,
+            ops_n: 20_000,
+            threads: 4,
+            clwb_ns: 120,
+            fence_ns: 90,
+            read_ns: 40,
+        };
+        let entries = vec![
+            Entry { index: "P-ART".into(), workload: "Load A".into(), mops: 1.5 },
+            Entry { index: "FAST&FAIR".into(), workload: "A".into(), mops: 0.75 },
+        ];
+        (meta, entries)
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let (meta, entries) = sample();
+        let text = render(&meta, &entries);
+        let parsed = parse(&text).expect("own output must parse");
+        assert_eq!(parsed.meta, meta);
+        assert_eq!(parsed.entries, entries);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{ \"entries\": [] }").is_err());
+        let (meta, entries) = sample();
+        let broken = render(&meta, &entries).replace("\"mops\": 1.5000", "\"mops\": oops");
+        assert!(parse(&broken).is_err(), "malformed entries must error, not skip");
+    }
+
+    #[test]
+    fn compare_flags_only_past_tolerance_regressions() {
+        let (meta, entries) = sample();
+        let base = Baseline { meta, entries };
+        let current = vec![
+            // At pace with the run's median speed.
+            Entry { index: "P-ART".into(), workload: "Load A".into(), mops: 1.5 },
+            // −70%: a regression even after the median (1.0) is divided out.
+            Entry { index: "FAST&FAIR".into(), workload: "A".into(), mops: 0.225 },
+        ];
+        let r = compare(&base, &current, 0.25);
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].index, "FAST&FAIR");
+        assert!((r.regressions[0].ratio - 0.3).abs() < 1e-9);
+        assert!((r.regressions[0].normalized - 0.3).abs() < 1e-9, "median is 1.0 here");
+        assert!(!r.ok());
+        // Faster-everywhere run passes.
+        let current: Vec<Entry> =
+            base.entries.iter().map(|e| Entry { mops: e.mops * 2.0, ..e.clone() }).collect();
+        assert!(compare(&base, &current, 0.25).ok());
+    }
+
+    #[test]
+    fn compare_normalizes_out_uniform_host_speed() {
+        let (meta, entries) = sample();
+        let base = Baseline { meta, entries };
+        // A uniformly 2x-slower host: raw ratios are all 0.5, normalized to 1.0 —
+        // no per-entry regression, so the gate passes (absolute drift is the
+        // scheduled bench workflow's job).
+        let slower: Vec<Entry> =
+            base.entries.iter().map(|e| Entry { mops: e.mops * 0.5, ..e.clone() }).collect();
+        let r = compare(&base, &slower, 0.25);
+        assert!(r.ok(), "{:?}", r.regressions);
+        assert!((r.median_ratio - 0.5).abs() < 1e-9);
+        // The same slow host with ONE entry regressed on top of it still fails.
+        let mut one_bad = slower;
+        one_bad[1].mops = base.entries[1].mops * 0.5 * 0.5;
+        let r = compare(&base, &one_bad, 0.25);
+        assert_eq!(r.regressions.len(), 1, "relative regression must survive normalization");
+        assert_eq!(r.regressions[0].index, base.entries[1].index);
+    }
+
+    #[test]
+    fn compare_fails_on_missing_and_notes_untracked() {
+        let (meta, entries) = sample();
+        let base = Baseline { meta, entries };
+        let current = vec![
+            Entry { index: "P-ART".into(), workload: "Load A".into(), mops: 1.5 },
+            Entry { index: "P-NEW".into(), workload: "A".into(), mops: 9.0 },
+        ];
+        let r = compare(&base, &current, 0.25);
+        assert_eq!(r.missing, vec!["FAST&FAIR / A".to_string()]);
+        assert_eq!(r.untracked, vec!["P-NEW / A".to_string()]);
+        assert!(!r.ok(), "shrunk coverage must fail the gate");
+    }
+}

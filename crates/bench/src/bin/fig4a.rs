@@ -1,5 +1,6 @@
 //! Figure 4a: multi-threaded YCSB throughput, ordered indexes, 8-byte integer keys.
 fn main() {
+    bench::install_latency_from_env();
     let workloads = ycsb::Workload::ALL;
     let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::RandInt);
     bench::print_throughput_table(

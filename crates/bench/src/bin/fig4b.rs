@@ -1,5 +1,6 @@
 //! Figure 4b: multi-threaded YCSB throughput, ordered indexes, 24-byte string keys.
 fn main() {
+    bench::install_latency_from_env();
     let workloads = ycsb::Workload::ALL;
     let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::String24);
     bench::print_throughput_table(

@@ -1,5 +1,6 @@
 //! Figure 4c: performance counters per operation, ordered indexes, integer keys.
 fn main() {
+    bench::install_latency_from_env();
     let workloads = ycsb::Workload::ALL;
     let cells = bench::run_matrix(&bench::ordered_indexes(), &workloads, ycsb::KeyType::RandInt);
     bench::print_counter_table(

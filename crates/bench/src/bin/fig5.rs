@@ -1,6 +1,7 @@
 //! Figure 5: multi-threaded YCSB throughput, unordered (hash) indexes, integer keys.
 //! Workload E is excluded because hash tables do not support range scans.
 fn main() {
+    bench::install_latency_from_env();
     let workloads =
         [ycsb::Workload::LoadA, ycsb::Workload::A, ycsb::Workload::B, ycsb::Workload::C];
     let cells = bench::run_matrix(&bench::hash_indexes(), &workloads, ycsb::KeyType::RandInt);

@@ -1,0 +1,173 @@
+//! Perf-regression gate (CI): rerun the reduced throughput matrix and fail if any
+//! (index × workload) entry regressed more than the tolerance against the
+//! checked-in baseline.
+//!
+//! * Baseline file: `RECIPE_PERF_BASELINE` (default
+//!   `crates/bench/baselines/throughput.json`, relative to the workspace root CI
+//!   and `cargo run` both execute from).
+//! * Tolerance: `RECIPE_PERF_TOLERANCE` (default `0.25` — fail on >25% per-entry
+//!   regression).
+//! * Regenerate the baseline after an intentional perf change:
+//!   `RECIPE_PERF_WRITE=1 cargo run --release -p bench --bin perf_gate`.
+//!
+//! The matrix is the ordered + hash registries over Load A / A / C at
+//! `bench::REDUCED_SCALE` under the calibrated latency model, so the gate watches
+//! the same cost model the figures use. The baseline records the scale and model
+//! it was measured under; a run whose scale or model differs refuses to compare
+//! (exit 2) instead of silently gating apples against oranges. Per-entry ratios
+//! are divided by the run's median ratio, cancelling uniform host-speed
+//! differences between the baseline author's machine and CI (see
+//! `bench::baseline::compare`).
+
+use bench::baseline::{self, Meta};
+use pm::latency::parse_flag;
+use std::path::PathBuf;
+use ycsb::{KeyType, Workload};
+
+const WORKLOADS: [Workload; 3] = [Workload::LoadA, Workload::A, Workload::C];
+
+fn baseline_path() -> PathBuf {
+    std::env::var("RECIPE_PERF_BASELINE")
+        .unwrap_or_else(|_| "crates/bench/baselines/throughput.json".into())
+        .into()
+}
+
+fn tolerance() -> f64 {
+    match std::env::var("RECIPE_PERF_TOLERANCE") {
+        Err(_) => 0.25,
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!(
+                    "warning: RECIPE_PERF_TOLERANCE={v:?} is not a fraction in [0, 1); \
+                     using default 0.25"
+                );
+                0.25
+            }
+        },
+    }
+}
+
+fn main() {
+    let model = bench::install_latency_from_env();
+    let scale = bench::REDUCED_SCALE;
+    let spec = bench::spec_from_env_scaled(Workload::A, KeyType::RandInt, scale);
+    let meta = Meta {
+        load_n: spec.load_count as u64,
+        ops_n: spec.op_count as u64,
+        threads: spec.threads as u64,
+        clwb_ns: model.clwb_ns,
+        fence_ns: model.fence_ns,
+        read_ns: model.read_ns,
+    };
+    let path = baseline_path();
+    let (write_baseline, warn) =
+        parse_flag("RECIPE_PERF_WRITE", std::env::var("RECIPE_PERF_WRITE").ok(), false);
+    if let Some(w) = warn {
+        eprintln!("warning: {w}");
+    }
+
+    // Refuse to compare across a different scale or cost model *before* spending
+    // a minute measuring: a stale baseline must be regenerated, not gated against.
+    let base = if write_baseline {
+        None
+    } else {
+        match baseline::read(&path) {
+            Ok(b) => {
+                if b.meta != meta {
+                    eprintln!(
+                        "perf_gate: baseline provenance mismatch — {} was measured at \
+                         {:?} but this run is {:?}.\nRegenerate it at the current \
+                         scale/model: RECIPE_PERF_WRITE=1 cargo run --release -p bench \
+                         --bin perf_gate",
+                        path.display(),
+                        b.meta,
+                        meta
+                    );
+                    std::process::exit(2);
+                }
+                Some(b)
+            }
+            Err(e) => {
+                eprintln!(
+                    "perf_gate: {e}\n(generate one with RECIPE_PERF_WRITE=1 cargo run \
+                     --release -p bench --bin perf_gate)"
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let mut indexes = bench::ordered_indexes();
+    indexes.extend(bench::hash_indexes());
+    let cells = bench::run_matrix_best_of(
+        &indexes,
+        &WORKLOADS,
+        KeyType::RandInt,
+        scale,
+        bench::shape_reps_from_env(),
+    );
+    let current = baseline::entries_from_cells(&cells);
+
+    if write_baseline {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create baseline dir");
+        }
+        std::fs::write(&path, baseline::render(&meta, &current)).expect("write baseline");
+        println!("wrote baseline: {} ({} entries)", path.display(), current.len());
+        return;
+    }
+    let base = base.expect("read above unless writing");
+    let tol = tolerance();
+    let report = baseline::compare(&base, &current, tol);
+
+    println!(
+        "\n== perf gate — {} entries vs {}, tolerance {:.0}% (median speed ratio {:.2}x) ==",
+        base.entries.len(),
+        path.display(),
+        tol * 100.0,
+        report.median_ratio
+    );
+    for b in &base.entries {
+        if let Some(c) = current.iter().find(|c| c.index == b.index && c.workload == b.workload) {
+            println!(
+                "  {:<16} {:<7} base {:>8.4} -> now {:>8.4} Mops/s ({:+.1}%)",
+                b.index,
+                b.workload,
+                b.mops,
+                c.mops,
+                (c.mops / b.mops - 1.0) * 100.0
+            );
+        }
+    }
+    for u in &report.untracked {
+        println!("  note: {u} is not in the baseline (regenerate to track it)");
+    }
+
+    if report.ok() {
+        println!("perf gate PASSED");
+        return;
+    }
+    eprintln!("\nperf gate FAILED:");
+    for r in &report.regressions {
+        eprintln!(
+            "  {} / {}: {:.4} -> {:.4} Mops/s ({:.0}% of baseline, {:.0}% speed-normalized, \
+             tolerance {:.0}%)",
+            r.index,
+            r.workload,
+            r.base_mops,
+            r.cur_mops,
+            r.ratio * 100.0,
+            r.normalized * 100.0,
+            (1.0 - tol) * 100.0
+        );
+    }
+    for m in &report.missing {
+        eprintln!("  missing entry: {m} (baseline covers it, this run did not produce it)");
+    }
+    eprintln!(
+        "(intentional change? regenerate with RECIPE_PERF_WRITE=1 cargo run --release \
+         -p bench --bin perf_gate)"
+    );
+    std::process::exit(1);
+}

@@ -1,5 +1,6 @@
 //! Table 4: clwb / fence per insert and LLC-miss proxy per operation, hash indexes.
 fn main() {
+    bench::install_latency_from_env();
     let workloads =
         [ycsb::Workload::LoadA, ycsb::Workload::A, ycsb::Workload::B, ycsb::Workload::C];
     let cells = bench::run_matrix(&bench::hash_indexes(), &workloads, ycsb::KeyType::RandInt);

@@ -1,6 +1,7 @@
 //! §7.3: P-ART vs the global-lock WOART baseline on multi-threaded YCSB.
 
 fn main() {
+    bench::install_latency_from_env();
     let indexes: Vec<bench::IndexEntry> = bench::all_indexes()
         .into_iter()
         .filter(|e| e.name == "P-ART" || e.name == "WOART(global-lock)")

@@ -11,13 +11,20 @@
 //! | `RECIPE_OPS_N`      | operations in each run phase              | 2,000,000 |
 //! | `RECIPE_THREADS`    | worker threads                            | 16        |
 //! | `RECIPE_SCAN_MAX`   | max range-scan length (workload E)        | 100       |
-//! | `RECIPE_CLWB_NS`    | simulated latency per cache-line flush    | 0         |
-//! | `RECIPE_FENCE_NS`   | simulated latency per fence               | 0         |
+//! | `RECIPE_CLWB_NS`    | simulated ns per (deduplicated) line flush | calibrated (see `pm::latency`) |
+//! | `RECIPE_FENCE_NS`   | simulated ns per fence                    | calibrated |
+//! | `RECIPE_READ_NS`    | simulated ns per node visit (Optane read) | calibrated |
+//! | `RECIPE_EADR`       | eADR mode: flushes free, fences kept      | 0         |
 //! | `RECIPE_CRASH_STATES` | sampled crash states per index (crash_table) | 1000 |
 //! | `RECIPE_CRASH_LOAD_N` | mixed ops per crash-state load (crash_table) | 10000 |
 //! | `RECIPE_CRASH_POST_N` | post-recovery ops per crash state (crash_table) | 4000 |
 //! | `RECIPE_CHUNK_OPS`  | per-thread op-buffer chunk (sharded driver) | 8192    |
 //! | `RECIPE_OUT_DIR`    | directory for the machine-readable CSVs   | target/figures |
+//! | `RECIPE_SHAPE_REPS` | best-of-N passes in the gating matrices   | 3 (calibrate: 1) |
+//! | `RECIPE_CAL_CLWB` / `_FENCE` / `_READ` | comma-separated ns grids for `calibrate` | see `calibrate` |
+//! | `RECIPE_PERF_BASELINE` | perf-gate baseline path | crates/bench/baselines/throughput.json |
+//! | `RECIPE_PERF_TOLERANCE` | perf-gate per-entry regression tolerance | 0.25 |
+//! | `RECIPE_PERF_WRITE` | `1` = regenerate the perf baseline        | unset     |
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -26,9 +33,12 @@ use recipe::index::ConcurrentIndex;
 use std::sync::Arc;
 use ycsb::{KeyType, PhaseResult, Spec, Workload};
 
+pub mod baseline;
 pub mod csv;
+pub mod shape;
 
 pub use harness::registry;
+pub use pm::latency::Model;
 
 /// A named index constructor used by the benchmark binaries.
 ///
@@ -72,15 +82,50 @@ fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
 }
 
-/// Build the workload spec shared by the figure binaries, honouring the `RECIPE_*`
-/// environment overrides, and install the flush/fence latency model.
+/// Default workload sizes for a matrix run; the `RECIPE_LOAD_N` / `RECIPE_OPS_N` /
+/// `RECIPE_THREADS` environment variables override whichever scale is in effect.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixScale {
+    /// Default keys in the load phase.
+    pub load_n: usize,
+    /// Default operations in each run phase.
+    pub ops_n: usize,
+    /// Default worker threads.
+    pub threads: usize,
+}
+
+/// The figure binaries' full scale (the paper-shaped runs).
+pub const FULL_SCALE: MatrixScale =
+    MatrixScale { load_n: 2_000_000, ops_n: 2_000_000, threads: 16 };
+
+/// The reduced scale used by `calibrate`, `shape_check` and `perf_gate`: big enough
+/// for the qualitative orderings to be stable (in particular, large enough that the
+/// hash tables' deterministic resize points land in the load phase, not mid-run),
+/// small enough to gate CI.
+pub const REDUCED_SCALE: MatrixScale = MatrixScale { load_n: 60_000, ops_n: 60_000, threads: 4 };
+
+/// Install the simulated PM latency model from the environment (calibrated defaults,
+/// `RECIPE_*_NS` / `RECIPE_EADR` overrides) and return it. Every benchmark binary
+/// calls this once at startup; `calibrate` instead installs each grid point
+/// explicitly.
+pub fn install_latency_from_env() -> Model {
+    Model::install_from_env()
+}
+
+/// Build the workload spec shared by the figure binaries at [`FULL_SCALE`],
+/// honouring the `RECIPE_*` environment overrides.
 #[must_use]
 pub fn spec_from_env(workload: Workload, key_type: KeyType) -> Spec {
-    pm::stats::latency_model_from_env();
+    spec_from_env_scaled(workload, key_type, FULL_SCALE)
+}
+
+/// [`spec_from_env`] with explicit default sizes (environment still wins).
+#[must_use]
+pub fn spec_from_env_scaled(workload: Workload, key_type: KeyType, scale: MatrixScale) -> Spec {
     Spec {
-        load_count: env_usize("RECIPE_LOAD_N", 2_000_000),
-        op_count: env_usize("RECIPE_OPS_N", 2_000_000),
-        threads: env_usize("RECIPE_THREADS", 16),
+        load_count: env_usize("RECIPE_LOAD_N", scale.load_n),
+        op_count: env_usize("RECIPE_OPS_N", scale.ops_n),
+        threads: env_usize("RECIPE_THREADS", scale.threads),
         key_type,
         workload,
         scan_max: env_usize("RECIPE_SCAN_MAX", 100),
@@ -129,14 +174,34 @@ pub struct Cell {
 /// phase for A/B/C/E and the load phase for Load A — exactly what Fig. 4/5 plot.
 ///
 /// Uses the sharded chunked driver, so the op-buffer footprint stays at
-/// `threads × RECIPE_CHUNK_OPS` operations regardless of `RECIPE_OPS_N`.
+/// `threads × RECIPE_CHUNK_OPS` operations regardless of `RECIPE_OPS_N`. Runs under
+/// whatever [`Model`] is currently installed (binaries install it from the
+/// environment at startup; `calibrate` sweeps it) and echoes that model once so
+/// every log ties its numbers to the cost constants that produced them.
 #[must_use]
 pub fn run_matrix(indexes: &[IndexEntry], workloads: &[Workload], key_type: KeyType) -> Vec<Cell> {
+    run_matrix_scaled(indexes, workloads, key_type, FULL_SCALE)
+}
+
+/// [`run_matrix`] with explicit default sizes (used at [`REDUCED_SCALE`] by the
+/// calibration, shape-check and perf-gate binaries).
+#[must_use]
+pub fn run_matrix_scaled(
+    indexes: &[IndexEntry],
+    workloads: &[Workload],
+    key_type: KeyType,
+    scale: MatrixScale,
+) -> Vec<Cell> {
     let chunk = chunk_from_env();
+    let m = Model::current();
+    eprintln!(
+        "# latency model: clwb {} ns (dedup per fence epoch), fence {} ns, read {} ns, eadr {}",
+        m.clwb_ns, m.fence_ns, m.read_ns, m.eadr
+    );
     let mut cells = Vec::new();
     for entry in indexes {
         for &wl in workloads {
-            let spec = spec_from_env(wl, key_type);
+            let spec = spec_from_env_scaled(wl, key_type, scale);
             let index = (entry.build)();
             eprintln!(
                 "# running {:<14} workload {:<6} (load {} / ops {} / {} threads, chunk {})",
@@ -150,17 +215,56 @@ pub fn run_matrix(indexes: &[IndexEntry], workloads: &[Workload], key_type: KeyT
             let res = ycsb::run_spec_sharded(index.as_ref(), &spec, chunk);
             let reported = if wl == Workload::LoadA { res.load.clone() } else { res.run.clone() };
             eprintln!(
-                "#   {:<14} {:<6} -> {:>7.3} Mops/s, p50 {:>7.2} µs, p99 {:>7.2} µs",
+                "#   {:<14} {:<6} -> {:>7.3} Mops/s, p50 {:>7.2} µs, p99 {:>7.2} µs, sim {:>7.1} ns/op",
                 entry.name,
                 wl.label(),
                 reported.mops,
                 reported.p50_ns as f64 / 1_000.0,
-                reported.p99_ns as f64 / 1_000.0
+                reported.p99_ns as f64 / 1_000.0,
+                reported.sim_ns_per_op
             );
             cells.push(Cell { index: entry.name, workload: wl.label(), result: reported });
         }
     }
     cells
+}
+
+/// [`run_matrix_scaled`] repeated `reps` times, keeping each cell's best
+/// throughput. The workload stream is deterministic per spec, so structural
+/// effects repeat identically and run-to-run variance is downward scheduler
+/// interference — the per-cell max is the noise-filtered estimate the gating
+/// binaries (`shape_check`, `perf_gate`) compare on.
+#[must_use]
+pub fn run_matrix_best_of(
+    indexes: &[IndexEntry],
+    workloads: &[Workload],
+    key_type: KeyType,
+    scale: MatrixScale,
+    reps: usize,
+) -> Vec<Cell> {
+    let mut best: Vec<Cell> = Vec::new();
+    for rep in 0..reps.max(1) {
+        if reps > 1 {
+            eprintln!("# matrix pass {}/{}", rep + 1, reps.max(1));
+        }
+        for c in run_matrix_scaled(indexes, workloads, key_type, scale) {
+            match best.iter_mut().find(|b| b.index == c.index && b.workload == c.workload) {
+                None => best.push(c),
+                Some(b) => {
+                    if c.result.mops > b.result.mops {
+                        *b = c;
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Repetition count for the gating binaries (`RECIPE_SHAPE_REPS`, default 3).
+#[must_use]
+pub fn shape_reps_from_env() -> usize {
+    std::env::var("RECIPE_SHAPE_REPS").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(3)
 }
 
 /// Print a figure as a throughput table: rows = indexes, columns = workloads.

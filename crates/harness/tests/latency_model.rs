@@ -1,0 +1,172 @@
+//! Integration tests for the calibrated PM latency model (`pm::latency`) against
+//! real indexes: deterministic charged-ns accounting instead of wall clocks.
+//!
+//! The installed model is process-global, so every test here takes `MODEL_LOCK`,
+//! installs what it needs, and restores the zero model before releasing it. The
+//! charged counters asserted on are **thread-local**, so concurrent activity from
+//! other threads cannot perturb them.
+
+use harness::registry::{self, PolicyMode};
+use parking_lot::Mutex;
+use pm::latency::{charged_local, ChargedNs, Model};
+use recipe::index::ConcurrentIndex;
+use recipe::key::u64_key;
+use std::sync::Arc;
+
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_model<R>(m: Model, f: impl FnOnce() -> R) -> R {
+    let _g = MODEL_LOCK.lock();
+    m.install();
+    let r = f();
+    Model::ZERO.install();
+    r
+}
+
+fn build(name: &str) -> Arc<dyn ConcurrentIndex> {
+    registry::all_indexes()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("{name} not in registry"))
+        .build(PolicyMode::Pmem)
+}
+
+/// Insert `n` keys on the calling thread and return the charge delta.
+fn charge_of_inserts(index: &dyn ConcurrentIndex, n: u64) -> ChargedNs {
+    let before = charged_local();
+    for i in 0..n {
+        index.insert(&u64_key(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), i);
+    }
+    charged_local().since(&before)
+}
+
+#[test]
+fn fastfair_slows_more_than_part_when_clwb_is_raised() {
+    // The paper's Fig 4c: FAST&FAIR issues ~14 clwb + ~14 fences per insert (shifting
+    // sorted leaves) to P-ART's ~5 and ~3. Raising the flush/fence price must
+    // therefore slow FAST&FAIR more than P-ART. The busy-wait pays exactly the
+    // charged nanoseconds, so the deterministic charged-ns delta *is* the added
+    // slowdown — assert on it instead of a flaky wall clock.
+    const N: u64 = 3_000;
+    let m = Model { clwb_ns: 200, fence_ns: 200, read_ns: 0, eadr: false };
+    let (ff, art) = with_model(m, || {
+        (
+            charge_of_inserts(build("FAST&FAIR").as_ref(), N),
+            charge_of_inserts(build("P-ART").as_ref(), N),
+        )
+    });
+    assert!(ff.total() > 0 && art.total() > 0, "both indexes must be charged");
+    assert!(
+        ff.total() > art.total() * 2,
+        "flush-heavy FAST&FAIR must be charged well past P-ART: FF {} ns vs P-ART {} ns",
+        ff.total(),
+        art.total()
+    );
+    // The gap is fence-driven as much as flush-driven: FAST&FAIR fences per shifted
+    // entry while P-ART fences once per publish.
+    assert!(ff.fence_ns > art.fence_ns, "FF {} fence-ns vs ART {}", ff.fence_ns, art.fence_ns);
+}
+
+#[test]
+fn flush_dedup_coalesces_within_a_fence_epoch_through_the_policy() {
+    // Write combining through the conversion policy: persisting the same object
+    // repeatedly without fencing charges each line once; the fence closes the epoch
+    // and the next persist charges again. (FAST&FAIR sees no such savings — it
+    // fences after every shifted entry, which is exactly why it stays expensive
+    // under this model; the deterministic contrast is asserted in
+    // `fastfair_slows_more_than_part_when_clwb_is_raised`.)
+    use recipe::persist::{PersistMode, Pmem};
+    let m = Model { clwb_ns: 100, fence_ns: 30, read_ns: 0, eadr: false };
+    with_model(m, || {
+        #[repr(align(64))]
+        struct FourLines {
+            _bytes: [u8; 256],
+        }
+        let obj = FourLines { _bytes: [0; 256] };
+        let before = charged_local();
+        for _ in 0..10 {
+            Pmem::persist_obj(&obj, false); // 10 x 4 raw clwb, 4 charged
+        }
+        Pmem::fence();
+        Pmem::persist_obj(&obj, true); // new epoch: 4 more charged + fence
+        let d = charged_local().since(&before);
+        assert_eq!(d.clwb_ns, (4 + 4) * 100, "one charge per line per epoch: {d:?}");
+        assert_eq!(d.fence_ns, 2 * 30);
+    });
+}
+
+#[test]
+fn eadr_mode_keeps_fence_cost_only() {
+    const N: u64 = 1_000;
+    let pm_model = Model { clwb_ns: 150, fence_ns: 80, read_ns: 0, eadr: false };
+    let eadr_model = Model { eadr: true, ..pm_model };
+    let with_flushes = with_model(pm_model, || charge_of_inserts(build("P-CLHT").as_ref(), N));
+    let without = with_model(eadr_model, || charge_of_inserts(build("P-CLHT").as_ref(), N));
+    assert!(with_flushes.clwb_ns > 0, "PM mode charges flushes");
+    assert_eq!(without.clwb_ns, 0, "eADR zeroes flush cost");
+    assert!(without.fence_ns > 0, "eADR keeps fence ordering cost");
+}
+
+#[test]
+fn read_charge_follows_node_visits() {
+    // P-HOT's lookups chase more nodes than P-ART's (path compression), so under a
+    // read-charging model the same lookups must charge P-HOT more.
+    const N: u64 = 2_000;
+    let m = Model { clwb_ns: 0, fence_ns: 0, read_ns: 50, eadr: false };
+    let (hot, art) = with_model(m, || {
+        let hot = build("P-HOT");
+        let art = build("P-ART");
+        for i in 0..N {
+            hot.insert(&u64_key(i), i);
+            art.insert(&u64_key(i), i);
+        }
+        let before = charged_local();
+        for i in 0..N {
+            assert_eq!(hot.get(&u64_key(i)), Some(i));
+        }
+        let hot_charge = charged_local().since(&before);
+        let before = charged_local();
+        for i in 0..N {
+            assert_eq!(art.get(&u64_key(i)), Some(i));
+        }
+        (hot_charge, charged_local().since(&before))
+    });
+    assert!(hot.read_ns > 0 && art.read_ns > 0, "lookups must charge read latency");
+    assert_eq!(hot.clwb_ns + hot.fence_ns + art.clwb_ns + art.fence_ns, 0, "reads don't flush");
+    assert!(
+        hot.read_ns > art.read_ns,
+        "deeper trie must pay more read charge: HOT {} ns vs ART {} ns",
+        hot.read_ns,
+        art.read_ns
+    );
+}
+
+#[test]
+fn run_matrix_reports_sim_ns_per_op() {
+    // The model threads through the YCSB driver: a charged run reports a non-zero
+    // per-op simulated cost, a zero-model run reports zero.
+    let spec = ycsb::Spec {
+        load_count: 2_000,
+        op_count: 2_000,
+        threads: 2,
+        key_type: ycsb::KeyType::RandInt,
+        workload: ycsb::Workload::A,
+        scan_max: 10,
+        seed: 0x1234,
+    };
+    let m = Model { clwb_ns: 100, fence_ns: 50, read_ns: 20, eadr: false };
+    let charged_run = with_model(m, || {
+        let idx = build("P-CLHT");
+        ycsb::run_spec_sharded(idx.as_ref(), &spec, 512)
+    });
+    assert!(
+        charged_run.load.sim_ns_per_op > 0.0 && charged_run.run.sim_ns_per_op > 0.0,
+        "charged model must surface in PhaseResult::sim_ns_per_op: {:?}",
+        (charged_run.load.sim_ns_per_op, charged_run.run.sim_ns_per_op)
+    );
+    let zero_run = with_model(Model::ZERO, || {
+        let idx = build("P-CLHT");
+        ycsb::run_spec_sharded(idx.as_ref(), &spec, 512)
+    });
+    assert_eq!(zero_run.run.sim_ns_per_op, 0.0);
+}

@@ -52,6 +52,10 @@ impl Bucket {
     }
 
     fn update_in_place<P: PersistMode>(&self, key: u64, value: u64) -> bool {
+        // One bucket examined = one likely-cold line, exactly like the read path;
+        // the write paths were previously invisible to the LLC-miss proxy (and
+        // therefore free under the latency model's read charge).
+        pm::stats::record_node_visit();
         for i in 0..SLOTS_PER_BUCKET {
             if self.keys[i].load(Ordering::Acquire) == key {
                 self.vals[i].store(value, Ordering::Release);
@@ -64,6 +68,7 @@ impl Bucket {
     }
 
     fn try_insert<P: PersistMode>(&self, key: u64, value: u64) -> bool {
+        pm::stats::record_node_visit();
         for i in 0..SLOTS_PER_BUCKET {
             if self.keys[i].load(Ordering::Acquire) == EMPTY_KEY {
                 // Value first, key (the atomic commit) second, one flush for the pair.
@@ -82,6 +87,7 @@ impl Bucket {
     }
 
     fn remove<P: PersistMode>(&self, key: u64) -> bool {
+        pm::stats::record_node_visit();
         for i in 0..SLOTS_PER_BUCKET {
             if self.keys[i].load(Ordering::Acquire) == key {
                 self.keys[i].store(EMPTY_KEY, Ordering::Release);

@@ -14,40 +14,32 @@
 //! These functions take raw addresses but never dereference them; they are safe to
 //! call with any pointer value.
 
-use crate::{line_of, stats, tracker, CACHE_LINE};
-use std::time::{Duration, Instant};
-
-#[inline]
-fn busy_wait(ns: u64) {
-    if ns == 0 {
-        return;
-    }
-    let deadline = Instant::now() + Duration::from_nanos(ns);
-    while Instant::now() < deadline {
-        std::hint::spin_loop();
-    }
-}
+use crate::{latency, line_of, stats, tracker, CACHE_LINE};
 
 /// Write back (flush) the cache line containing `addr`.
 ///
 /// Equivalent to the `clwb` instruction in the paper's conversion actions: the line is
 /// queued for write-back to the persistence domain but only becomes durable once a
-/// subsequent [`sfence`] completes.
+/// subsequent [`sfence`] completes. Counted by [`crate::stats`], observed by the
+/// durability [`crate::tracker`], and priced by the installed [`latency::Model`]
+/// (first flush of a line per fence epoch; repeats coalesce).
 #[inline]
 pub fn clwb(addr: *const u8) {
+    let line = line_of(addr as usize);
     stats::count_clwb();
-    tracker::on_flush(line_of(addr as usize));
-    busy_wait(stats::clwb_latency_ns());
+    tracker::on_flush(line);
+    latency::on_clwb(line);
 }
 
 /// Store fence: all previously issued [`clwb`]s become durable.
 ///
-/// Equivalent to `sfence`/`mfence` ordering in the paper.
+/// Equivalent to `sfence`/`mfence` ordering in the paper. Closes the calling
+/// thread's flush-coalescing epoch in the [`latency`] model.
 #[inline]
 pub fn sfence() {
     stats::count_fence();
     tracker::on_fence();
-    busy_wait(stats::fence_latency_ns());
+    latency::on_fence();
 }
 
 /// Flush every cache line overlapping `[addr, addr + len)` and optionally fence.

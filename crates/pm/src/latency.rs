@@ -1,0 +1,523 @@
+//! Calibrated PM latency model: the cost side of the simulated substrate.
+//!
+//! [`crate::flush`] and [`crate::stats`] count events; this module *prices* them so
+//! the benchmark harness reproduces the throughput **shape** of the paper's Optane
+//! results (Figures 4–5) without PM hardware. The model is asymmetric, like the
+//! hardware it imitates:
+//!
+//! * **Reads** ([`Model::read_ns`]) — Optane media reads are ~3× DRAM latency, and
+//!   the paper's counter analysis shows LLC misses (node visits) explain the
+//!   read-side orderings. Every [`crate::stats::record_node_visit`] is charged
+//!   `read_ns`.
+//! * **Flushes** ([`Model::clwb_ns`]) — `clwb` posts a line to the write-pending
+//!   queue. Repeated flushes of the *same* line within one fence epoch coalesce in
+//!   the WPQ (write combining), so only the first flush of a line since the last
+//!   fence is charged; the repeats are free until the next [`crate::flush::sfence`]
+//!   opens a new epoch. Epochs are per-thread, matching `sfence` semantics (it
+//!   orders the issuing core's stores).
+//! * **Fences** ([`Model::fence_ns`]) — `sfence` drains the store buffer and waits
+//!   on the WPQ; charged per fence, and it closes the thread's dedup epoch.
+//! * **eADR** ([`Model::eadr`]) — on eADR platforms the caches themselves are in the
+//!   persistence domain: flushes cost nothing (they are charged 0 and never open an
+//!   epoch) but fences keep their ordering cost.
+//!
+//! Charges are recorded in deterministic **charged-ns counters** (global and
+//! thread-local, mirroring [`crate::stats`]) so tests assert exact accounting
+//! without wall clocks; the wall-clock side pays the same nanoseconds with a
+//! batched busy-wait (debt is accumulated per thread and paid once it exceeds
+//! [`PAY_GRANULARITY_NS`], amortising the `Instant` overhead that would otherwise
+//! dwarf a ~100 ns charge).
+//!
+//! The process starts with the **zero model** installed (no charges, no waits), so
+//! unit tests and the crash harness run at full speed. Benchmark binaries install
+//! [`Model::from_env`], whose defaults are the *calibrated* constants
+//! ([`DEFAULT_CLWB_NS`] / [`DEFAULT_FENCE_NS`] / [`DEFAULT_READ_NS`]) picked by
+//! `bench --bin calibrate` to reproduce the paper's qualitative orderings
+//! (`bench --bin shape_check` pins them in CI); the `RECIPE_CLWB_NS`,
+//! `RECIPE_FENCE_NS`, `RECIPE_READ_NS` and `RECIPE_EADR` environment variables
+//! override them.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Calibrated default: nanoseconds charged for the first `clwb` of a cache line in a
+/// fence epoch. Best fit of the 2026-07-28 `bench --bin calibrate` grid search
+/// (36 points × 7 ordering constraints, reduced YCSB matrix at 60k/60k/4t): all
+/// seven Figure 4–5 orderings hold with a +28% minimum margin. See README
+/// "Latency calibration".
+pub const DEFAULT_CLWB_NS: u64 = 120;
+/// Calibrated default: nanoseconds charged per store fence (same calibration run
+/// as [`DEFAULT_CLWB_NS`]; the WPQ-drain cost dominates flush-per-entry indexes).
+pub const DEFAULT_FENCE_NS: u64 = 180;
+/// Calibrated default: nanoseconds charged per index-node visit (the Optane read
+/// penalty on the LLC-miss proxy; same calibration run as [`DEFAULT_CLWB_NS`]).
+pub const DEFAULT_READ_NS: u64 = 40;
+
+/// A thread's accumulated unpaid charge is busy-waited away once it reaches this
+/// many nanoseconds. Small enough to keep per-operation latency sampling honest,
+/// large enough that the `Instant` overhead (~25 ns) stays below ~1% of the wait.
+pub const PAY_GRANULARITY_NS: u64 = 4_096;
+
+/// Upper bound on distinct lines tracked per thread per fence epoch; beyond it the
+/// epoch set is cleared (an index that flushes tens of thousands of lines without
+/// fencing is not modelling RECIPE-style conversions anyway). Bounds memory.
+const MAX_EPOCH_LINES: usize = 1 << 15;
+
+/// The installed (process-global) model, as four atomics so the fast path is a few
+/// relaxed loads. `MODEL_EPOCH` bumps on every install; threads drop their dedup
+/// state when they observe a new model.
+static CLWB_NS: AtomicU64 = AtomicU64::new(0);
+static FENCE_NS: AtomicU64 = AtomicU64::new(0);
+static READ_NS: AtomicU64 = AtomicU64::new(0);
+static EADR: AtomicBool = AtomicBool::new(false);
+static MODEL_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Globally accumulated charged nanoseconds, by charge kind.
+static CHARGED_CLWB: AtomicU64 = AtomicU64::new(0);
+static CHARGED_FENCE: AtomicU64 = AtomicU64::new(0);
+static CHARGED_READ: AtomicU64 = AtomicU64::new(0);
+
+struct ThreadLat {
+    /// Lines already charged a flush in the current fence epoch (write combining).
+    epoch_lines: HashSet<usize>,
+    /// The model epoch `epoch_lines` belongs to.
+    model_epoch: u64,
+    /// Charged-but-not-yet-waited nanoseconds.
+    debt_ns: u64,
+    /// Thread-local charged mirrors (exact-accounting tests, like `stats`).
+    charged: [u64; 3],
+}
+
+thread_local! {
+    static TL: RefCell<ThreadLat> = RefCell::new(ThreadLat {
+        epoch_lines: HashSet::new(),
+        model_epoch: 0,
+        debt_ns: 0,
+        charged: [0; 3],
+    });
+}
+
+/// The simulated PM cost model. Install one with [`Model::install`]; the flush/fence
+/// primitives and the node-visit counter consult the installed model on every event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Model {
+    /// Nanoseconds charged for the first flush of a cache line within a fence epoch
+    /// (repeats of the same line are free until the next fence).
+    pub clwb_ns: u64,
+    /// Nanoseconds charged per store fence.
+    pub fence_ns: u64,
+    /// Nanoseconds charged per index-node visit (Optane read latency on the
+    /// LLC-miss proxy).
+    pub read_ns: u64,
+    /// eADR platform: flushes cost nothing (caches are persistent), fences keep
+    /// their cost.
+    pub eadr: bool,
+}
+
+impl Model {
+    /// The free model: nothing is charged, nothing busy-waits. Installed at process
+    /// start so tests run at full speed.
+    pub const ZERO: Model = Model { clwb_ns: 0, fence_ns: 0, read_ns: 0, eadr: false };
+
+    /// The calibrated Optane-like defaults (see the module docs and README for the
+    /// calibration run that picked them).
+    pub const CALIBRATED: Model = Model {
+        clwb_ns: DEFAULT_CLWB_NS,
+        fence_ns: DEFAULT_FENCE_NS,
+        read_ns: DEFAULT_READ_NS,
+        eadr: false,
+    };
+
+    /// Install this model process-wide. Threads start a fresh dedup epoch the next
+    /// time they flush under the new model.
+    pub fn install(self) {
+        CLWB_NS.store(self.clwb_ns, Ordering::Relaxed);
+        FENCE_NS.store(self.fence_ns, Ordering::Relaxed);
+        READ_NS.store(self.read_ns, Ordering::Relaxed);
+        EADR.store(self.eadr, Ordering::Relaxed);
+        MODEL_EPOCH.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The currently installed model.
+    #[must_use]
+    pub fn current() -> Model {
+        Model {
+            clwb_ns: CLWB_NS.load(Ordering::Relaxed),
+            fence_ns: FENCE_NS.load(Ordering::Relaxed),
+            read_ns: READ_NS.load(Ordering::Relaxed),
+            eadr: EADR.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Effective per-first-flush charge: zero under eADR.
+    #[must_use]
+    pub fn effective_clwb_ns(&self) -> u64 {
+        if self.eadr {
+            0
+        } else {
+            self.clwb_ns
+        }
+    }
+
+    /// Build the model from the `RECIPE_CLWB_NS` / `RECIPE_FENCE_NS` /
+    /// `RECIPE_READ_NS` / `RECIPE_EADR` environment variables, defaulting each
+    /// unset variable to its **calibrated** constant. Malformed values fall back to
+    /// the default and are reported with a warning on stderr (they used to be
+    /// silently treated as 0).
+    #[must_use]
+    pub fn from_env() -> Model {
+        let get = |k: &str| std::env::var(k).ok();
+        let (clwb_ns, w1) = parse_ns("RECIPE_CLWB_NS", get("RECIPE_CLWB_NS"), DEFAULT_CLWB_NS);
+        let (fence_ns, w2) = parse_ns("RECIPE_FENCE_NS", get("RECIPE_FENCE_NS"), DEFAULT_FENCE_NS);
+        let (read_ns, w3) = parse_ns("RECIPE_READ_NS", get("RECIPE_READ_NS"), DEFAULT_READ_NS);
+        let (eadr, w4) = parse_flag("RECIPE_EADR", get("RECIPE_EADR"), false);
+        for w in [w1, w2, w3, w4].into_iter().flatten() {
+            eprintln!("warning: {w}");
+        }
+        Model { clwb_ns, fence_ns, read_ns, eadr }
+    }
+
+    /// [`Model::from_env`] followed by [`Model::install`]; returns the installed
+    /// model. The one-liner every benchmark binary calls at startup.
+    pub fn install_from_env() -> Model {
+        let m = Model::from_env();
+        m.install();
+        m
+    }
+
+    /// `true` when this model never charges anything.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.effective_clwb_ns() == 0 && self.fence_ns == 0 && self.read_ns == 0
+    }
+}
+
+/// Parse an environment variable's nanosecond value: `None` (unset) gives
+/// `default`; a malformed value gives `default` plus a warning message. Pure, so
+/// tests cover it without touching the process environment.
+#[must_use]
+pub fn parse_ns(key: &str, raw: Option<String>, default: u64) -> (u64, Option<String>) {
+    match raw {
+        None => (default, None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(n) => (n, None),
+            Err(_) => (
+                default,
+                Some(format!("{key}={v:?} is not a non-negative integer; using default {default}")),
+            ),
+        },
+    }
+}
+
+/// Parse a boolean environment flag (`1`/`true`/`yes` on, `0`/`false`/`no`/empty
+/// off, case-insensitive); malformed values give `default` plus a warning.
+#[must_use]
+pub fn parse_flag(key: &str, raw: Option<String>, default: bool) -> (bool, Option<String>) {
+    match raw {
+        None => (default, None),
+        Some(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "yes" | "on" => (true, None),
+            "" | "0" | "false" | "no" | "off" => (false, None),
+            _ => (
+                default,
+                Some(format!("{key}={v:?} is not a boolean flag; using default {default}")),
+            ),
+        },
+    }
+}
+
+/// A snapshot of charged simulated nanoseconds, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChargedNs {
+    /// Nanoseconds charged to cache-line flushes (first flush per line per epoch).
+    pub clwb_ns: u64,
+    /// Nanoseconds charged to fences.
+    pub fence_ns: u64,
+    /// Nanoseconds charged to node-visit reads.
+    pub read_ns: u64,
+}
+
+impl ChargedNs {
+    /// Total charged nanoseconds across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.clwb_ns + self.fence_ns + self.read_ns
+    }
+
+    /// Kind-wise difference `self - earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(&self, earlier: &ChargedNs) -> ChargedNs {
+        ChargedNs {
+            clwb_ns: self.clwb_ns.saturating_sub(earlier.clwb_ns),
+            fence_ns: self.fence_ns.saturating_sub(earlier.fence_ns),
+            read_ns: self.read_ns.saturating_sub(earlier.read_ns),
+        }
+    }
+}
+
+/// Snapshot the globally accumulated charges (all threads).
+#[must_use]
+pub fn charged() -> ChargedNs {
+    ChargedNs {
+        clwb_ns: CHARGED_CLWB.load(Ordering::Relaxed),
+        fence_ns: CHARGED_FENCE.load(Ordering::Relaxed),
+        read_ns: CHARGED_READ.load(Ordering::Relaxed),
+    }
+}
+
+/// Snapshot the calling thread's charges only. Use for exact-accounting tests:
+/// like [`crate::stats::snapshot_local`], it cannot be perturbed by concurrent
+/// threads.
+#[must_use]
+pub fn charged_local() -> ChargedNs {
+    TL.with(|t| {
+        let t = t.borrow();
+        ChargedNs { clwb_ns: t.charged[0], fence_ns: t.charged[1], read_ns: t.charged[2] }
+    })
+}
+
+#[inline]
+fn busy_wait(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_nanos(ns);
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Charge `ns` of the given kind (0 = clwb, 1 = fence, 2 = read) on this thread:
+/// record it, then pay accumulated debt once it crosses the granularity.
+#[inline]
+fn charge(t: &mut ThreadLat, kind: usize, ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    [&CHARGED_CLWB, &CHARGED_FENCE, &CHARGED_READ][kind].fetch_add(ns, Ordering::Relaxed);
+    t.charged[kind] += ns;
+    t.debt_ns += ns;
+    if t.debt_ns >= PAY_GRANULARITY_NS {
+        let pay = t.debt_ns;
+        t.debt_ns = 0;
+        busy_wait(pay);
+    }
+}
+
+impl ThreadLat {
+    /// Drop dedup state from a previous model installation.
+    #[inline]
+    fn sync_model_epoch(&mut self) {
+        let now = MODEL_EPOCH.load(Ordering::Relaxed);
+        if self.model_epoch != now {
+            self.model_epoch = now;
+            self.epoch_lines.clear();
+            self.debt_ns = 0;
+        }
+    }
+}
+
+/// Price one cache-line flush of `line` (called by [`crate::flush::clwb`]).
+#[inline]
+pub(crate) fn on_clwb(line: usize) {
+    let m = Model::current();
+    if m.effective_clwb_ns() == 0 {
+        return;
+    }
+    TL.with(|t| {
+        let t = &mut *t.borrow_mut();
+        t.sync_model_epoch();
+        if t.epoch_lines.len() >= MAX_EPOCH_LINES {
+            t.epoch_lines.clear();
+        }
+        if t.epoch_lines.insert(line) {
+            charge(t, 0, m.clwb_ns);
+        }
+    });
+}
+
+/// Price one store fence (called by [`crate::flush::sfence`]): closes the calling
+/// thread's flush-dedup epoch and charges the fence cost.
+#[inline]
+pub(crate) fn on_fence() {
+    let m = Model::current();
+    if m.effective_clwb_ns() == 0 && m.fence_ns == 0 {
+        return;
+    }
+    TL.with(|t| {
+        let t = &mut *t.borrow_mut();
+        t.sync_model_epoch();
+        t.epoch_lines.clear();
+        charge(t, 1, m.fence_ns);
+    });
+}
+
+/// Price `n` node visits (called by [`crate::stats::record_node_visit`]).
+#[inline]
+pub(crate) fn on_node_visits(n: u64) {
+    let m = Model::current();
+    if m.read_ns == 0 || n == 0 {
+        return;
+    }
+    TL.with(|t| {
+        let t = &mut *t.borrow_mut();
+        t.sync_model_epoch();
+        charge(t, 2, m.read_ns.saturating_mul(n));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// The installed model is process-global; tests that install one serialize and
+    /// restore [`Model::ZERO`] before releasing the lock.
+    static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_model<R>(m: Model, f: impl FnOnce() -> R) -> R {
+        let _g = MODEL_LOCK.lock();
+        m.install();
+        let r = f();
+        Model::ZERO.install();
+        r
+    }
+
+    #[test]
+    fn repeated_flush_of_one_line_charges_once_per_epoch() {
+        let m = Model { clwb_ns: 100, fence_ns: 30, read_ns: 0, eadr: false };
+        with_model(m, || {
+            let before = charged_local();
+            for _ in 0..10 {
+                on_clwb(0x40);
+            }
+            on_fence();
+            // New epoch: the same line is charged again.
+            on_clwb(0x40);
+            let d = charged_local().since(&before);
+            assert_eq!(d.clwb_ns, 200, "one charge per epoch, two epochs");
+            assert_eq!(d.fence_ns, 30);
+            assert_eq!(d.total(), 230);
+        });
+    }
+
+    #[test]
+    fn distinct_lines_each_charge_within_an_epoch() {
+        let m = Model { clwb_ns: 50, fence_ns: 0, read_ns: 0, eadr: false };
+        with_model(m, || {
+            let before = charged_local();
+            on_clwb(0);
+            on_clwb(64);
+            on_clwb(128);
+            on_clwb(64); // dup
+            let d = charged_local().since(&before);
+            assert_eq!(d.clwb_ns, 150);
+        });
+    }
+
+    #[test]
+    fn eadr_zeroes_flush_cost_but_keeps_fences() {
+        let m = Model { clwb_ns: 500, fence_ns: 70, read_ns: 0, eadr: true };
+        assert_eq!(m.effective_clwb_ns(), 0);
+        with_model(m, || {
+            let before = charged_local();
+            on_clwb(0x80);
+            on_clwb(0xC0);
+            on_fence();
+            let d = charged_local().since(&before);
+            assert_eq!(d.clwb_ns, 0, "eADR: flushes are free");
+            assert_eq!(d.fence_ns, 70, "eADR: fences keep their ordering cost");
+        });
+    }
+
+    #[test]
+    fn node_visits_charge_read_latency() {
+        let m = Model { clwb_ns: 0, fence_ns: 0, read_ns: 40, eadr: false };
+        with_model(m, || {
+            let before = charged_local();
+            on_node_visits(1);
+            on_node_visits(5);
+            let d = charged_local().since(&before);
+            assert_eq!(d.read_ns, 240);
+            assert_eq!(d.clwb_ns + d.fence_ns, 0);
+        });
+    }
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        with_model(Model::ZERO, || {
+            let before = charged_local();
+            on_clwb(0);
+            on_fence();
+            on_node_visits(100);
+            assert_eq!(charged_local().since(&before), ChargedNs::default());
+        });
+    }
+
+    #[test]
+    fn model_reinstall_opens_a_fresh_epoch() {
+        let a = Model { clwb_ns: 10, fence_ns: 0, read_ns: 0, eadr: false };
+        let _g = MODEL_LOCK.lock();
+        a.install();
+        let before = charged_local();
+        on_clwb(0x1000);
+        a.install(); // same constants, new epoch
+        on_clwb(0x1000);
+        let d = charged_local().since(&before);
+        Model::ZERO.install();
+        assert_eq!(d.clwb_ns, 20, "reinstall must clear per-thread dedup state");
+    }
+
+    #[test]
+    fn parse_ns_defaults_and_warns() {
+        assert_eq!(parse_ns("K", None, 7), (7, None));
+        assert_eq!(parse_ns("K", Some("123".into()), 7), (123, None));
+        assert_eq!(parse_ns("K", Some(" 55 ".into()), 7), (55, None));
+        let (v, warn) = parse_ns("RECIPE_CLWB_NS", Some("fast".into()), 120);
+        assert_eq!(v, 120, "malformed values fall back to the default, not 0");
+        let warn = warn.expect("malformed value must warn");
+        assert!(warn.contains("RECIPE_CLWB_NS") && warn.contains("120"), "{warn}");
+        let (v, warn) = parse_ns("K", Some("-3".into()), 9);
+        assert_eq!(v, 9);
+        assert!(warn.is_some());
+    }
+
+    #[test]
+    fn parse_flag_accepts_common_spellings() {
+        for on in ["1", "true", "YES", "on"] {
+            assert_eq!(parse_flag("K", Some(on.into()), false), (true, None), "{on}");
+        }
+        for off in ["0", "false", "No", "off", ""] {
+            assert_eq!(parse_flag("K", Some(off.into()), true), (false, None), "{off}");
+        }
+        let (v, warn) = parse_flag("RECIPE_EADR", Some("maybe".into()), false);
+        assert!(!v && warn.is_some());
+    }
+
+    #[test]
+    fn charged_local_ignores_other_threads() {
+        let m = Model { clwb_ns: 100, fence_ns: 100, read_ns: 100, eadr: false };
+        with_model(m, || {
+            let before = charged_local();
+            std::thread::spawn(|| {
+                on_clwb(0);
+                on_fence();
+                on_node_visits(3);
+            })
+            .join()
+            .unwrap();
+            assert_eq!(charged_local().since(&before), ChargedNs::default());
+        });
+    }
+
+    #[test]
+    fn calibrated_defaults_are_non_zero_and_asymmetric() {
+        let m = Model::CALIBRATED;
+        assert!(m.clwb_ns > 0 && m.fence_ns > 0 && m.read_ns > 0);
+        assert!(!m.eadr);
+        assert!(!m.is_zero());
+        assert!(Model::ZERO.is_zero());
+    }
+}

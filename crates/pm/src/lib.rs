@@ -5,10 +5,13 @@
 //! instead of real PM hardware:
 //!
 //! * [`flush`] — `clwb` / `sfence` analogues. Each call is counted (for the paper's
-//!   per-operation instruction counters, Fig. 4c/4d and Table 4), optionally charged a
-//!   synthetic latency (so flush-heavy indexes are measurably slower, reproducing the
-//!   *shape* of the paper's throughput results), and reported to the durability
-//!   [`tracker`].
+//!   per-operation instruction counters, Fig. 4c/4d and Table 4), priced by the
+//!   installed [`latency`] model (so flush-heavy indexes are measurably slower,
+//!   reproducing the *shape* of the paper's throughput results), and reported to the
+//!   durability [`tracker`].
+//! * [`latency`] — the calibrated, asymmetric Optane-like cost model: per-visit read
+//!   charges, per-cacheline flush coalescing within a fence epoch, an eADR mode, and
+//!   deterministic charged-ns accounting.
 //! * [`stats`] — global counters: cache-line flushes, fences, and node visits (a proxy
 //!   for last-level-cache misses: every pointer chase into an index node is counted).
 //! * [`alloc`] — allocation helpers that register new PM objects with the durability
@@ -30,6 +33,7 @@
 pub mod alloc;
 pub mod crash;
 pub mod flush;
+pub mod latency;
 pub mod stats;
 pub mod tracker;
 

@@ -28,11 +28,6 @@ thread_local! {
     static TL_NODE_VISITS: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Synthetic latency charged per cache-line flush, in nanoseconds.
-static CLWB_NS: AtomicU64 = AtomicU64::new(0);
-/// Synthetic latency charged per fence, in nanoseconds.
-static FENCE_NS: AtomicU64 = AtomicU64::new(0);
-
 /// A snapshot of the global counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -123,11 +118,14 @@ pub(crate) fn count_fence() {
 /// Record one index-node visit (pointer dereference into a node).
 ///
 /// Indexes call this on every node they traverse; the benchmark harness reports the
-/// per-operation average as the cache-miss proxy for Fig. 4c/4d and Table 4.
+/// per-operation average as the cache-miss proxy for Fig. 4c/4d and Table 4. The
+/// installed [`crate::latency::Model`] additionally charges its Optane read latency
+/// (`read_ns`) per visit.
 #[inline]
 pub fn record_node_visit() {
     NODE_VISITS.fetch_add(1, Ordering::Relaxed);
     TL_NODE_VISITS.with(|c| c.set(c.get() + 1));
+    crate::latency::on_node_visits(1);
 }
 
 /// Record `n` node visits at once.
@@ -135,34 +133,7 @@ pub fn record_node_visit() {
 pub fn record_node_visits(n: u64) {
     NODE_VISITS.fetch_add(n, Ordering::Relaxed);
     TL_NODE_VISITS.with(|c| c.set(c.get() + n));
-}
-
-/// Configure the synthetic latency model: nanoseconds charged per cache-line flush and
-/// per fence. Zero (the default) disables busy-waiting entirely.
-pub fn set_latency_model(clwb_ns: u64, fence_ns: u64) {
-    CLWB_NS.store(clwb_ns, Ordering::Relaxed);
-    FENCE_NS.store(fence_ns, Ordering::Relaxed);
-}
-
-/// Read the latency model from the `RECIPE_CLWB_NS` / `RECIPE_FENCE_NS` environment
-/// variables, if set. Returns the configured `(clwb_ns, fence_ns)`.
-pub fn latency_model_from_env() -> (u64, u64) {
-    let parse =
-        |k: &str| std::env::var(k).ok().and_then(|v| v.trim().parse::<u64>().ok()).unwrap_or(0);
-    let c = parse("RECIPE_CLWB_NS");
-    let f = parse("RECIPE_FENCE_NS");
-    set_latency_model(c, f);
-    (c, f)
-}
-
-#[inline]
-pub(crate) fn clwb_latency_ns() -> u64 {
-    CLWB_NS.load(Ordering::Relaxed)
-}
-
-#[inline]
-pub(crate) fn fence_latency_ns() -> u64 {
-    FENCE_NS.load(Ordering::Relaxed)
+    crate::latency::on_node_visits(n);
 }
 
 #[cfg(test)]
@@ -219,13 +190,5 @@ mod tests {
         assert_eq!(snapshot_local().since(&before), Stats::default());
         count_clwb();
         assert_eq!(snapshot_local().since(&before).clwb, 1);
-    }
-
-    #[test]
-    fn latency_model_roundtrip() {
-        set_latency_model(7, 11);
-        assert_eq!(clwb_latency_ns(), 7);
-        assert_eq!(fence_latency_ns(), 11);
-        set_latency_model(0, 0);
     }
 }

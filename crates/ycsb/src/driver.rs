@@ -38,6 +38,10 @@ pub struct PhaseResult {
     pub p50_ns: u64,
     /// 99th-percentile sampled operation latency, in nanoseconds.
     pub p99_ns: u64,
+    /// Simulated PM nanoseconds charged per operation by the installed
+    /// [`pm::latency::Model`] (read charges + deduplicated flushes + fences); 0 when
+    /// the zero model is installed.
+    pub sim_ns_per_op: f64,
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample set.
@@ -53,6 +57,7 @@ fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseR
     let failed_reads = AtomicU64::new(0);
     let total_ops: u64 = partitions.iter().map(|p| p.len() as u64).sum();
     let before = pm::stats::snapshot();
+    let charged_before = pm::latency::charged();
     let start = Instant::now();
     let mut samples: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
@@ -96,6 +101,7 @@ fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseR
     });
     let secs = start.elapsed().as_secs_f64();
     let delta = pm::stats::snapshot().since(&before);
+    let charged = pm::latency::charged().since(&charged_before);
     let per_op = delta.per_op(total_ops);
     samples.sort_unstable();
     PhaseResult {
@@ -108,6 +114,7 @@ fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseR
         failed_reads: failed_reads.load(Ordering::Relaxed),
         p50_ns: percentile(&samples, 0.50),
         p99_ns: percentile(&samples, 0.99),
+        sim_ns_per_op: charged.total() as f64 / total_ops.max(1) as f64,
     }
 }
 

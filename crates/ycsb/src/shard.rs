@@ -127,6 +127,7 @@ fn run_phase(index: &dyn ConcurrentIndex, spec: &Spec, phase: &Phase, chunk: usi
     };
     let failed_reads = AtomicU64::new(0);
     let before = pm::stats::snapshot();
+    let charged_before = pm::latency::charged();
     let start = Instant::now();
     let mut samples: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
@@ -183,6 +184,7 @@ fn run_phase(index: &dyn ConcurrentIndex, spec: &Spec, phase: &Phase, chunk: usi
     });
     let secs = start.elapsed().as_secs_f64();
     let delta = pm::stats::snapshot().since(&before);
+    let charged = pm::latency::charged().since(&charged_before);
     let per_op = delta.per_op(total as u64);
     samples.sort_unstable();
     PhaseResult {
@@ -195,6 +197,7 @@ fn run_phase(index: &dyn ConcurrentIndex, spec: &Spec, phase: &Phase, chunk: usi
         failed_reads: failed_reads.load(Ordering::Relaxed),
         p50_ns: percentile(&samples, 0.50),
         p99_ns: percentile(&samples, 0.99),
+        sim_ns_per_op: charged.total() as f64 / (total as u64).max(1) as f64,
     }
 }
 
