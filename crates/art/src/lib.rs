@@ -45,40 +45,53 @@ pub const CRASH_SITES: &[&str] = &[
     "art.helper.prefix_fixed",
 ];
 
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::persist::{Dram, PersistMode, Pmem};
+use recipe::session::{Capabilities, Index, OpError, OpResult};
 
 /// The unconverted DRAM Adaptive Radix Tree.
 pub type DramArt = Art<Dram>;
 /// P-ART: the RECIPE-converted persistent Adaptive Radix Tree.
 pub type PArt = Art<Pmem>;
 
-impl<P: PersistMode> ConcurrentIndex for Art<P> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
-        Art::insert(self, key, value)
+/// What this index supports. `linearizable_update` is `false`: ART's write
+/// path locks one node at a time, so there is no single lock under which to
+/// check presence and re-insert — `update` is the documented non-atomic
+/// get-then-insert fallback.
+pub const CAPS: Capabilities = Capabilities::ordered_index(false);
+
+impl<P: PersistMode> Index for Art<P> {
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        if Art::insert(self, key, value) {
+            Ok(OpResult::Inserted)
+        } else {
+            Ok(OpResult::Updated)
+        }
     }
 
-    // `update` uses the trait's default get-then-insert and inherits its documented
-    // non-atomicity: ART's write path locks one node at a time, so there is no
-    // single lock under which to check presence and re-insert.
+    // `exec_update` keeps the trait's default get-then-insert; `CAPS` reports it.
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
+    fn exec_get(&self, key: &[u8]) -> Option<u64> {
         Art::get(self, key)
     }
 
-    fn remove(&self, key: &[u8]) -> bool {
-        Art::remove(self, key)
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+        if Art::remove(self, key) {
+            Ok(OpResult::Removed)
+        } else {
+            Err(OpError::NotFound)
+        }
     }
 
-    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-        Art::scan(self, start, count)
+    fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        Art::scan_into(self, start, max, out);
     }
 
-    fn supports_scan(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        CAPS
     }
 
-    fn name(&self) -> String {
+    fn index_name(&self) -> String {
         if P::PERSISTENT {
             "P-ART".into()
         } else {
@@ -100,16 +113,23 @@ mod tests {
 
     #[test]
     fn trait_impl_roundtrip() {
+        use recipe::session::IndexExt;
         let t: PArt = Art::new();
-        let idx: &dyn ConcurrentIndex = &t;
-        assert!(idx.insert(&u64_key(1), 10));
-        assert!(!idx.insert(&u64_key(1), 11));
-        assert_eq!(idx.get(&u64_key(1)), Some(11));
-        assert!(idx.update(&u64_key(1), 12));
-        assert!(!idx.update(&u64_key(2), 1));
+        let idx: &dyn Index = &t;
+        let mut h = idx.handle();
+        assert_eq!(h.insert(&u64_key(1), 10), Ok(OpResult::Inserted));
+        assert_eq!(h.insert(&u64_key(1), 11), Ok(OpResult::Updated));
+        assert_eq!(h.get(&u64_key(1)), Some(11));
+        assert_eq!(h.update(&u64_key(1), 12), Ok(OpResult::Updated));
+        assert_eq!(h.update(&u64_key(2), 1), Err(OpError::NotFound));
+        assert!(h.capabilities().scan && !h.capabilities().linearizable_update);
+        assert_eq!(h.index_name(), "P-ART");
+        assert_eq!(h.remove(&u64_key(1)), Ok(OpResult::Removed));
+        // The legacy boolean adapter stays available on the same object.
+        use recipe::index::ConcurrentIndex;
+        assert!(idx.insert(&u64_key(3), 30));
         assert!(idx.supports_scan());
         assert_eq!(idx.name(), "P-ART");
-        assert!(idx.remove(&u64_key(1)));
     }
 
     #[test]
@@ -121,13 +141,13 @@ mod tests {
         t.recover();
         t.recover();
         for i in 0..100u64 {
-            assert_eq!(ConcurrentIndex::get(&t, &u64_key(i)), Some(i));
+            assert_eq!(Index::exec_get(&t, &u64_key(i)), Some(i));
         }
     }
 
     #[test]
     fn dram_art_name() {
         let t: DramArt = Art::new();
-        assert_eq!(ConcurrentIndex::name(&t), "ART");
+        assert_eq!(t.index_name(), "ART");
     }
 }

@@ -446,11 +446,19 @@ impl<P: PersistMode> Art<P> {
     /// Range scan: up to `count` pairs with key `>= start`, ascending.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
         let mut out = Vec::with_capacity(count.min(1024));
-        if count == 0 {
-            return out;
-        }
-        self.scan_rec(self.root.load(Ordering::Acquire), start, true, count, &mut out);
+        self.scan_into(start, count, &mut out);
         out
+    }
+
+    /// [`Art::scan`] into a caller-provided buffer: appends up to `count` pairs
+    /// with key `>= start` (ascending) to `out` without clearing it, so cursor
+    /// callers can stream batches through one reused allocation.
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        if count == 0 {
+            return;
+        }
+        let target = out.len().saturating_add(count);
+        self.scan_rec(self.root.load(Ordering::Acquire), start, true, target, out);
     }
 
     fn scan_rec(

@@ -1,8 +1,8 @@
 //! Criterion micro-benchmarks: single-threaded insert and lookup latency for every
 //! index in the evaluation (the per-operation complement to the YCSB figures).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use recipe::index::ConcurrentIndex;
 use recipe::key::u64_key;
+use recipe::session::IndexExt;
 
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert_1k_sequential");
@@ -12,8 +12,9 @@ fn bench_insert(c: &mut Criterion) {
             b.iter_batched(
                 entry.build,
                 |index| {
+                    let mut h = index.handle();
                     for i in 0..1_000u64 {
-                        index.insert(&u64_key(i), i);
+                        let _ = h.insert(&u64_key(i), i);
                     }
                 },
                 criterion::BatchSize::LargeInput,
@@ -28,14 +29,15 @@ fn bench_lookup(c: &mut Criterion) {
     group.sample_size(10);
     for entry in bench::all_indexes() {
         let index = (entry.build)();
+        let mut h = index.handle();
         for i in 0..100_000u64 {
-            index.insert(&u64_key(i), i);
+            let _ = h.insert(&u64_key(i), i);
         }
         group.bench_function(BenchmarkId::from_parameter(entry.name), |b| {
             b.iter(|| {
                 let mut found = 0u64;
                 for i in (0..100_000u64).step_by(100) {
-                    if index.get(&u64_key(i)).is_some() {
+                    if h.get(&u64_key(i)).is_some() {
                         found += 1;
                     }
                 }

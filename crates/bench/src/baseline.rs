@@ -40,6 +40,19 @@ pub struct Entry {
     pub mops: f64,
 }
 
+/// One tracked lower-is-better gauge (e.g. the Bw-tree's peak retired-chain
+/// bytes during the gate's delete-heavy reclamation run). Gauges are compared
+/// **absolutely** — they count bytes, not host speed — so no median
+/// normalization applies; a gauge regresses when the current value exceeds the
+/// baseline by more than the gauge tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gauge {
+    /// Gauge name (dotted, e.g. `"bwtree.reclaim.peak_retired_kb"`).
+    pub name: String,
+    /// Baseline value.
+    pub value: f64,
+}
+
 /// A parsed baseline file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Baseline {
@@ -47,12 +60,14 @@ pub struct Baseline {
     pub meta: Meta,
     /// Measured entries.
     pub entries: Vec<Entry>,
+    /// Tracked gauges (absent in pre-gauge baselines: parses as empty).
+    pub gauges: Vec<Gauge>,
 }
 
 /// Render a baseline as JSON (one entry object per line — the shape [`parse`]
 /// understands).
 #[must_use]
-pub fn render(meta: &Meta, entries: &[Entry]) -> String {
+pub fn render(meta: &Meta, entries: &[Entry], gauges: &[Gauge]) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"meta\": { ");
     let _ = write!(
@@ -70,6 +85,16 @@ pub fn render(meta: &Meta, entries: &[Entry]) -> String {
             e.workload,
             e.mops,
             if i + 1 == entries.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n  \"gauges\": [\n");
+    for (i, g) in gauges.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"name\": \"{}\", \"value\": {:.4} }}{}",
+            g.name,
+            g.value,
+            if i + 1 == gauges.len() { "" } else { "," }
         );
     }
     s.push_str("  ]\n}\n");
@@ -120,6 +145,14 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
             match entry {
                 Some(e) => b.entries.push(e),
                 None => return Err(format!("line {}: malformed entry: {line}", no + 1)),
+            }
+        } else if line.contains("\"name\"") {
+            let gauge = (|| {
+                Some(Gauge { name: str_field(line, "name")?, value: num_field(line, "value")? })
+            })();
+            match gauge {
+                Some(g) => b.gauges.push(g),
+                None => return Err(format!("line {}: malformed gauge: {line}", no + 1)),
             }
         }
     }
@@ -243,6 +276,43 @@ pub fn compare(base: &Baseline, current: &[Entry], tolerance: f64) -> CompareRep
     report
 }
 
+/// One gauge that regressed (current exceeds `base × (1 + tolerance)`) or that
+/// the current run failed to produce.
+#[derive(Debug, Clone)]
+pub struct GaugeRegression {
+    /// Gauge name.
+    pub name: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Measured value (`None` when the run did not produce the gauge).
+    pub current: Option<f64>,
+}
+
+/// Compare lower-is-better gauges absolutely: a tracked gauge fails when the
+/// current value exceeds the baseline by more than `tolerance` (1.0 = allow up
+/// to 2× the baseline — far below the orders-of-magnitude growth an unbounded
+/// reclamation regression produces) or when the run stopped producing it.
+/// Untracked current gauges are ignored (regenerate the baseline to track
+/// them).
+#[must_use]
+pub fn compare_gauges(base: &[Gauge], current: &[Gauge], tolerance: f64) -> Vec<GaugeRegression> {
+    let mut out = Vec::new();
+    for b in base {
+        match current.iter().find(|c| c.name == b.name) {
+            None => {
+                out.push(GaugeRegression { name: b.name.clone(), base: b.value, current: None })
+            }
+            Some(c) if c.value > b.value * (1.0 + tolerance) => out.push(GaugeRegression {
+                name: b.name.clone(),
+                base: b.value,
+                current: Some(c.value),
+            }),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,13 +333,19 @@ mod tests {
         (meta, entries)
     }
 
+    fn sample_gauges() -> Vec<Gauge> {
+        vec![Gauge { name: "bwtree.reclaim.peak_retired_kb".into(), value: 256.5 }]
+    }
+
     #[test]
     fn render_parse_round_trip() {
         let (meta, entries) = sample();
-        let text = render(&meta, &entries);
+        let gauges = sample_gauges();
+        let text = render(&meta, &entries, &gauges);
         let parsed = parse(&text).expect("own output must parse");
         assert_eq!(parsed.meta, meta);
         assert_eq!(parsed.entries, entries);
+        assert_eq!(parsed.gauges, gauges);
     }
 
     #[test]
@@ -277,14 +353,48 @@ mod tests {
         assert!(parse("").is_err());
         assert!(parse("{ \"entries\": [] }").is_err());
         let (meta, entries) = sample();
-        let broken = render(&meta, &entries).replace("\"mops\": 1.5000", "\"mops\": oops");
+        let broken =
+            render(&meta, &entries, &sample_gauges()).replace("\"mops\": 1.5000", "\"mops\": oops");
         assert!(parse(&broken).is_err(), "malformed entries must error, not skip");
+        let broken =
+            render(&meta, &entries, &sample_gauges()).replace("\"value\": 256.5", "\"value\": nah");
+        assert!(parse(&broken).is_err(), "malformed gauges must error, not skip");
+    }
+
+    #[test]
+    fn pre_gauge_baselines_parse_with_empty_gauges() {
+        let (meta, entries) = sample();
+        let mut text = render(&meta, &entries, &[]);
+        // Strip the gauges section entirely, like a baseline written before it
+        // existed.
+        text = text.replace(",\n  \"gauges\": [\n  ]", "");
+        let parsed = parse(&text).expect("legacy shape must parse");
+        assert_eq!(parsed.entries, entries);
+        assert!(parsed.gauges.is_empty());
+    }
+
+    #[test]
+    fn gauge_compare_is_absolute_and_lower_is_better() {
+        let base = sample_gauges();
+        // Within tolerance (up to 2x at tolerance 1.0): ok, including improvements.
+        assert!(compare_gauges(&base, &[Gauge { name: base[0].name.clone(), value: 10.0 }], 1.0)
+            .is_empty());
+        assert!(compare_gauges(&base, &[Gauge { name: base[0].name.clone(), value: 500.0 }], 1.0)
+            .is_empty());
+        // Past tolerance: regression.
+        let r = compare_gauges(&base, &[Gauge { name: base[0].name.clone(), value: 600.0 }], 1.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].current, Some(600.0));
+        // Missing from the run: regression (coverage shrank).
+        let r = compare_gauges(&base, &[], 1.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].current, None);
     }
 
     #[test]
     fn compare_flags_only_past_tolerance_regressions() {
         let (meta, entries) = sample();
-        let base = Baseline { meta, entries };
+        let base = Baseline { meta, entries, gauges: Vec::new() };
         let current = vec![
             // At pace with the run's median speed.
             Entry { index: "P-ART".into(), workload: "Load A".into(), mops: 1.5 },
@@ -306,7 +416,7 @@ mod tests {
     #[test]
     fn compare_normalizes_out_uniform_host_speed() {
         let (meta, entries) = sample();
-        let base = Baseline { meta, entries };
+        let base = Baseline { meta, entries, gauges: Vec::new() };
         // A uniformly 2x-slower host: raw ratios are all 0.5, normalized to 1.0 —
         // no per-entry regression, so the gate passes (absolute drift is the
         // scheduled bench workflow's job).
@@ -326,7 +436,7 @@ mod tests {
     #[test]
     fn compare_fails_on_missing_and_notes_untracked() {
         let (meta, entries) = sample();
-        let base = Baseline { meta, entries };
+        let base = Baseline { meta, entries, gauges: Vec::new() };
         let current = vec![
             Entry { index: "P-ART".into(), workload: "Load A".into(), mops: 1.5 },
             Entry { index: "P-NEW".into(), workload: "A".into(), mops: 9.0 },

@@ -26,6 +26,11 @@ use ycsb::{KeyType, Workload};
 
 const WORKLOADS: [Workload; 3] = [Workload::LoadA, Workload::A, Workload::C];
 
+/// Gauge tolerance: a tracked lower-is-better gauge fails at more than
+/// `(1 + this) ×` its baseline value. Generous on purpose — the regression it
+/// guards (retired chains parking until `Drop` again) is a ~50× blow-up.
+const GAUGE_TOLERANCE: f64 = 1.0;
+
 fn baseline_path() -> PathBuf {
     std::env::var("RECIPE_PERF_BASELINE")
         .unwrap_or_else(|_| "crates/bench/baselines/throughput.json".into())
@@ -108,18 +113,27 @@ fn main() {
         bench::shape_reps_from_env(),
     );
     let current = baseline::entries_from_cells(&cells);
+    let current_gauges = bench::measure_bwtree_reclamation();
 
     if write_baseline {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).expect("create baseline dir");
         }
-        std::fs::write(&path, baseline::render(&meta, &current)).expect("write baseline");
-        println!("wrote baseline: {} ({} entries)", path.display(), current.len());
+        std::fs::write(&path, baseline::render(&meta, &current, &current_gauges))
+            .expect("write baseline");
+        println!(
+            "wrote baseline: {} ({} entries, {} gauges)",
+            path.display(),
+            current.len(),
+            current_gauges.len()
+        );
         return;
     }
     let base = base.expect("read above unless writing");
     let tol = tolerance();
     let report = baseline::compare(&base, &current, tol);
+    let gauge_regressions =
+        baseline::compare_gauges(&base.gauges, &current_gauges, GAUGE_TOLERANCE);
 
     println!(
         "\n== perf gate — {} entries vs {}, tolerance {:.0}% (median speed ratio {:.2}x) ==",
@@ -140,15 +154,43 @@ fn main() {
             );
         }
     }
+    for b in &base.gauges {
+        if let Some(c) = current_gauges.iter().find(|c| c.name == b.name) {
+            println!(
+                "  {:<24} base {:>10.1} -> now {:>10.1} (lower is better, tolerance {:.0}%)",
+                b.name,
+                b.value,
+                c.value,
+                GAUGE_TOLERANCE * 100.0
+            );
+        }
+    }
     for u in &report.untracked {
         println!("  note: {u} is not in the baseline (regenerate to track it)");
     }
+    if base.gauges.is_empty() {
+        println!("  note: baseline tracks no gauges (regenerate to gate the reclamation peak too)");
+    }
 
-    if report.ok() {
+    if report.ok() && gauge_regressions.is_empty() {
         println!("perf gate PASSED");
         return;
     }
     eprintln!("\nperf gate FAILED:");
+    for g in &gauge_regressions {
+        match g.current {
+            Some(c) => eprintln!(
+                "  gauge {}: {:.1} -> {:.1} (max allowed {:.1})",
+                g.name,
+                g.base,
+                c,
+                g.base * (1.0 + GAUGE_TOLERANCE)
+            ),
+            None => {
+                eprintln!("  gauge {}: baseline tracks it, this run did not produce it", g.name)
+            }
+        }
+    }
     for r in &report.regressions {
         eprintln!(
             "  {} / {}: {:.4} -> {:.4} Mops/s ({:.0}% of baseline, {:.0}% speed-normalized, \

@@ -105,6 +105,7 @@ mod tests {
                 p50_ns: 1_200,
                 p99_ns: 9_800,
                 sim_ns_per_op: 350.5,
+                handle_stats: recipe::session::HandleStats::default(),
             },
         }
     }

@@ -29,7 +29,7 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
-use recipe::index::ConcurrentIndex;
+use recipe::session::Index;
 use std::sync::Arc;
 use ycsb::{KeyType, PhaseResult, Spec, Workload};
 
@@ -48,7 +48,7 @@ pub struct IndexEntry {
     /// Display name (matches the paper's naming).
     pub name: &'static str,
     /// Constructor for a fresh instance.
-    pub build: fn() -> Arc<dyn ConcurrentIndex>,
+    pub build: fn() -> Arc<dyn Index>,
 }
 
 impl From<registry::IndexEntry> for IndexEntry {
@@ -261,6 +261,40 @@ pub fn run_matrix_best_of(
     best
 }
 
+/// Deterministic delete-heavy reclamation run for the perf gate: a
+/// single-threaded insert/remove churn against a fresh P-BwTree, long enough
+/// for thousands of delta-chain retirements. Single-threaded means the
+/// retire/collect interleaving — and so the peak of the epoch reclaimer's
+/// retired-bytes gauge — is exactly reproducible across runs *and hosts* (it
+/// counts bytes, not time), which is what makes it gateable as an absolute
+/// number in the checked-in baseline.
+#[must_use]
+pub fn measure_bwtree_reclamation() -> Vec<baseline::Gauge> {
+    use recipe::session::IndexExt;
+    let tree = bwtree::PBwTree::new();
+    let mut h = tree.handle();
+    for round in 0..60u64 {
+        for i in 0..500u64 {
+            h.insert(&recipe::key::u64_key(i), round).expect("bwtree upsert");
+        }
+        for i in 0..500u64 {
+            h.remove(&recipe::key::u64_key(i)).expect("key was just inserted");
+        }
+    }
+    drop(h);
+    let peak_kb = tree.peak_retired_bytes() as f64 / 1024.0;
+    let total_kb = (tree.reclaimed_bytes() + tree.retired_bytes()) as f64 / 1024.0;
+    eprintln!(
+        "# bwtree reclamation churn: peak retired {peak_kb:.1} KiB of {total_kb:.1} KiB retired \
+         in total"
+    );
+    assert!(
+        tree.reclaimed_bytes() > 0,
+        "reclamation churn freed nothing — epoch collection is broken"
+    );
+    vec![baseline::Gauge { name: "bwtree.reclaim.peak_retired_kb".into(), value: peak_kb }]
+}
+
 /// Repetition count for the gating binaries (`RECIPE_SHAPE_REPS`, default 3).
 #[must_use]
 pub fn shape_reps_from_env() -> usize {
@@ -322,5 +356,21 @@ pub fn print_counter_table(title: &str, cells: &[Cell], workloads: &[Workload]) 
             }
         }
         println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// The gauge the perf gate checks absolutely must be deterministic: same
+    /// churn, same retire/collect schedule, same peak — byte-for-byte.
+    #[test]
+    fn bwtree_reclamation_measurement_is_deterministic() {
+        let a = super::measure_bwtree_reclamation();
+        let b = super::measure_bwtree_reclamation();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].name, "bwtree.reclaim.peak_retired_kb");
+        assert!(a[0].value > 0.0);
+        assert_eq!(a[0].value, b[0].value, "reclamation peak must be reproducible");
+        eprintln!("gauge value: {:.4}", a[0].value);
     }
 }

@@ -298,6 +298,7 @@ mod tests {
                 p50_ns: 0,
                 p99_ns: 0,
                 sim_ns_per_op: 0.0,
+                handle_stats: recipe::session::HandleStats::default(),
             },
         }
     }

@@ -28,8 +28,9 @@ pub mod tree;
 
 pub use tree::BwTree;
 
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::persist::{Dram, PersistMode, Pmem};
+use recipe::session::{Capabilities, Index, OpError, OpResult};
 
 /// The persistent Bw-tree (the paper's P-BwTree).
 pub type PBwTree = BwTree<Pmem>;
@@ -54,35 +55,55 @@ pub const CRASH_SITES: &[&str] = &[
     "bwtree.root_split.committed",
 ];
 
-impl<P: PersistMode> ConcurrentIndex for BwTree<P> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
-        BwTree::insert(self, key, value)
+/// What this index supports. `linearizable_update` is `true`: the presence
+/// check and the delta CAS act on the same immutable chain snapshot.
+pub const CAPS: Capabilities = Capabilities::ordered_index(true);
+
+impl<P: PersistMode> Index for BwTree<P> {
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        if BwTree::insert(self, key, value) {
+            Ok(OpResult::Inserted)
+        } else {
+            Ok(OpResult::Updated)
+        }
     }
 
-    fn update(&self, key: &[u8], value: u64) -> bool {
+    fn exec_update(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
         // Linearizable conditional update: the presence check and the delta CAS
         // act on the same immutable chain snapshot.
-        BwTree::update(self, key, value)
+        if BwTree::update(self, key, value) {
+            Ok(OpResult::Updated)
+        } else {
+            Err(OpError::NotFound)
+        }
     }
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
+    fn exec_get(&self, key: &[u8]) -> Option<u64> {
         BwTree::get(self, key)
     }
 
-    fn remove(&self, key: &[u8]) -> bool {
-        BwTree::remove(self, key)
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+        if BwTree::remove(self, key) {
+            Ok(OpResult::Removed)
+        } else {
+            Err(OpError::NotFound)
+        }
     }
 
-    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-        BwTree::scan(self, start, count)
+    fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        BwTree::scan_into(self, start, max, out);
     }
 
-    fn supports_scan(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        CAPS
     }
 
-    fn name(&self) -> String {
+    fn index_name(&self) -> String {
         self.display_name()
+    }
+
+    fn reclaimer(&self) -> Option<&recipe::epoch::Collector> {
+        Some(BwTree::reclaimer(self))
     }
 }
 
@@ -311,7 +332,7 @@ mod tests {
     #[test]
     fn ablation_config_changes_name_and_still_works() {
         let t: PBwTree = BwTree::with_config(16, 24, "(dc16)");
-        assert_eq!(ConcurrentIndex::name(&t), "P-BwTree(dc16)");
+        assert_eq!(t.index_name(), "P-BwTree(dc16)");
         for i in 0..2_000u64 {
             assert!(t.insert(&u64_key(i), i));
         }
@@ -319,23 +340,51 @@ mod tests {
             assert_eq!(t.get(&u64_key(i)), Some(i));
         }
         let d: DramBwTree = BwTree::with_config(16, 24, "(dc16)");
-        assert_eq!(ConcurrentIndex::name(&d), "BwTree(dc16)");
+        assert_eq!(d.index_name(), "BwTree(dc16)");
     }
 
     #[test]
     fn trait_object_and_recover() {
+        use recipe::session::IndexExt;
         let t: PBwTree = BwTree::new();
-        let idx: &dyn ConcurrentIndex = &t;
-        assert!(idx.insert(&u64_key(1), 5));
-        assert!(idx.update(&u64_key(1), 6));
-        assert!(!idx.update(&u64_key(2), 6));
-        assert_eq!(idx.name(), "P-BwTree");
-        assert!(idx.supports_scan());
+        let idx: &dyn Index = &t;
+        let mut h = idx.handle();
+        assert_eq!(h.insert(&u64_key(1), 5), Ok(OpResult::Inserted));
+        assert_eq!(h.update(&u64_key(1), 6), Ok(OpResult::Updated));
+        assert_eq!(h.update(&u64_key(2), 6), Err(OpError::NotFound));
+        assert_eq!(h.index_name(), "P-BwTree");
+        assert!(h.capabilities().scan && h.capabilities().linearizable_update);
+        drop(h);
         t.recover();
         assert_eq!(t.get(&u64_key(1)), Some(6));
         assert!(t.insert(&u64_key(2), 7), "tree must stay writable after recover");
         let dram: DramBwTree = BwTree::new();
-        assert_eq!(ConcurrentIndex::name(&dram), "BwTree");
+        assert_eq!(dram.index_name(), "BwTree");
+    }
+
+    #[test]
+    fn consolidation_retires_chains_and_epochs_reclaim_them() {
+        let t: PBwTree = BwTree::new();
+        // Insert/remove cycles churn delta chains through consolidation.
+        for round in 0..50u64 {
+            for i in 0..200u64 {
+                t.insert(&u64_key(i), round);
+            }
+            for i in 0..200u64 {
+                t.remove(&u64_key(i));
+            }
+        }
+        assert!(t.reclaimed_bytes() > 0, "reclamation must run during the workload");
+        assert!(
+            t.peak_retired_bytes() < (t.reclaimed_bytes() + t.retired_bytes()) / 2,
+            "retired memory must stay bounded: peak {} vs total {}",
+            t.peak_retired_bytes(),
+            t.reclaimed_bytes() + t.retired_bytes()
+        );
+        // Quiescent flush drains the remainder entirely.
+        t.reclaimer().flush();
+        assert_eq!(t.retired_bytes(), 0);
+        assert!(t.is_empty());
     }
 
     #[test]

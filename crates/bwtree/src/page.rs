@@ -391,7 +391,7 @@ struct Segment {
 
 /// The mapping table: logical PID → current delta-chain head.
 ///
-/// A two-level lazily grown array (up to [`SEG_COUNT`] segments of [`SEG_SLOTS`]
+/// A two-level lazily grown array (up to `SEG_COUNT` segments of `SEG_SLOTS`
 /// slots). The indirection is what makes every page update a single CAS: writers
 /// swap the slot, never any in-page pointer.
 pub struct MappingTable {

@@ -44,10 +44,52 @@ pub struct BwTree<P: PersistMode> {
     consolidate_after: usize,
     split_at: usize,
     suffix: &'static str,
-    /// Chain heads replaced by consolidation, kept until `Drop` (deferred
-    /// reclamation; stored as addresses so the tree stays `Send + Sync`).
-    retired: parking_lot::Mutex<Vec<usize>>,
+    /// Epoch-based reclamation domain: chains replaced by consolidation are
+    /// retired here and freed at epoch quiescence, bounding memory during long
+    /// delete-heavy runs (they used to park on a tree-local list until `Drop`).
+    /// Every public operation enters it; session handles additionally pin it
+    /// around each call, keeping cursors safe across batches.
+    epoch: recipe::epoch::Collector,
     _policy: PhantomData<P>,
+}
+
+/// Free every node of a detached delta chain.
+///
+/// # Safety
+///
+/// The chain must be unreachable (its head swapped out of the mapping table)
+/// and the caller must guarantee no thread can still be traversing it — either
+/// exclusive tree access (`Drop`) or epoch quiescence (the deferred-free path).
+unsafe fn free_chain(mut p: *mut Delta) {
+    while !p.is_null() {
+        let next = delta_ref(p).next.load(Ordering::Acquire);
+        // SAFETY: per the function contract the chain is unreachable and
+        // unobserved; nodes are never shared across chains.
+        unsafe { pm::alloc::pm_drop(p) };
+        p = next;
+    }
+}
+
+/// Approximate heap footprint of a delta chain (node headers plus key bytes),
+/// the unit the reclamation gauge counts in.
+fn chain_bytes(head: *mut Delta) -> u64 {
+    let mut p = head;
+    let mut total = 0u64;
+    while !p.is_null() {
+        let d = delta_ref(p);
+        let payload = match &d.kind {
+            DeltaKind::Base(b) => {
+                b.keys.iter().map(|k| k.len()).sum::<usize>()
+                    + b.vals.len() * std::mem::size_of::<u64>()
+                    + b.high.as_ref().map_or(0, |h| h.len())
+            }
+            DeltaKind::Insert { key, .. } | DeltaKind::Delete { key } => key.len(),
+            DeltaKind::Split { sep, .. } | DeltaKind::IndexEntry { sep, .. } => sep.len(),
+        };
+        total += (std::mem::size_of::<Delta>() + payload) as u64;
+        p = d.next.load(Ordering::Acquire);
+    }
+    total
 }
 
 impl<P: PersistMode> Default for BwTree<P> {
@@ -80,7 +122,7 @@ impl<P: PersistMode> BwTree<P> {
             consolidate_after: consolidate_after.max(2),
             split_at,
             suffix,
-            retired: parking_lot::Mutex::new(Vec::new()),
+            epoch: recipe::epoch::Collector::new(),
             _policy: PhantomData,
         };
         P::persist_obj(t.map.slot(1), false);
@@ -294,7 +336,14 @@ impl<P: PersistMode> BwTree<P> {
         P::persist_obj(delta, true);
         if self.publish(pid, head, delta) {
             P::crash_site("bwtree.consolidate.installed");
-            self.retired.lock().push(head as usize);
+            // The whole old chain is now unreachable; retire it to the epoch
+            // domain (freed once every thread that might still hold the old
+            // snapshot has unpinned).
+            let addr = head as usize;
+            // SAFETY: the chain was atomically replaced above and the deferred
+            // free runs only at epoch quiescence.
+            self.epoch
+                .defer_free(chain_bytes(head), move || unsafe { free_chain(addr as *mut Delta) });
         }
     }
 
@@ -356,8 +405,35 @@ impl<P: PersistMode> BwTree<P> {
         self.help_page(pid, self.head(pid));
     }
 
+    /// The tree's epoch-reclamation domain: session handles pin it around
+    /// every operation, and its gauges expose the retired-chain memory bound.
+    #[must_use]
+    pub fn reclaimer(&self) -> &recipe::epoch::Collector {
+        &self.epoch
+    }
+
+    /// Bytes of retired delta chains currently awaiting epoch quiescence.
+    #[must_use]
+    pub fn retired_bytes(&self) -> u64 {
+        self.epoch.retired_bytes()
+    }
+
+    /// High-water mark of [`BwTree::retired_bytes`] — the gauge `perf_gate`
+    /// and the reclamation regression test bound.
+    #[must_use]
+    pub fn peak_retired_bytes(&self) -> u64 {
+        self.epoch.peak_retired_bytes()
+    }
+
+    /// Cumulative bytes of retired chains already freed.
+    #[must_use]
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.epoch.reclaimed_bytes()
+    }
+
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let _epoch = self.epoch.enter();
         let mut pid = self.descend_to_leaf(key);
         loop {
             pm::stats::record_node_visit();
@@ -397,6 +473,7 @@ impl<P: PersistMode> BwTree<P> {
         require_present: bool,
         site: &'static str,
     ) -> Option<bool> {
+        let _epoch = self.epoch.enter();
         let mut pid = self.descend_to_leaf(key);
         loop {
             pm::stats::record_node_visit();
@@ -431,6 +508,20 @@ impl<P: PersistMode> BwTree<P> {
     /// the leaf B-link chain. Each page contributes one immutable snapshot.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
         let mut out: Vec<(Vec<u8>, u64)> = Vec::with_capacity(count.min(1024));
+        self.scan_into(start, count, &mut out);
+        out
+    }
+
+    /// [`BwTree::scan`] into a caller-provided buffer: appends up to `count`
+    /// pairs with key `>= start` (ascending) to `out` without clearing it, so
+    /// cursor callers can stream batches through one reused allocation.
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        if count == 0 {
+            return;
+        }
+        let _epoch = self.epoch.enter();
+        let count = out.len().saturating_add(count);
+        let base = out.len();
         let mut pid = self.descend_to_leaf(start);
         while pid != NO_PID && out.len() < count {
             pm::stats::record_node_visit();
@@ -438,18 +529,17 @@ impl<P: PersistMode> BwTree<P> {
             let from = view.entries.partition_point(|(k, _)| k.as_ref() < start);
             for (k, v) in &view.entries[from..] {
                 if out.len() >= count {
-                    return out;
+                    return;
                 }
                 // Cross-page duplicate suppression (defence in depth; the split
                 // truncation already keeps page snapshots disjoint).
-                if out.last().is_some_and(|(last, _)| last.as_slice() >= k.as_ref()) {
+                if out[base..].last().is_some_and(|(last, _)| last.as_slice() >= k.as_ref()) {
                     continue;
                 }
                 out.push((k.to_vec(), *v));
             }
             pid = view.right;
         }
-        out
     }
 
     /// Post-crash recovery: replay every incomplete split-delta installation.
@@ -461,6 +551,7 @@ impl<P: PersistMode> BwTree<P> {
     /// root split, which re-roots the tree. Must run single-threaded, like a
     /// restart would.
     pub fn recover(&self) {
+        let _epoch = self.epoch.enter();
         let max = self.next_pid.load(Ordering::Acquire);
         for pid in 1..max {
             let head = self.head(pid);
@@ -476,6 +567,7 @@ impl<P: PersistMode> BwTree<P> {
     /// tree; [`BwTree::recover`] restores it to zero. Single-threaded use only.
     #[must_use]
     pub fn incomplete_smos(&self) -> usize {
+        let _epoch = self.epoch.enter();
         let max = self.next_pid.load(Ordering::Acquire);
         let mut n = 0;
         for pid in 1..max {
@@ -538,21 +630,15 @@ impl<P: PersistMode> BwTree<P> {
 
 impl<P: PersistMode> Drop for BwTree<P> {
     fn drop(&mut self) {
-        fn free_chain(mut p: *mut Delta) {
-            while !p.is_null() {
-                let next = delta_ref(p).next.load(Ordering::Acquire);
-                // SAFETY: exclusive access (`&mut self` in drop); chains were
-                // detached just before and nodes are never shared across chains.
-                unsafe { pm::alloc::pm_drop(p) };
-                p = next;
-            }
-        }
+        // Retired chains are disjoint from the mapping table's; with `&mut
+        // self` no session can be pinned, so the flush drains all of them.
+        self.epoch.flush();
         let max = *self.next_pid.get_mut();
         for pid in 1..max {
-            free_chain(self.map.slot(pid).swap(std::ptr::null_mut(), Ordering::AcqRel));
-        }
-        for head in std::mem::take(&mut *self.retired.lock()) {
-            free_chain(head as *mut Delta);
+            let head = self.map.slot(pid).swap(std::ptr::null_mut(), Ordering::AcqRel);
+            // SAFETY: exclusive access (`&mut self` in drop); chains were
+            // detached just above.
+            unsafe { free_chain(head) };
         }
         self.map.free_segments();
     }

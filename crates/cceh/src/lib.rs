@@ -42,9 +42,10 @@ pub const CRASH_SITES: &[&str] = &[
     "cceh.split.directory_updated",
 ];
 
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::key::{hash_u64, key_to_u64};
 use recipe::persist::{PersistMode, Pmem};
+use recipe::session::{Capabilities, Index, OpError, OpResult};
 use segment::{Segment, BUCKETS_PER_SEGMENT, SLOTS_PER_BUCKET};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
@@ -169,8 +170,13 @@ impl<P: PersistMode> Cceh<P> {
         seg.get(h, k)
     }
 
-    fn put_internal(&self, k: u64, value: u64) -> bool {
-        let h = hash_u64(k);
+    /// Locate the segment covering `h`, lock it, **re-validate** that the
+    /// directory still maps `h` to it (a concurrent split/doubling may have
+    /// replaced the mapping between the lookup and the lock), then run `op`
+    /// with the lock held. Retries the locate-lock-revalidate sequence until
+    /// it wins; every lock-protected segment operation goes through here so
+    /// the protocol exists exactly once.
+    fn with_locked_segment<R>(&self, h: u64, mut op: impl FnMut(*mut Segment, &Segment) -> R) -> R {
         loop {
             let dir_ptr = self.dir.load(Ordering::Acquire);
             // SAFETY: directories are never freed while the table is alive.
@@ -180,7 +186,6 @@ impl<P: PersistMode> Cceh<P> {
             // SAFETY: segments are never freed while the table is alive.
             let seg = unsafe { &*seg_ptr };
             let guard = seg.lock.lock();
-            // Re-validate: a concurrent split/doubling may have replaced the mapping.
             if self.dir.load(Ordering::Acquire) != dir_ptr
                 || dir.segments[idx].load(Ordering::Acquire) != seg_ptr as u64
             {
@@ -188,12 +193,22 @@ impl<P: PersistMode> Cceh<P> {
                 continue;
             }
             pm::stats::record_node_visit();
-            match seg.insert::<P>(h, k, value) {
+            return op(seg_ptr, seg);
+        }
+    }
+
+    fn put_internal(&self, k: u64, value: u64) -> bool {
+        let h = hash_u64(k);
+        loop {
+            let (seg_ptr, r) = self
+                .with_locked_segment(h, |ptr, seg| (ptr as usize, seg.insert::<P>(h, k, value)));
+            match r {
                 Ok(newly) => return newly,
                 Err(segment::SegmentFull) => {
-                    drop(guard);
-                    self.split_segment(seg_ptr, h);
-                    // Retry the insert against the new layout.
+                    // The segment lock is already released; split the observed
+                    // segment (split_segment re-validates the mapping) and
+                    // retry the insert against the new layout.
+                    self.split_segment(seg_ptr as *mut Segment, h);
                 }
             }
         }
@@ -203,25 +218,7 @@ impl<P: PersistMode> Cceh<P> {
     /// if the key is already present; never inserts.
     fn update_internal(&self, k: u64, value: u64) -> bool {
         let h = hash_u64(k);
-        loop {
-            let dir_ptr = self.dir.load(Ordering::Acquire);
-            // SAFETY: directories are never freed while the table is alive.
-            let dir = unsafe { &*dir_ptr };
-            let idx = dir.index(h);
-            let seg_ptr = dir.segments[idx].load(Ordering::Acquire) as *mut Segment;
-            // SAFETY: segments are never freed while the table is alive.
-            let seg = unsafe { &*seg_ptr };
-            let guard = seg.lock.lock();
-            // Re-validate: a concurrent split/doubling may have replaced the mapping.
-            if self.dir.load(Ordering::Acquire) != dir_ptr
-                || dir.segments[idx].load(Ordering::Acquire) != seg_ptr as u64
-            {
-                drop(guard);
-                continue;
-            }
-            pm::stats::record_node_visit();
-            return seg.update_in_place::<P>(h, k, value);
-        }
+        self.with_locked_segment(h, |_, seg| seg.update_in_place::<P>(h, k, value))
     }
 
     /// Split the segment currently covering `hash` (copy-on-write), doubling the
@@ -322,23 +319,7 @@ impl<P: PersistMode> Cceh<P> {
 
     fn remove_internal(&self, k: u64) -> bool {
         let h = hash_u64(k);
-        loop {
-            let dir_ptr = self.dir.load(Ordering::Acquire);
-            // SAFETY: never freed.
-            let dir = unsafe { &*dir_ptr };
-            let idx = dir.index(h);
-            let seg_ptr = dir.segments[idx].load(Ordering::Acquire) as *mut Segment;
-            // SAFETY: never freed.
-            let seg = unsafe { &*seg_ptr };
-            let guard = seg.lock.lock();
-            if self.dir.load(Ordering::Acquire) != dir_ptr
-                || dir.segments[idx].load(Ordering::Acquire) != seg_ptr as u64
-            {
-                drop(guard);
-                continue;
-            }
-            return seg.remove::<P>(h, k);
-        }
+        self.with_locked_segment(h, |_, seg| seg.remove::<P>(h, k))
     }
 
     /// Number of entries (slow; walks every segment once, de-duplicating shared
@@ -372,35 +353,75 @@ impl<P: PersistMode> Cceh<P> {
     }
 }
 
-impl<P: PersistMode> ConcurrentIndex for Cceh<P> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
+/// What this index supports. `linearizable_update` is `true`: the presence
+/// check and the value store happen under the same segment lock.
+pub const CAPS: Capabilities = Capabilities::hash_index(true);
+
+/// The segment-probe-window failure ([`segment::SegmentFull`]) used to live
+/// only in this crate's side channel; under the session API it is an ordinary
+/// typed error. The public insert path absorbs it by splitting the segment and
+/// retrying, so callers only observe it through capacity-limited entry points.
+impl From<segment::SegmentFull> for OpError {
+    fn from(_: segment::SegmentFull) -> OpError {
+        OpError::CapacityExceeded
+    }
+}
+
+impl<P: PersistMode> Cceh<P> {
+    /// Insert without segment splitting: a single attempt against the current
+    /// layout, surfacing [`segment::SegmentFull`] as
+    /// [`OpError::CapacityExceeded`] instead of absorbing it. This is the
+    /// capacity-limited entry point for callers that bound memory themselves;
+    /// [`Index::exec_insert`] retries with splits and never reports it.
+    pub fn try_insert_no_split(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        let Some(k) = Self::internal_key(key) else { return Err(OpError::UnsupportedKey) };
+        let h = hash_u64(k);
+        let newly = self.with_locked_segment(h, |_, seg| seg.insert::<P>(h, k, value))?;
+        Ok(if newly { OpResult::Inserted } else { OpResult::Updated })
+    }
+}
+
+impl<P: PersistMode> Index for Cceh<P> {
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
         match Self::internal_key(key) {
-            Some(k) => self.put_internal(k, value),
-            None => false,
+            Some(k) => {
+                if self.put_internal(k, value) {
+                    Ok(OpResult::Inserted)
+                } else {
+                    Ok(OpResult::Updated)
+                }
+            }
+            None => Err(OpError::UnsupportedKey),
         }
     }
 
     /// Atomic: presence check and value store happen under the same segment lock
     /// (overrides the non-atomic trait default).
-    fn update(&self, key: &[u8], value: u64) -> bool {
+    fn exec_update(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
         match Self::internal_key(key) {
-            Some(k) => self.update_internal(k, value),
-            None => false,
+            Some(k) if self.update_internal(k, value) => Ok(OpResult::Updated),
+            Some(_) => Err(OpError::NotFound),
+            None => Err(OpError::UnsupportedKey),
         }
     }
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
+    fn exec_get(&self, key: &[u8]) -> Option<u64> {
         Self::internal_key(key).and_then(|k| self.get_internal(k))
     }
 
-    fn remove(&self, key: &[u8]) -> bool {
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
         match Self::internal_key(key) {
-            Some(k) => self.remove_internal(k),
-            None => false,
+            Some(k) if self.remove_internal(k) => Ok(OpResult::Removed),
+            Some(_) => Err(OpError::NotFound),
+            None => Err(OpError::UnsupportedKey),
         }
     }
 
-    fn name(&self) -> String {
+    fn capabilities(&self) -> Capabilities {
+        CAPS
+    }
+
+    fn index_name(&self) -> String {
         if P::PERSISTENT {
             "CCEH".into()
         } else {
@@ -430,6 +451,7 @@ const _: () = assert!(SLOTS_PER_BUCKET * segment::LINEAR_PROBE <= BUCKETS_PER_SE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recipe::index::ConcurrentIndex;
     use recipe::key::u64_key;
     use std::sync::Arc;
 
@@ -501,6 +523,35 @@ mod tests {
         let t: PCceh = Cceh::new();
         assert!(!t.insert(b"longer-than-8-bytes", 1));
         assert_eq!(t.get(b"longer-than-8-bytes"), None);
+        // The typed API names the cause instead of collapsing it into `false`.
+        assert_eq!(t.exec_insert(b"longer-than-8-bytes", 1), Err(OpError::UnsupportedKey));
+        assert_eq!(t.exec_update(b"longer-than-8-bytes", 1), Err(OpError::UnsupportedKey));
+        assert_eq!(t.exec_remove(b"longer-than-8-bytes"), Err(OpError::UnsupportedKey));
+    }
+
+    #[test]
+    fn segment_full_surfaces_as_typed_capacity_error() {
+        assert_eq!(OpError::from(segment::SegmentFull), OpError::CapacityExceeded);
+        // Without split-and-retry, a filling table must eventually refuse an
+        // insert with the typed capacity error instead of a silent side channel.
+        let t: PCceh = Cceh::new();
+        let mut hit_capacity = false;
+        for i in 0..60_000u64 {
+            match t.try_insert_no_split(&k(i), i) {
+                Ok(OpResult::Inserted) => {}
+                Ok(other) => panic!("fresh key reported {other:?}"),
+                Err(OpError::CapacityExceeded) => {
+                    hit_capacity = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(hit_capacity, "a depth-1 table must fill a probe window within 60k inserts");
+        // The splitting path absorbs the same condition and keeps going.
+        for i in 0..60_000u64 {
+            assert!(t.exec_insert(&k(i), i).is_ok());
+        }
     }
 
     #[test]

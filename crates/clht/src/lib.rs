@@ -25,9 +25,10 @@ pub mod bucket;
 pub mod table;
 
 use bucket::{Bucket, EMPTY_KEY, ENTRIES_PER_BUCKET};
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::key::{hash_u64, key_to_u64};
 use recipe::persist::{Dram, PersistMode, Pmem};
+use recipe::session::{Capabilities, Index, OpError, OpResult};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use table::Table;
@@ -365,35 +366,51 @@ impl<P: PersistMode> Drop for Clht<P> {
     }
 }
 
-impl<P: PersistMode> ConcurrentIndex for Clht<P> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
+/// What this index supports. `linearizable_update` is `true`: the presence
+/// check and the value store happen under the bucket lock.
+pub const CAPS: Capabilities = Capabilities::hash_index(true);
+
+impl<P: PersistMode> Index for Clht<P> {
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
         match Self::internal_key(key) {
-            Some(k) => self.put_internal(k, value),
-            None => false,
+            Some(k) => {
+                if self.put_internal(k, value) {
+                    Ok(OpResult::Inserted)
+                } else {
+                    Ok(OpResult::Updated)
+                }
+            }
+            None => Err(OpError::UnsupportedKey),
         }
     }
 
     /// Atomic: presence check and value store happen under the bucket lock
     /// (overrides the non-atomic trait default).
-    fn update(&self, key: &[u8], value: u64) -> bool {
+    fn exec_update(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
         match Self::internal_key(key) {
-            Some(k) => self.update_internal(k, value),
-            None => false,
+            Some(k) if self.update_internal(k, value) => Ok(OpResult::Updated),
+            Some(_) => Err(OpError::NotFound),
+            None => Err(OpError::UnsupportedKey),
         }
     }
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
+    fn exec_get(&self, key: &[u8]) -> Option<u64> {
         Self::internal_key(key).and_then(|k| self.get_internal(k))
     }
 
-    fn remove(&self, key: &[u8]) -> bool {
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
         match Self::internal_key(key) {
-            Some(k) => self.remove_internal(k),
-            None => false,
+            Some(k) if self.remove_internal(k) => Ok(OpResult::Removed),
+            Some(_) => Err(OpError::NotFound),
+            None => Err(OpError::UnsupportedKey),
         }
     }
 
-    fn name(&self) -> String {
+    fn capabilities(&self) -> Capabilities {
+        CAPS
+    }
+
+    fn index_name(&self) -> String {
         if P::PERSISTENT {
             "P-CLHT".into()
         } else {
@@ -424,6 +441,7 @@ impl<P: PersistMode> Recoverable for Clht<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recipe::index::ConcurrentIndex;
     use recipe::key::u64_key;
     use std::sync::Arc;
 

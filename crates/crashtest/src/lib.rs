@@ -26,8 +26,9 @@ pub mod sweep;
 pub use sweep::{run_crash_sweep, MixedGen, MixedOp, SiteOutcome, SweepConfig, SweepReport};
 
 use pm::crash;
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::key::u64_key;
+use recipe::session::{Index, IndexExt};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -94,13 +95,14 @@ fn crash_value(id: u64) -> u64 {
 /// Count the crash sites exercised by loading `load_keys` keys into a fresh index.
 fn calibrate_sites<I, F>(factory: &F, load_keys: usize) -> u64
 where
-    I: ConcurrentIndex,
+    I: Index,
     F: Fn() -> I,
 {
     crash::arm_count_only();
     let index = factory();
+    let mut h = index.handle();
     for i in 0..load_keys as u64 {
-        index.insert(&u64_key(i), crash_value(i));
+        let _ = h.insert(&u64_key(i), crash_value(i));
     }
     let sites = crash::sites_hit();
     crash::disarm();
@@ -113,7 +115,7 @@ where
 /// DRAM mode, so no crashes would ever fire).
 pub fn run_crash_test<I, F>(factory: F, cfg: &CrashTestConfig) -> CrashTestReport
 where
-    I: ConcurrentIndex + Recoverable + Send + Sync,
+    I: Index + Recoverable + Send + Sync,
     F: Fn() -> I,
 {
     crash::install_quiet_hook();
@@ -128,13 +130,15 @@ where
         let index = factory();
 
         // Load phase with the crash armed: keys acknowledged before the crash are the
-        // ones that must survive.
+        // ones that must survive. The load runs through one session handle (a
+        // crash unwinds through its epoch guard like a power failure).
         crash::arm_nth(crash_at);
+        let mut h = index.handle();
         let mut acknowledged: Vec<u64> = Vec::with_capacity(cfg.load_keys);
         let mut crashed = false;
         for i in 0..cfg.load_keys as u64 {
             let r = crash::catch_crash(AssertUnwindSafe(|| {
-                index.insert(&u64_key(i), crash_value(i));
+                let _ = h.insert(&u64_key(i), crash_value(i));
             }));
             match r {
                 Ok(_) => acknowledged.push(i),
@@ -153,7 +157,7 @@ where
         index.recover();
 
         // Post-recovery mixed workload: concurrent inserts of new keys and reads of
-        // acknowledged keys.
+        // acknowledged keys, each thread through its own session handle.
         let failed_ops = AtomicU64::new(0);
         let per_thread = cfg.post_ops / cfg.threads.max(1);
         std::thread::scope(|scope| {
@@ -162,16 +166,17 @@ where
                 let acknowledged = &acknowledged;
                 let failed_ops = &failed_ops;
                 scope.spawn(move || {
+                    let mut h = index.handle();
                     for j in 0..per_thread as u64 {
                         if j % 2 == 0 {
                             let id = 1_000_000 + t * per_thread as u64 + j;
-                            index.insert(&u64_key(id), crash_value(id));
-                            if index.get(&u64_key(id)) != Some(crash_value(id)) {
+                            let _ = h.insert(&u64_key(id), crash_value(id));
+                            if h.get(&u64_key(id)) != Some(crash_value(id)) {
                                 failed_ops.fetch_add(1, Ordering::Relaxed);
                             }
                         } else if !acknowledged.is_empty() {
                             let id = acknowledged[(j as usize * 7919) % acknowledged.len()];
-                            if index.get(&u64_key(id)) != Some(crash_value(id)) {
+                            if h.get(&u64_key(id)) != Some(crash_value(id)) {
                                 failed_ops.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -183,7 +188,7 @@ where
 
         // Final read-back of everything acknowledged before the crash.
         for &id in &acknowledged {
-            match index.get(&u64_key(id)) {
+            match h.get(&u64_key(id)) {
                 Some(v) if v == crash_value(id) => {}
                 Some(_) => report.wrong_values += 1,
                 None => report.lost_keys += 1,
@@ -223,7 +228,7 @@ impl DurabilityReport {
 /// verifying after each insert that every dirtied cache line was flushed and fenced.
 pub fn run_durability_test<I, F>(factory: F, load_keys: usize, test_keys: usize) -> DurabilityReport
 where
-    I: ConcurrentIndex,
+    I: Index,
     F: Fn() -> I,
 {
     pm::tracker::enable();
@@ -233,16 +238,17 @@ where
         construction_unflushed: construction.unflushed.len(),
         ..Default::default()
     };
+    let mut h = index.handle();
     // Load phase (untracked per-op; we only need the structure to be past its first
     // splits/rehashes so the test phase exercises SMOs too).
     for i in 0..load_keys as u64 {
-        index.insert(&u64_key(i), crash_value(i));
+        let _ = h.insert(&u64_key(i), crash_value(i));
     }
     pm::tracker::clear_lines();
 
     for i in 0..test_keys as u64 {
         let id = load_keys as u64 + i;
-        index.insert(&u64_key(id), crash_value(id));
+        let _ = h.insert(&u64_key(id), crash_value(id));
         let check = pm::tracker::check(true);
         if !check.unflushed.is_empty() {
             report.ops_with_unflushed_lines += 1;
@@ -262,6 +268,7 @@ mod tests {
     use super::*;
     use recipe::lock::VersionLock;
     use recipe::persist::{PersistMode, Pmem};
+    use recipe::session::{Capabilities, OpError, OpResult};
     use std::collections::HashMap;
     use std::sync::atomic::AtomicBool;
 
@@ -293,8 +300,8 @@ mod tests {
         }
     }
 
-    impl ConcurrentIndex for ToyIndex {
-        fn insert(&self, key: &[u8], value: u64) -> bool {
+    impl Index for ToyIndex {
+        fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
             let (lock, map) = self.shard(key);
             let _g = lock.lock();
             pm::crash::site("toy.insert.locked");
@@ -307,17 +314,23 @@ mod tests {
                 Pmem::mark_dirty_obj(&self.durable);
             }
             pm::crash::site("toy.insert.committed");
-            newly
+            Ok(if newly { OpResult::Inserted } else { OpResult::Updated })
         }
-        fn get(&self, key: &[u8]) -> Option<u64> {
+        fn exec_get(&self, key: &[u8]) -> Option<u64> {
             self.shard(key).1.read().get(key).copied()
         }
-        fn remove(&self, key: &[u8]) -> bool {
+        fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
             let (lock, map) = self.shard(key);
             let _g = lock.lock();
-            map.write().remove(key).is_some()
+            match map.write().remove(key) {
+                Some(_) => Ok(OpResult::Removed),
+                None => Err(OpError::NotFound),
+            }
         }
-        fn name(&self) -> String {
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::hash_index(false)
+        }
+        fn index_name(&self) -> String {
             "toy".into()
         }
     }

@@ -21,8 +21,9 @@
 //!   never exercised — a never-exercised site means the crash matrix has a hole.
 
 use pm::crash;
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::key::u64_key;
+use recipe::session::{Index, IndexExt};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -210,7 +211,7 @@ struct StateResult {
 /// mixed phase, then a full read-back against the acknowledged model.
 fn run_state<I>(index: &I, cfg: &SweepConfig, arm: &Arm) -> StateResult
 where
-    I: ConcurrentIndex + Recoverable + Send + Sync,
+    I: Index + Recoverable + Send + Sync,
 {
     match arm {
         Arm::Nth(n) => crash::arm_nth(*n),
@@ -221,17 +222,20 @@ where
     let mut model: HashMap<u64, Option<u64>> = HashMap::new();
     let mut gen = MixedGen::new(cfg.seed);
     let mut result = StateResult::default();
+    // The whole load runs through one session handle; a crash unwinds through
+    // the handle's epoch guard, exactly like a power failure mid-operation.
+    let mut h = index.handle();
     for i in 0..cfg.load_ops as u64 {
         let op = gen.next_op(i);
         let r = crash::catch_crash(AssertUnwindSafe(|| match op {
             MixedOp::Insert(k, v) => {
-                index.insert(&u64_key(k), v);
+                let _ = h.insert(&u64_key(k), v);
             }
             MixedOp::Update(k, v) => {
-                index.update(&u64_key(k), v);
+                let _ = h.update(&u64_key(k), v);
             }
             MixedOp::Remove(k) => {
-                index.remove(&u64_key(k));
+                let _ = h.remove(&u64_key(k));
             }
         }));
         let key = match op {
@@ -282,12 +286,14 @@ where
             let present = &present;
             let failed_ops = &failed_ops;
             scope.spawn(move || {
+                // One session handle per post-recovery worker thread.
+                let mut h = index.handle();
                 for j in 0..per_thread as u64 {
                     match j % 3 {
                         0 => {
                             let id = 1_000_000 + t * per_thread as u64 + j;
-                            index.insert(&u64_key(id), MixedGen::value(id, j));
-                            if index.get(&u64_key(id)) != Some(MixedGen::value(id, j)) {
+                            let _ = h.insert(&u64_key(id), MixedGen::value(id, j));
+                            if h.get(&u64_key(id)) != Some(MixedGen::value(id, j)) {
                                 failed_ops.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -296,11 +302,11 @@ where
                                 present[(t as usize * 7919 + j as usize * 13) % present.len()];
                             // Idempotent rewrite: exercises the write path over the
                             // crash-torn region without changing the model.
-                            index.update(&u64_key(k), v);
+                            let _ = h.update(&u64_key(k), v);
                         }
                         _ if !present.is_empty() => {
                             let (k, v) = present[(j as usize * 31 + 7) % present.len()];
-                            if index.get(&u64_key(k)) != Some(v) {
+                            if h.get(&u64_key(k)) != Some(v) {
                                 failed_ops.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -314,7 +320,7 @@ where
 
     // Read-back: every acknowledged key must be in its acknowledged state.
     for (k, state) in &model {
-        let got = index.get(&u64_key(*k));
+        let got = h.get(&u64_key(*k));
         match (state, got) {
             (Some(v), Some(g)) if g == *v => {}
             (Some(_), Some(_)) => result.wrong += 1,
@@ -339,7 +345,7 @@ pub fn run_crash_sweep<I, F>(
     cfg: &SweepConfig,
 ) -> SweepReport
 where
-    I: ConcurrentIndex + Recoverable + Send + Sync,
+    I: Index + Recoverable + Send + Sync,
     F: Fn() -> I,
 {
     crash::install_quiet_hook();
@@ -353,16 +359,17 @@ where
     let mut gen = MixedGen::new(cfg.seed);
     {
         let index = factory();
+        let mut h = index.handle();
         for i in 0..cfg.load_ops as u64 {
             match gen.next_op(i) {
                 MixedOp::Insert(k, v) => {
-                    index.insert(&u64_key(k), v);
+                    let _ = h.insert(&u64_key(k), v);
                 }
                 MixedOp::Update(k, v) => {
-                    index.update(&u64_key(k), v);
+                    let _ = h.update(&u64_key(k), v);
                 }
                 MixedOp::Remove(k) => {
-                    index.remove(&u64_key(k));
+                    let _ = h.remove(&u64_key(k));
                 }
             }
         }

@@ -37,40 +37,53 @@ pub const CRASH_SITES: &[&str] = &[
     "fastfair.parent_split.left_truncated",
 ];
 
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::persist::{Dram, PersistMode, Pmem};
+use recipe::session::{Capabilities, Index, OpError, OpResult};
 
 /// The persistent FAST & FAIR B+ tree (the configuration evaluated in the paper).
 pub type PFastFair = FastFair<Pmem>;
 /// FAST & FAIR with persistence compiled out (used by ablation benchmarks).
 pub type DramFastFair = FastFair<Dram>;
 
-impl<P: PersistMode> ConcurrentIndex for FastFair<P> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
-        FastFair::insert(self, key, value)
+/// What this index supports. `linearizable_update` is `false`: FAST & FAIR
+/// acquires leaf locks per shift inside `insert`, so there is no single lock
+/// under which to check presence and re-insert — `update` is the documented
+/// non-atomic get-then-insert fallback.
+pub const CAPS: Capabilities = Capabilities::ordered_index(false);
+
+impl<P: PersistMode> Index for FastFair<P> {
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        if FastFair::insert(self, key, value) {
+            Ok(OpResult::Inserted)
+        } else {
+            Ok(OpResult::Updated)
+        }
     }
 
-    // `update` uses the trait's default get-then-insert and inherits its documented
-    // non-atomicity: FAST & FAIR acquires leaf locks per shift inside `insert`, so
-    // there is no single lock under which to check presence and re-insert.
+    // `exec_update` keeps the trait's default get-then-insert; `CAPS` reports it.
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
+    fn exec_get(&self, key: &[u8]) -> Option<u64> {
         FastFair::get(self, key)
     }
 
-    fn remove(&self, key: &[u8]) -> bool {
-        FastFair::remove(self, key)
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+        if FastFair::remove(self, key) {
+            Ok(OpResult::Removed)
+        } else {
+            Err(OpError::NotFound)
+        }
     }
 
-    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-        FastFair::scan(self, start, count)
+    fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        FastFair::scan_into(self, start, max, out);
     }
 
-    fn supports_scan(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        CAPS
     }
 
-    fn name(&self) -> String {
+    fn index_name(&self) -> String {
         if P::PERSISTENT {
             "FAST&FAIR".into()
         } else {
@@ -248,13 +261,15 @@ mod tests {
 
     #[test]
     fn trait_object_and_recover() {
+        use recipe::session::IndexExt;
         let t: PFastFair = FastFair::new();
-        let idx: &dyn ConcurrentIndex = &t;
-        assert!(idx.insert(&u64_key(1), 5));
-        assert!(idx.update(&u64_key(1), 6));
-        assert!(!idx.update(&u64_key(2), 6));
-        assert_eq!(idx.name(), "FAST&FAIR");
-        assert!(idx.supports_scan());
+        let idx: &dyn Index = &t;
+        let mut h = idx.handle();
+        assert_eq!(h.insert(&u64_key(1), 5), Ok(OpResult::Inserted));
+        assert_eq!(h.update(&u64_key(1), 6), Ok(OpResult::Updated));
+        assert_eq!(h.update(&u64_key(2), 6), Err(OpError::NotFound));
+        assert_eq!(h.index_name(), "FAST&FAIR");
+        assert!(h.capabilities().scan && !h.capabilities().linearizable_update);
         t.recover();
         assert_eq!(t.get(&u64_key(1)), Some(6));
     }

@@ -385,8 +385,20 @@ impl<P: PersistMode> FastFair<P> {
     /// Range scan: up to `count` pairs with key `>= start`, ascending, following leaf
     /// sibling pointers.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut out: Vec<(Vec<u8>, u64)> = Vec::with_capacity(count.min(1024));
+        self.scan_into(start, count, &mut out);
+        out
+    }
+
+    /// [`FastFair::scan`] into a caller-provided buffer: appends up to `count`
+    /// pairs with key `>= start` (ascending) to `out` without clearing it, so
+    /// cursor callers can stream batches through one reused allocation.
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        if count == 0 {
+            return;
+        }
+        let count = out.len().saturating_add(count);
         let mode = self.key_mode(start);
-        let mut out: Vec<(Vec<u8>, u64)> = Vec::with_capacity(count);
         let mut leaf_ptr = self.find_leaf(mode, start, None);
         while !leaf_ptr.is_null() && out.len() < count {
             let leaf = self.node_ref(leaf_ptr);
@@ -413,7 +425,6 @@ impl<P: PersistMode> FastFair<P> {
             }
             leaf_ptr = leaf.sibling.load(Ordering::Acquire);
         }
-        out
     }
 
     /// Re-initialise every node lock after a (simulated) crash.

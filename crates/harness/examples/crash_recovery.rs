@@ -2,17 +2,19 @@
 //! atomic steps, "restart", and show that nothing acknowledged is lost and the index
 //! remains fully usable — without any dedicated recovery code.
 //!
-//! Run with `cargo run -p bench --release --example crash_recovery`.
+//! Run with `cargo run -p harness --release --example crash_recovery`.
 use recipe::index::Recoverable;
 use recipe::key::u64_key;
+use recipe::session::IndexExt;
 
 fn main() {
     pm::crash::install_quiet_hook();
     let index = art_index::PArt::new();
+    let mut h = index.handle();
 
     // Load some keys, then arm a crash at a structure-modification site.
     for i in 0..1_000u64 {
-        index.insert(&u64_key(i), i);
+        h.insert(&u64_key(i), i).unwrap();
     }
     pm::crash::arm_nth(500); // crash at the 500th atomic-step boundary from now on
 
@@ -20,7 +22,7 @@ fn main() {
     let mut crashed_at = None;
     for i in 1_000..50_000u64 {
         let r = pm::crash::catch_crash(std::panic::AssertUnwindSafe(|| {
-            index.insert(&u64_key(i), i);
+            let _ = h.insert(&u64_key(i), i);
         }));
         match r {
             Ok(_) => acknowledged.push(i),
@@ -38,15 +40,15 @@ fn main() {
     index.recover();
 
     // Every acknowledged key must still be there with the right value.
-    let lost = acknowledged.iter().filter(|&&k| index.get(&u64_key(k)) != Some(k)).count();
+    let lost = acknowledged.iter().filter(|&&k| h.get(&u64_key(k)) != Some(k)).count();
     println!("acknowledged before crash: {}, lost after recovery: {lost}", acknowledged.len());
     assert_eq!(lost, 0);
 
     // And the index keeps working: writes detect and repair any permanent
     // inconsistency lazily (Condition #3 helper).
     for i in 100_000..101_000u64 {
-        index.insert(&u64_key(i), i);
+        h.insert(&u64_key(i), i).unwrap();
     }
-    assert_eq!(index.get(&u64_key(100_500)), Some(100_500));
+    assert_eq!(h.get(&u64_key(100_500)), Some(100_500));
     println!("post-recovery inserts and lookups succeed — no explicit recovery pass needed");
 }

@@ -1,7 +1,9 @@
 //! # `harness` — the workspace's integration layer
 //!
 //! Home of the cross-index [`registry`] plus the integration tests and examples
-//! that exercise every index through `recipe::index::ConcurrentIndex`:
+//! that exercise every index through the session API ([`recipe::session::Index`]
+//! objects driven by per-thread [`recipe::session::Handle`]s; the legacy
+//! `ConcurrentIndex` adapter is covered by each index crate's own tests):
 //!
 //! * `tests/conformance.rs` — §2.1 interface semantics against a `BTreeMap` model;
 //! * `tests/registry_smoke.rs` — the registry itself, in both policy modes;

@@ -2,13 +2,16 @@
 //!
 //! Each [`IndexEntry`] can construct its index under either persistence policy
 //! ([`PolicyMode::Dram`] gives the original DRAM index, [`PolicyMode::Pmem`] the
-//! RECIPE-converted / hand-crafted PM index), as a plain [`ConcurrentIndex`] or
-//! as a [`RecoverableIndex`] for the crash harness. Tests, examples and the
-//! benchmark binaries all enumerate indexes through [`all_indexes`] so adding an
-//! index to the evaluation is a one-line change here.
+//! RECIPE-converted / hand-crafted PM index), as a session-capable
+//! [`Index`] object or as a [`RecoverableIndex`] for the crash harness, and
+//! carries the index's static [`Capabilities`] so callers can pick workloads
+//! without building anything. Tests, examples and the benchmark binaries all
+//! enumerate indexes through [`all_indexes`] so adding an index to the
+//! evaluation is a one-line change here.
 
-use recipe::index::{ConcurrentIndex, RecoverableIndex};
+use recipe::index::RecoverableIndex;
 use recipe::persist::{Dram, Pmem};
+use recipe::session::{Capabilities, Index};
 use std::sync::Arc;
 
 /// Whether an index orders its keys (and therefore supports range scans).
@@ -42,6 +45,10 @@ pub struct IndexEntry {
     pub dram_name: &'static str,
     /// Ordered or hash index.
     pub kind: IndexKind,
+    /// The index crate's declared capabilities (identical across policy modes;
+    /// the conformance suite asserts it matches what the built index reports,
+    /// and probes `linearizable_update` against actual interleavings).
+    pub caps: Capabilities,
     /// `true` for RECIPE-converted indexes, `false` for hand-crafted PM baselines.
     pub converted: bool,
     /// `true` if writers serialize on a single global lock (WOART); such indexes
@@ -51,9 +58,9 @@ pub struct IndexEntry {
     /// exhaustive sweep and its coverage report.
     pub crash_sites: &'static [&'static str],
     /// Construct the PM instantiation.
-    pub build_pmem: fn() -> Arc<dyn ConcurrentIndex>,
+    pub build_pmem: fn() -> Arc<dyn Index>,
     /// Construct the DRAM instantiation.
-    pub build_dram: fn() -> Arc<dyn ConcurrentIndex>,
+    pub build_dram: fn() -> Arc<dyn Index>,
     /// Construct the PM instantiation for the crash harness.
     pub build_pmem_recoverable: fn() -> Arc<dyn RecoverableIndex>,
     /// Construct the DRAM instantiation for the crash harness.
@@ -63,7 +70,7 @@ pub struct IndexEntry {
 impl IndexEntry {
     /// Construct the index under the given policy mode.
     #[must_use]
-    pub fn build(&self, mode: PolicyMode) -> Arc<dyn ConcurrentIndex> {
+    pub fn build(&self, mode: PolicyMode) -> Arc<dyn Index> {
         match mode {
             PolicyMode::Dram => (self.build_dram)(),
             PolicyMode::Pmem => (self.build_pmem)(),
@@ -88,10 +95,12 @@ impl IndexEntry {
         }
     }
 
-    /// Whether `scan` is meaningful for this index.
+    /// Whether range scans are meaningful for this index
+    /// (`self.caps.scan`; kept as a method for the many call sites that
+    /// predate [`Capabilities`]).
     #[must_use]
     pub fn supports_scan(&self) -> bool {
-        self.kind == IndexKind::Ordered
+        self.caps.scan
     }
 }
 
@@ -102,6 +111,7 @@ macro_rules! entry {
             name: $pname,
             dram_name: $dname,
             kind: IndexKind::$kind,
+            caps: $ty::CAPS,
             converted: $conv,
             single_writer: $sw,
             crash_sites: $sites,
@@ -122,6 +132,7 @@ fn bwtree_dc16() -> IndexEntry {
         name: "P-BwTree(dc16)",
         dram_name: "BwTree(dc16)",
         kind: IndexKind::Ordered,
+        caps: bwtree::CAPS,
         converted: true,
         single_writer: false,
         crash_sites: bwtree::CRASH_SITES,
@@ -190,6 +201,8 @@ pub fn hash_indexes() -> Vec<IndexEntry> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recipe::index::ConcurrentIndex;
+    use recipe::session::IndexExt;
 
     #[test]
     fn registry_covers_both_kinds() {
@@ -214,6 +227,17 @@ mod tests {
     }
 
     #[test]
+    fn declared_caps_match_kind_and_built_index() {
+        for e in all_indexes() {
+            assert_eq!(e.caps.ordered, e.kind == IndexKind::Ordered, "{}", e.name);
+            assert_eq!(e.caps.scan, e.supports_scan(), "{}", e.name);
+            for mode in PolicyMode::ALL {
+                assert_eq!(e.build(mode).capabilities(), e.caps, "{}", e.name(mode));
+            }
+        }
+    }
+
+    #[test]
     fn crash_site_lists_are_distinct_and_crate_prefixed() {
         for e in all_indexes() {
             assert!(!e.crash_sites.is_empty(), "{}: no crash sites declared", e.name);
@@ -231,8 +255,10 @@ mod tests {
     #[test]
     fn names_match_policy_mode() {
         for e in all_indexes() {
+            assert_eq!(e.build(PolicyMode::Pmem).index_name(), e.name, "{}", e.name);
+            assert_eq!(e.build(PolicyMode::Dram).index_name(), e.dram_name, "{}", e.name);
+            // The legacy adapter reports the same name.
             assert_eq!(e.build(PolicyMode::Pmem).name(), e.name, "{}", e.name);
-            assert_eq!(e.build(PolicyMode::Dram).name(), e.dram_name, "{}", e.name);
         }
     }
 
@@ -240,8 +266,12 @@ mod tests {
     fn recoverable_constructors_build_the_same_index() {
         for e in all_indexes() {
             let idx = e.build_recoverable(PolicyMode::Pmem);
-            assert_eq!(idx.name(), e.name);
+            assert_eq!(idx.index_name(), e.name);
             idx.recover();
+            // Recoverable entries speak the session API too.
+            let mut h = idx.handle();
+            assert!(h.insert(&recipe::key::u64_key(1), 1).is_ok());
+            assert_eq!(h.get(&recipe::key::u64_key(1)), Some(1));
         }
     }
 }

@@ -9,8 +9,8 @@
 use harness::registry::{self, PolicyMode};
 use parking_lot::Mutex;
 use pm::latency::{charged_local, ChargedNs, Model};
-use recipe::index::ConcurrentIndex;
 use recipe::key::u64_key;
+use recipe::session::{Index, IndexExt};
 use std::sync::Arc;
 
 static MODEL_LOCK: Mutex<()> = Mutex::new(());
@@ -23,7 +23,7 @@ fn with_model<R>(m: Model, f: impl FnOnce() -> R) -> R {
     r
 }
 
-fn build(name: &str) -> Arc<dyn ConcurrentIndex> {
+fn build(name: &str) -> Arc<dyn Index> {
     registry::all_indexes()
         .into_iter()
         .find(|e| e.name == name)
@@ -32,10 +32,11 @@ fn build(name: &str) -> Arc<dyn ConcurrentIndex> {
 }
 
 /// Insert `n` keys on the calling thread and return the charge delta.
-fn charge_of_inserts(index: &dyn ConcurrentIndex, n: u64) -> ChargedNs {
+fn charge_of_inserts(index: &dyn Index, n: u64) -> ChargedNs {
+    let mut h = index.handle();
     let before = charged_local();
     for i in 0..n {
-        index.insert(&u64_key(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), i);
+        h.insert(&u64_key(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), i).unwrap();
     }
     charged_local().since(&before)
 }
@@ -116,18 +117,20 @@ fn read_charge_follows_node_visits() {
     let (hot, art) = with_model(m, || {
         let hot = build("P-HOT");
         let art = build("P-ART");
+        let mut hot_h = hot.handle();
+        let mut art_h = art.handle();
         for i in 0..N {
-            hot.insert(&u64_key(i), i);
-            art.insert(&u64_key(i), i);
+            hot_h.insert(&u64_key(i), i).unwrap();
+            art_h.insert(&u64_key(i), i).unwrap();
         }
         let before = charged_local();
         for i in 0..N {
-            assert_eq!(hot.get(&u64_key(i)), Some(i));
+            assert_eq!(hot_h.get(&u64_key(i)), Some(i));
         }
         let hot_charge = charged_local().since(&before);
         let before = charged_local();
         for i in 0..N {
-            assert_eq!(art.get(&u64_key(i)), Some(i));
+            assert_eq!(art_h.get(&u64_key(i)), Some(i));
         }
         (hot_charge, charged_local().since(&before))
     });

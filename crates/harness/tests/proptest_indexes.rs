@@ -2,8 +2,8 @@
 //! observe exactly the same results as a BTreeMap model.
 use harness::registry::{self, PolicyMode};
 use proptest::prelude::*;
-use recipe::index::ConcurrentIndex;
 use recipe::key::u64_key;
+use recipe::session::{Index, IndexExt, OpError, OpResult};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -39,38 +39,47 @@ fn delete_heavy_strategy() -> impl Strategy<Value = Action> {
     ]
 }
 
-fn check_against_model(index: &dyn ConcurrentIndex, actions: &[Action], check_scan: bool) {
+fn check_against_model(index: &dyn Index, actions: &[Action], check_scan: bool) {
+    let mut h = index.handle();
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     for action in actions {
         match action {
             Action::Insert(k, v) => {
                 let k = u64::from(*k);
-                assert_eq!(
-                    index.insert(&u64_key(k), *v),
-                    model.insert(k, *v).is_none(),
-                    "insert {k}"
-                );
+                let expect = if model.insert(k, *v).is_none() {
+                    OpResult::Inserted
+                } else {
+                    OpResult::Updated
+                };
+                assert_eq!(h.insert(&u64_key(k), *v), Ok(expect), "insert {k}");
             }
             Action::Update(k, v) => {
                 let k = u64::from(*k);
-                let present = model.contains_key(&k);
-                assert_eq!(index.update(&u64_key(k), *v), present, "update {k}");
-                if present {
-                    model.insert(k, *v);
-                }
+                let expect = match model.get_mut(&k) {
+                    Some(slot) => {
+                        *slot = *v;
+                        Ok(OpResult::Updated)
+                    }
+                    None => Err(OpError::NotFound),
+                };
+                assert_eq!(h.update(&u64_key(k), *v), expect, "update {k}");
             }
             Action::Remove(k) => {
                 let k = u64::from(*k);
-                assert_eq!(index.remove(&u64_key(k)), model.remove(&k).is_some(), "remove {k}");
+                let expect = match model.remove(&k) {
+                    Some(_) => Ok(OpResult::Removed),
+                    None => Err(OpError::NotFound),
+                };
+                assert_eq!(h.remove(&u64_key(k)), expect, "remove {k}");
             }
             Action::Get(k) => {
                 let k = u64::from(*k);
-                assert_eq!(index.get(&u64_key(k)), model.get(&k).copied(), "get {k}");
+                assert_eq!(h.get(&u64_key(k)), model.get(&k).copied(), "get {k}");
             }
             Action::Scan(k, n) => {
                 if check_scan {
                     let k = u64::from(*k);
-                    let got = index.scan(&u64_key(k), *n as usize);
+                    let got: Vec<(Vec<u8>, u64)> = h.scan(&u64_key(k)).limit(*n as usize).collect();
                     let want: Vec<(Vec<u8>, u64)> = model
                         .range(k..)
                         .take(*n as usize)

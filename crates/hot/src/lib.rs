@@ -39,40 +39,53 @@ pub const CRASH_SITES: &[&str] = &[
     "hot.remove.committed",
 ];
 
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::persist::{Dram, PersistMode, Pmem};
+use recipe::session::{Capabilities, Index, OpError, OpResult};
 
 /// The unconverted DRAM height-optimized trie.
 pub type DramHot = Hot<Dram>;
 /// P-HOT: the RECIPE-converted persistent height-optimized trie.
 pub type PHot = Hot<Pmem>;
 
-impl<P: PersistMode> ConcurrentIndex for Hot<P> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
-        Hot::insert(self, key, value)
+/// What this index supports. `linearizable_update` is `false`: HOT's write
+/// path locks one node at a time, so there is no single lock under which to
+/// check presence and re-insert — `update` is the documented non-atomic
+/// get-then-insert fallback.
+pub const CAPS: Capabilities = Capabilities::ordered_index(false);
+
+impl<P: PersistMode> Index for Hot<P> {
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        if Hot::insert(self, key, value) {
+            Ok(OpResult::Inserted)
+        } else {
+            Ok(OpResult::Updated)
+        }
     }
 
-    // `update` uses the trait's default get-then-insert and inherits its documented
-    // non-atomicity: HOT's write path locks one node at a time, so there is no
-    // single lock under which to check presence and re-insert.
+    // `exec_update` keeps the trait's default get-then-insert; `CAPS` reports it.
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
+    fn exec_get(&self, key: &[u8]) -> Option<u64> {
         Hot::get(self, key)
     }
 
-    fn remove(&self, key: &[u8]) -> bool {
-        Hot::remove(self, key)
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+        if Hot::remove(self, key) {
+            Ok(OpResult::Removed)
+        } else {
+            Err(OpError::NotFound)
+        }
     }
 
-    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-        Hot::scan(self, start, count)
+    fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        Hot::scan_into(self, start, max, out);
     }
 
-    fn supports_scan(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        CAPS
     }
 
-    fn name(&self) -> String {
+    fn index_name(&self) -> String {
         if P::PERSISTENT {
             "P-HOT".into()
         } else {
@@ -94,17 +107,19 @@ mod tests {
 
     #[test]
     fn trait_impl_roundtrip() {
+        use recipe::session::IndexExt;
         let t: PHot = Hot::new();
-        let idx: &dyn ConcurrentIndex = &t;
-        assert!(idx.insert(&u64_key(10), 100));
-        assert!(!idx.insert(&u64_key(10), 101));
-        assert_eq!(idx.get(&u64_key(10)), Some(101));
-        assert!(idx.update(&u64_key(10), 102));
-        assert!(!idx.update(&u64_key(11), 1));
-        assert!(idx.supports_scan());
-        assert_eq!(idx.name(), "P-HOT");
-        assert_eq!(ConcurrentIndex::name(&DramHot::new()), "HOT");
-        assert!(idx.remove(&u64_key(10)));
+        let idx: &dyn Index = &t;
+        let mut h = idx.handle();
+        assert_eq!(h.insert(&u64_key(10), 100), Ok(OpResult::Inserted));
+        assert_eq!(h.insert(&u64_key(10), 101), Ok(OpResult::Updated));
+        assert_eq!(h.get(&u64_key(10)), Some(101));
+        assert_eq!(h.update(&u64_key(10), 102), Ok(OpResult::Updated));
+        assert_eq!(h.update(&u64_key(11), 1), Err(OpError::NotFound));
+        assert!(h.capabilities().scan && !h.capabilities().linearizable_update);
+        assert_eq!(h.index_name(), "P-HOT");
+        assert_eq!(DramHot::new().index_name(), "HOT");
+        assert_eq!(h.remove(&u64_key(10)), Ok(OpResult::Removed));
     }
 
     #[test]
@@ -115,7 +130,7 @@ mod tests {
         }
         t.recover();
         for i in 0..200u64 {
-            assert_eq!(ConcurrentIndex::get(&t, &u64_key(i)), Some(i));
+            assert_eq!(Index::exec_get(&t, &u64_key(i)), Some(i));
         }
     }
 }

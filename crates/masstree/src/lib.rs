@@ -44,42 +44,59 @@ pub const CRASH_SITES: &[&str] = &[
     "masstree.parent.committed",
 ];
 
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::persist::{Dram, PersistMode, Pmem};
+use recipe::session::{Capabilities, Index, OpError, OpResult};
 
 /// The persistent Masstree (the paper's P-Masstree).
 pub type PMasstree = Masstree<Pmem>;
 /// Masstree with persistence compiled out (the original DRAM index).
 pub type DramMasstree = Masstree<Dram>;
 
-impl<P: PersistMode> ConcurrentIndex for Masstree<P> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
-        Masstree::insert(self, key, value)
+/// What this index supports. `linearizable_update` is `true`: the presence
+/// check and the value store happen under the final layer's leaf lock.
+pub const CAPS: Capabilities = Capabilities::ordered_index(true);
+
+impl<P: PersistMode> Index for Masstree<P> {
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        if Masstree::insert(self, key, value) {
+            Ok(OpResult::Inserted)
+        } else {
+            Ok(OpResult::Updated)
+        }
     }
 
-    fn update(&self, key: &[u8], value: u64) -> bool {
+    fn exec_update(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
         // Linearizable conditional update: presence check and value store happen
         // under the final layer's leaf lock.
-        Masstree::update(self, key, value)
+        if Masstree::update(self, key, value) {
+            Ok(OpResult::Updated)
+        } else {
+            Err(OpError::NotFound)
+        }
     }
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
+    fn exec_get(&self, key: &[u8]) -> Option<u64> {
         Masstree::get(self, key)
     }
 
-    fn remove(&self, key: &[u8]) -> bool {
-        Masstree::remove(self, key)
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+        if Masstree::remove(self, key) {
+            Ok(OpResult::Removed)
+        } else {
+            Err(OpError::NotFound)
+        }
     }
 
-    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-        Masstree::scan(self, start, count)
+    fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        Masstree::scan_into(self, start, max, out);
     }
 
-    fn supports_scan(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        CAPS
     }
 
-    fn name(&self) -> String {
+    fn index_name(&self) -> String {
         if P::PERSISTENT {
             "P-Masstree".into()
         } else {
@@ -371,17 +388,19 @@ mod tests {
 
     #[test]
     fn trait_object_and_recover() {
+        use recipe::session::IndexExt;
         let t: PMasstree = Masstree::new();
-        let idx: &dyn ConcurrentIndex = &t;
-        assert!(idx.insert(&u64_key(1), 5));
-        assert!(idx.update(&u64_key(1), 6));
-        assert!(!idx.update(&u64_key(2), 6));
-        assert_eq!(idx.name(), "P-Masstree");
-        assert!(idx.supports_scan());
+        let idx: &dyn Index = &t;
+        let mut h = idx.handle();
+        assert_eq!(h.insert(&u64_key(1), 5), Ok(OpResult::Inserted));
+        assert_eq!(h.update(&u64_key(1), 6), Ok(OpResult::Updated));
+        assert_eq!(h.update(&u64_key(2), 6), Err(OpError::NotFound));
+        assert_eq!(h.index_name(), "P-Masstree");
+        assert!(h.capabilities().scan && h.capabilities().linearizable_update);
         t.recover();
         assert_eq!(t.get(&u64_key(1)), Some(6));
         assert!(t.insert(&u64_key(2), 7), "tree must stay writable after recover");
         let dram: DramMasstree = Masstree::new();
-        assert_eq!(ConcurrentIndex::name(&dram), "Masstree");
+        assert_eq!(dram.index_name(), "Masstree");
     }
 }

@@ -708,9 +708,20 @@ impl<P: PersistMode> Masstree<P> {
     /// descending into sublayers and following leaf sibling chains.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
         let mut out = Vec::with_capacity(count.min(1024));
-        let mut prefix = Vec::new();
-        self.scan_layer(&self.layer0, &mut prefix, Some(start), count, &mut out);
+        self.scan_into(start, count, &mut out);
         out
+    }
+
+    /// [`Masstree::scan`] into a caller-provided buffer: appends up to `count`
+    /// pairs with key `>= start` (ascending) to `out` without clearing it, so
+    /// cursor callers can stream batches through one reused allocation.
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        if count == 0 {
+            return;
+        }
+        let target = out.len().saturating_add(count);
+        let mut prefix = Vec::new();
+        self.scan_layer(&self.layer0, &mut prefix, Some(start), target, out);
     }
 
     /// Collect entries of one layer (and its sublayers) into `out`.

@@ -1,22 +1,37 @@
-//! Uniform index interface shared by every converted index and every baseline.
+//! Legacy flat index interface and the crash-recovery hook.
 //!
 //! The paper's DRAM-index interface (§2.1) is `insert`, `update`, `lookup`,
-//! `range_query` and `delete`; values are 8-byte locations. All indexes in this
-//! workspace expose that interface through [`ConcurrentIndex`] so the YCSB driver, the
-//! crash-testing harness and the benchmark binaries are index-agnostic.
+//! `range_query` and `delete`; values are 8-byte locations. The workspace's
+//! primary interface is the session layer in [`crate::session`] — a typed
+//! [`crate::session::Index`] driven through per-thread
+//! [`crate::session::Handle`]s — and [`ConcurrentIndex`] survives as the
+//! boolean compatibility surface: every `Index` implements it automatically
+//! through a blanket adapter (each call opens a transient handle), so older
+//! call sites keep working while no index implements this trait directly
+//! anymore.
 //!
 //! Keys are arbitrary byte strings. Ordered indexes (tries, radix trees, B+ trees)
 //! interpret them lexicographically; use [`crate::key::u64_key`] for order-preserving
 //! 8-byte integer keys. Unordered indexes (hash tables) hash the bytes and do not
 //! support range queries.
 
-/// A concurrent key-value index mapping byte-string keys to 8-byte values.
+/// A concurrent key-value index mapping byte-string keys to 8-byte values —
+/// the **legacy boolean interface**.
 ///
 /// All methods take `&self`: implementations are internally synchronized and safe to
 /// share across threads (`Send + Sync`).
+///
+/// Do not implement this trait for an index: implement
+/// [`crate::session::Index`] instead and receive this one through the blanket
+/// adapter (which maps typed results back onto the booleans: `insert` is
+/// `true` only for [`crate::session::OpResult::Inserted`], `update`/`remove`
+/// are `true` on `Ok`). Direct implementations remain possible for
+/// process-local test doubles.
 pub trait ConcurrentIndex: Send + Sync {
     /// Insert `key` with `value`. If the key already exists its value is overwritten.
-    /// Returns `true` if the key was newly inserted, `false` if it already existed.
+    /// Returns `true` if the key was newly inserted, `false` if it already existed
+    /// — or if the index cannot store the key at all, an ambiguity the typed
+    /// [`crate::session::Handle::insert`] does not have.
     fn insert(&self, key: &[u8], value: u64) -> bool;
 
     /// Update an existing key. Returns `false` (without inserting) if the key is
@@ -29,14 +44,10 @@ pub trait ConcurrentIndex: Send + Sync {
     /// concurrent `remove` deleted between the two steps, or (b) report `false`
     /// for a key that a concurrent `insert` published between the two steps. It
     /// never corrupts the index — each step is individually linearizable — but the
-    /// conditional is not.
-    ///
-    /// Implementations that can check presence and write the new value under the
-    /// same write exclusion (e.g. a bucket or leaf lock, or a global writer lock)
-    /// **must override** this method so `update` is a single linearizable
-    /// conditional update. Callers that need update-only semantics under
-    /// contention should consult the implementation's documentation before relying
-    /// on the default.
+    /// conditional is not. Whether an index provides the stronger single
+    /// linearizable conditional update is reported by
+    /// [`crate::session::Capabilities::linearizable_update`], which the registry
+    /// conformance suite checks against actual interleavings.
     fn update(&self, key: &[u8], value: u64) -> bool {
         if self.get(key).is_some() {
             self.insert(key, value);
@@ -53,13 +64,16 @@ pub trait ConcurrentIndex: Send + Sync {
     fn remove(&self, key: &[u8]) -> bool;
 
     /// Range query: return up to `count` key-value pairs with keys `>= start`, in
-    /// ascending key order. Unordered indexes return an empty vector.
+    /// ascending key order. Unordered indexes return an empty vector. (The
+    /// session layer's [`crate::session::Scanner`] streams the same data
+    /// without materialising a fresh vector per call.)
     fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
         let _ = (start, count);
         Vec::new()
     }
 
-    /// Whether [`ConcurrentIndex::scan`] is meaningful for this index.
+    /// Whether [`ConcurrentIndex::scan`] is meaningful for this index. Subsumed
+    /// by [`crate::session::Capabilities::scan`].
     fn supports_scan(&self) -> bool {
         false
     }
@@ -81,71 +95,12 @@ pub trait Recoverable {
 }
 
 /// An index that is both queryable and crash-recoverable — what the crash-testing
-/// harness and the registry hand out as a trait object.
-pub trait RecoverableIndex: ConcurrentIndex + Recoverable {}
+/// harness and the registry hand out as a trait object. Session handles
+/// ([`crate::session::IndexExt::handle`]) and the legacy [`ConcurrentIndex`]
+/// adapter are both available on it.
+pub trait RecoverableIndex: crate::session::Index + Recoverable {}
 
-impl<T: ConcurrentIndex + Recoverable + ?Sized> RecoverableIndex for T {}
-
-impl<T: Recoverable + ?Sized> Recoverable for &T {
-    fn recover(&self) {
-        (**self).recover();
-    }
-}
-
-impl<T: Recoverable + ?Sized> Recoverable for std::sync::Arc<T> {
-    fn recover(&self) {
-        (**self).recover();
-    }
-}
-
-/// Blanket helper: treat a `&T` as the trait object the harnesses consume.
-impl<T: ConcurrentIndex + ?Sized> ConcurrentIndex for &T {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
-        (**self).insert(key, value)
-    }
-    fn update(&self, key: &[u8], value: u64) -> bool {
-        (**self).update(key, value)
-    }
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        (**self).get(key)
-    }
-    fn remove(&self, key: &[u8]) -> bool {
-        (**self).remove(key)
-    }
-    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-        (**self).scan(start, count)
-    }
-    fn supports_scan(&self) -> bool {
-        (**self).supports_scan()
-    }
-    fn name(&self) -> String {
-        (**self).name()
-    }
-}
-
-impl<T: ConcurrentIndex + ?Sized> ConcurrentIndex for std::sync::Arc<T> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
-        (**self).insert(key, value)
-    }
-    fn update(&self, key: &[u8], value: u64) -> bool {
-        (**self).update(key, value)
-    }
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        (**self).get(key)
-    }
-    fn remove(&self, key: &[u8]) -> bool {
-        (**self).remove(key)
-    }
-    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-        (**self).scan(start, count)
-    }
-    fn supports_scan(&self) -> bool {
-        (**self).supports_scan()
-    }
-    fn name(&self) -> String {
-        (**self).name()
-    }
-}
+impl<T: crate::session::Index + Recoverable + ?Sized> RecoverableIndex for T {}
 
 #[cfg(test)]
 mod tests {
@@ -153,7 +108,9 @@ mod tests {
     use parking_lot::RwLock;
     use std::collections::BTreeMap;
 
-    /// Minimal reference implementation used to validate default methods.
+    /// Minimal *direct* legacy implementation: validates the trait's default
+    /// methods, which remain available to process-local test doubles that
+    /// never go through the session layer.
     struct Model {
         map: RwLock<BTreeMap<Vec<u8>, u64>>,
     }
@@ -208,8 +165,8 @@ mod tests {
     }
 
     #[test]
-    fn trait_objects_and_arcs_delegate() {
-        let m = std::sync::Arc::new(Model::new());
+    fn legacy_trait_objects_still_work() {
+        let m = Model::new();
         let dynref: &dyn ConcurrentIndex = &m;
         assert!(dynref.insert(b"x", 9));
         assert_eq!(dynref.get(b"x"), Some(9));

@@ -17,8 +17,18 @@
 //!   fences through the [`pm`] substrate, crash sites armed, durability tracking).
 //! * [`condition`] — the three RECIPE conditions and the catalogue of converted
 //!   indexes (the paper's Tables 1 and 2).
-//! * [`index`] — the uniform concurrent key-value index interface used by the YCSB
-//!   driver, the crash-testing harness and the benchmarks, plus the recovery hook
+//! * [`session`] — the **primary index interface**: each index implements the
+//!   typed [`session::Index`] trait once, callers open per-thread
+//!   [`session::Handle`]s that return typed results ([`session::OpResult`] /
+//!   [`session::OpError`]), stream range queries through resumable
+//!   [`session::Scanner`] cursors, report structure capabilities
+//!   ([`session::Capabilities`]) and pin an epoch guard around every
+//!   operation.
+//! * [`epoch`] — epoch-based memory reclamation for the lock-free indexes:
+//!   per-thread announcement slots, reentrant pinning, deferred frees with a
+//!   retired-bytes gauge (what bounds Bw-tree memory in delete-heavy runs).
+//! * [`index`] — the legacy boolean index interface, kept alive as a blanket
+//!   compatibility adapter over [`session::Index`], plus the recovery hook
 //!   (post-crash lock re-initialisation) RECIPE assumes.
 //! * [`lock`] — the versioned word spin-lock embedded in index nodes, with the
 //!   try-lock primitive used for permanent-inconsistency detection (Condition #3) and
@@ -35,11 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod condition;
+pub mod epoch;
 pub mod index;
 pub mod key;
 pub mod lock;
 pub mod persist;
+pub mod session;
 
 pub use condition::{catalog, CatalogEntry, Condition};
 pub use index::{ConcurrentIndex, Recoverable, RecoverableIndex};
 pub use persist::{Dram, PersistMode, Pmem};
+pub use session::{Capabilities, Handle, HandleStats, Index, IndexExt, OpError, OpResult, Scanner};

@@ -1,0 +1,892 @@
+//! The session-handle index API: typed results, cursor scans, and epoch-pinned
+//! reclamation.
+//!
+//! This is the primary interface of the workspace. A shared [`Index`] object is
+//! `Send + Sync` and holds the data; each thread opens a cheap, `!Sync`
+//! [`Handle`] session on it ([`IndexExt::handle`]). The handle
+//!
+//! * returns **typed results**: [`OpResult`] / [`OpError`] instead of the
+//!   cause-erasing booleans of the legacy [`ConcurrentIndex`] trait (CCEH's
+//!   `SegmentFull`, for instance, converts into
+//!   [`OpError::CapacityExceeded`] instead of living in a crate-local side
+//!   channel, and hash indexes report [`OpError::UnsupportedKey`] for keys
+//!   they cannot store instead of silently answering `false`);
+//! * exposes range queries as a **resumable cursor** ([`Handle::scan`] →
+//!   [`Scanner`]) that streams entries in batches into reusable buffers
+//!   instead of allocating a fresh `Vec` per call;
+//! * **pins an epoch guard** ([`crate::epoch`]) around every operation when the
+//!   index reclaims memory ([`Index::reclaimer`]), so lock-free indexes can
+//!   free unlinked nodes at epoch quiescence while any session might still be
+//!   traversing them;
+//! * accumulates per-thread **operation statistics** ([`Handle::stats`]).
+//!
+//! Capability discovery moves from the old lone `supports_scan` flag to the
+//! [`Capabilities`] struct ([`Index::capabilities`]).
+//!
+//! The legacy [`ConcurrentIndex`] trait stays alive as a *blanket adapter*
+//! over [`Index`] (every `Index` is automatically a `ConcurrentIndex`), so old
+//! call sites keep compiling while new code talks to handles.
+//!
+//! ```
+//! use recipe::session::{Capabilities, Index, IndexExt, OpError, OpResult};
+//! # use std::collections::BTreeMap;
+//! # use std::sync::Mutex;
+//! # struct Toy(Mutex<BTreeMap<Vec<u8>, u64>>);
+//! # impl Index for Toy {
+//! #     fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+//! #         match self.0.lock().unwrap().insert(key.to_vec(), value) {
+//! #             None => Ok(OpResult::Inserted),
+//! #             Some(_) => Ok(OpResult::Updated),
+//! #         }
+//! #     }
+//! #     fn exec_get(&self, key: &[u8]) -> Option<u64> {
+//! #         self.0.lock().unwrap().get(key).copied()
+//! #     }
+//! #     fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+//! #         match self.0.lock().unwrap().remove(key) {
+//! #             Some(_) => Ok(OpResult::Removed),
+//! #             None => Err(OpError::NotFound),
+//! #         }
+//! #     }
+//! #     fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+//! #         out.extend(
+//! #             self.0.lock().unwrap().range(start.to_vec()..).take(max).map(|(k, v)| (k.clone(), *v)),
+//! #         );
+//! #     }
+//! #     fn capabilities(&self) -> Capabilities {
+//! #         Capabilities { ordered: true, scan: true, linearizable_update: true }
+//! #     }
+//! #     fn index_name(&self) -> String {
+//! #         "toy".into()
+//! #     }
+//! # }
+//! # let index = Toy(Mutex::new(BTreeMap::new()));
+//! let mut handle = index.handle(); // one per thread
+//! assert_eq!(handle.insert(b"k1", 1), Ok(OpResult::Inserted));
+//! assert_eq!(handle.insert(b"k1", 2), Ok(OpResult::Updated));
+//! assert_eq!(handle.update(b"missing", 9), Err(OpError::NotFound));
+//! assert_eq!(handle.get(b"k1"), Some(2));
+//!
+//! // Cursor scan: stream into a reusable buffer, no per-call Vec.
+//! handle.insert(b"k2", 4).unwrap();
+//! let mut buf = Vec::with_capacity(16);
+//! let n = handle.scan(b"k1").next_into(&mut buf);
+//! assert_eq!(n, 2);
+//! assert_eq!(handle.stats().inserts, 3);
+//! ```
+
+use crate::epoch;
+use crate::index::ConcurrentIndex;
+use std::marker::PhantomData;
+
+/// Default entries fetched per [`Scanner`] batch.
+pub const DEFAULT_SCAN_BATCH: usize = 64;
+
+/// What an index can do, replacing the legacy lone `supports_scan` flag.
+///
+/// Surfaced per registry entry (`harness::registry::IndexEntry::caps`) so
+/// drivers and tests select workloads without building an index first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Keys are kept in lexicographic order.
+    pub ordered: bool,
+    /// Range scans ([`Handle::scan`]) return data. Matches `ordered` for every
+    /// index in this workspace, but is reported separately so a future
+    /// hash-partitioned ordered index can say `ordered && !scan`.
+    pub scan: bool,
+    /// [`Handle::update`] is a single linearizable conditional update. Indexes
+    /// relying on the default get-then-insert fallback **must** report `false`:
+    /// the fallback can resurrect a concurrently removed key or miss a
+    /// concurrently inserted one (it never corrupts the index). The registry
+    /// conformance suite probes this flag against actual interleavings.
+    pub linearizable_update: bool,
+}
+
+impl Capabilities {
+    /// Capabilities of an ordered (tree/trie) index.
+    #[must_use]
+    pub const fn ordered_index(linearizable_update: bool) -> Self {
+        Capabilities { ordered: true, scan: true, linearizable_update }
+    }
+
+    /// Capabilities of an unordered hash index.
+    #[must_use]
+    pub const fn hash_index(linearizable_update: bool) -> Self {
+        Capabilities { ordered: false, scan: false, linearizable_update }
+    }
+}
+
+/// Success outcome of a typed index operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// The key was not present and is now.
+    Inserted,
+    /// The key was present; its value was overwritten.
+    Updated,
+    /// The key was present and is now gone.
+    Removed,
+}
+
+/// Failure outcome of a typed index operation.
+///
+/// These were invisible under the boolean [`ConcurrentIndex`] interface:
+/// `update`/`remove` of an absent key, a capacity-limited structure refusing a
+/// key, and a hash index silently dropping a key it cannot encode all
+/// collapsed into `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// Conditional operation on an absent key (`update`, `remove`).
+    NotFound,
+    /// The structure cannot take the entry without violating its invariants —
+    /// e.g. a CCEH segment probe window with no free slot (the crate-local
+    /// `SegmentFull` side channel converts into this variant).
+    CapacityExceeded,
+    /// The index cannot represent this key (e.g. the fixed 8-byte hash-table
+    /// keys, or WOART's non-empty-key requirement).
+    UnsupportedKey,
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::NotFound => write!(f, "key not found"),
+            OpError::CapacityExceeded => write!(f, "index capacity exceeded"),
+            OpError::UnsupportedKey => write!(f, "key not representable by this index"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+/// The core index contract every index crate implements once.
+///
+/// These are the raw entry points the session layer drives; applications use a
+/// [`Handle`] instead (epoch pinning, statistics, cursors). Method names carry
+/// an `exec_` prefix so they never shadow the index's inherent API.
+///
+/// Implementations are internally synchronized (`Send + Sync`); an index that
+/// reclaims unlinked memory additionally exposes its epoch [`Collector`]
+/// through [`Index::reclaimer`] and must protect its own traversals (e.g. via
+/// [`epoch::Collector::enter`]) so that direct calls remain safe.
+///
+/// [`Collector`]: epoch::Collector
+pub trait Index: Send + Sync {
+    /// Upsert `key -> value`. `Ok(Inserted)` if the key was new,
+    /// `Ok(Updated)` if it existed (value overwritten), `Err` if the index
+    /// cannot store the entry.
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError>;
+
+    /// Conditional update: store `value` only if `key` is present.
+    ///
+    /// The default is a **non-atomic** get-then-insert sequence: under
+    /// concurrent mutation of the same key it can resurrect a concurrently
+    /// removed key or report [`OpError::NotFound`] for a concurrently inserted
+    /// one. It never corrupts the index — each step is individually
+    /// linearizable — but the conditional is not. Implementations keeping this
+    /// default **must** report [`Capabilities::linearizable_update`] `= false`;
+    /// implementations that can check-and-write under one write exclusion
+    /// should override and report `true`.
+    fn exec_update(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        if self.exec_get(key).is_some() {
+            self.exec_insert(key, value)?;
+            Ok(OpResult::Updated)
+        } else {
+            Err(OpError::NotFound)
+        }
+    }
+
+    /// Look up the latest value associated with `key`.
+    fn exec_get(&self, key: &[u8]) -> Option<u64>;
+
+    /// Remove `key`: `Ok(Removed)` if it was present, `Err(NotFound)` if not.
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError>;
+
+    /// Append up to `max` entries with keys `>= start`, in ascending key
+    /// order, to `out` — without clearing it. Appending fewer than `max`
+    /// entries means no further keys existed at the time of the call. The
+    /// default (for unordered indexes, [`Capabilities::scan`] `= false`)
+    /// appends nothing.
+    fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        let _ = (start, max, out);
+    }
+
+    /// What this index supports; see [`Capabilities`].
+    fn capabilities(&self) -> Capabilities;
+
+    /// Short display name, e.g. `"P-ART"` or `"FAST&FAIR"`.
+    fn index_name(&self) -> String;
+
+    /// The epoch collector protecting this index's memory reclamation, if it
+    /// has one. Handles register a session with it and pin an epoch guard
+    /// around every operation; its gauges
+    /// ([`epoch::Collector::retired_bytes`]) bound unreclaimed memory.
+    fn reclaimer(&self) -> Option<&epoch::Collector> {
+        None
+    }
+}
+
+/// Extension trait providing [`IndexExt::handle`] for every [`Index`]
+/// (including trait objects and smart pointers).
+pub trait IndexExt: Index {
+    /// Open a per-thread session on this index. See [`Handle`].
+    fn handle(&self) -> Handle<'_, Self> {
+        Handle::new(self)
+    }
+}
+
+impl<T: Index + ?Sized> IndexExt for T {}
+
+/// Per-thread operation statistics accumulated by a [`Handle`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Calls to [`Handle::insert`].
+    pub inserts: u64,
+    /// Calls to [`Handle::update`].
+    pub updates: u64,
+    /// Calls to [`Handle::get`].
+    pub gets: u64,
+    /// Calls to [`Handle::remove`].
+    pub removes: u64,
+    /// Cursors opened via [`Handle::scan`].
+    pub scans: u64,
+    /// Gets that found a value.
+    pub hits: u64,
+    /// Gets that found nothing.
+    pub misses: u64,
+    /// Typed operations that returned an [`OpError`].
+    pub errors: u64,
+    /// Entries yielded across all cursors.
+    pub entries_scanned: u64,
+}
+
+impl HandleStats {
+    /// Total operations issued through the handle (scans count once per
+    /// cursor, not per entry).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.inserts + self.updates + self.gets + self.removes + self.scans
+    }
+
+    /// Merge another handle's counters into this one (per-run aggregation
+    /// across worker threads).
+    pub fn merge(&mut self, other: &HandleStats) {
+        self.inserts += other.inserts;
+        self.updates += other.updates;
+        self.gets += other.gets;
+        self.removes += other.removes;
+        self.scans += other.scans;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.errors += other.errors;
+        self.entries_scanned += other.entries_scanned;
+    }
+}
+
+/// A per-thread session on a shared [`Index`].
+///
+/// Cheap to create (at most one epoch-slot acquisition), `!Sync` by
+/// construction — create one per worker thread, not one shared one. Every
+/// operation pins a fresh epoch guard on the index's [`Index::reclaimer`] (a
+/// no-op for indexes without one) and bumps the session's [`HandleStats`].
+///
+/// The type parameter is the concrete index for static dispatch, or the
+/// default `dyn Index` when opened over a trait object.
+pub struct Handle<'a, I: Index + ?Sized = dyn Index + 'a> {
+    index: &'a I,
+    session: Option<epoch::Session>,
+    stats: HandleStats,
+    scan_batch: usize,
+    /// `Cell` is `!Sync`: a handle belongs to one thread of control.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl<'a, I: Index + ?Sized> Handle<'a, I> {
+    /// Open a session. Equivalent to [`IndexExt::handle`].
+    #[must_use]
+    pub fn new(index: &'a I) -> Self {
+        let session = index.reclaimer().map(epoch::Collector::register);
+        Handle {
+            index,
+            session,
+            stats: HandleStats::default(),
+            scan_batch: DEFAULT_SCAN_BATCH,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Split the handle into the pieces an operation needs: the index, a
+    /// pinned epoch guard (if the index reclaims), and the stats counters.
+    fn parts(&mut self) -> (&'a I, Option<epoch::Guard<'_>>, &mut HandleStats) {
+        let Handle { index, session, stats, .. } = self;
+        (*index, session.as_mut().map(epoch::Session::pin), stats)
+    }
+
+    /// Upsert `key -> value`; see [`Index::exec_insert`].
+    pub fn insert(&mut self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        let (index, _pin, stats) = self.parts();
+        stats.inserts += 1;
+        let r = index.exec_insert(key, value);
+        stats.errors += u64::from(r.is_err());
+        r
+    }
+
+    /// Conditional update of an existing key; see [`Index::exec_update`] (and
+    /// [`Capabilities::linearizable_update`] for the atomicity contract).
+    pub fn update(&mut self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+        let (index, _pin, stats) = self.parts();
+        stats.updates += 1;
+        let r = index.exec_update(key, value);
+        stats.errors += u64::from(r.is_err());
+        r
+    }
+
+    /// Look up `key`.
+    pub fn get(&mut self, key: &[u8]) -> Option<u64> {
+        let (index, _pin, stats) = self.parts();
+        stats.gets += 1;
+        let r = index.exec_get(key);
+        match r {
+            Some(_) => stats.hits += 1,
+            None => stats.misses += 1,
+        }
+        r
+    }
+
+    /// Remove `key`.
+    pub fn remove(&mut self, key: &[u8]) -> Result<OpResult, OpError> {
+        let (index, _pin, stats) = self.parts();
+        stats.removes += 1;
+        let r = index.exec_remove(key);
+        stats.errors += u64::from(r.is_err());
+        r
+    }
+
+    /// Open a resumable cursor over keys `>= start`; see [`Scanner`].
+    ///
+    /// The cursor borrows the handle (and keeps its epoch pin alive for the
+    /// whole traversal, so reclaiming indexes cannot free pages under it).
+    /// On an index without scan support the cursor is immediately exhausted.
+    pub fn scan<'h>(&'h mut self, start: &[u8]) -> Scanner<'h, 'a, I> {
+        let scan_batch = self.scan_batch;
+        let Handle { index, session, stats, .. } = self;
+        stats.scans += 1;
+        Scanner {
+            index: *index,
+            stats,
+            _pin: session.as_mut().map(epoch::Session::pin),
+            next_start: start.to_vec(),
+            primed: false,
+            batch: Vec::new(),
+            pos: 0,
+            done: false,
+            remaining: None,
+            batch_size: scan_batch,
+        }
+    }
+
+    /// Entries fetched per cursor batch (default [`DEFAULT_SCAN_BATCH`]).
+    pub fn set_scan_batch(&mut self, entries: usize) {
+        self.scan_batch = entries.max(1);
+    }
+
+    /// This session's accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> HandleStats {
+        self.stats
+    }
+
+    /// Reset the session counters (per-phase accounting).
+    pub fn reset_stats(&mut self) {
+        self.stats = HandleStats::default();
+    }
+
+    /// The underlying index's capabilities.
+    #[must_use]
+    pub fn capabilities(&self) -> Capabilities {
+        self.index.capabilities()
+    }
+
+    /// The underlying index's display name.
+    #[must_use]
+    pub fn index_name(&self) -> String {
+        self.index.index_name()
+    }
+}
+
+/// A resumable range-scan cursor, from [`Handle::scan`].
+///
+/// Streams entries in ascending key order, fetching them from the index in
+/// batches of the handle's scan-batch size into one internal buffer that is
+/// reused across batches — no per-call `Vec` allocation. Resumption between
+/// batches is by key (the cursor continues after the last yielded key), so a
+/// cursor stays valid while the index is concurrently mutated: entries removed
+/// after they were fetched are still yielded (each batch is a point-in-time
+/// snapshot); entries inserted behind the cursor are not revisited; order is
+/// always strictly ascending with no duplicates.
+///
+/// Iteration is via the [`Iterator`] impl ([`Scanner::next`]) or in bulk via
+/// [`Scanner::next_into`].
+pub struct Scanner<'h, 'a, I: Index + ?Sized = dyn Index + 'a> {
+    index: &'a I,
+    stats: &'h mut HandleStats,
+    _pin: Option<epoch::Guard<'h>>,
+    /// Lower fetch bound: the caller's start before the first batch (inclusive),
+    /// then the last fetched key (re-fetched and skipped — some indexes encode
+    /// fixed-width keys, so a synthesized successor key is not representable).
+    next_start: Vec<u8>,
+    primed: bool,
+    batch: Vec<(Vec<u8>, u64)>,
+    pos: usize,
+    done: bool,
+    remaining: Option<usize>,
+    batch_size: usize,
+}
+
+impl<I: Index + ?Sized> Scanner<'_, '_, I> {
+    /// Cap the total number of entries this cursor will yield. A limit of 0
+    /// exhausts the cursor immediately without touching the index.
+    #[must_use]
+    pub fn limit(mut self, entries: usize) -> Self {
+        self.remaining = Some(entries);
+        self
+    }
+
+    fn refill(&mut self) {
+        self.batch.clear();
+        self.pos = 0;
+        let want = match self.remaining {
+            Some(r) => r.min(self.batch_size),
+            None => self.batch_size,
+        };
+        if want == 0 {
+            self.done = true;
+            return;
+        }
+        // Resumed batches fetch from the last yielded key *inclusively* (one
+        // extra entry) and drop it below: uniform across indexes, including
+        // those whose fixed-width key encoding cannot represent a successor key.
+        let req = want.saturating_add(usize::from(self.primed));
+        self.index.exec_scan_chunk(&self.next_start, req, &mut self.batch);
+        if self.batch.len() < req {
+            self.done = true;
+        }
+        if self.primed && self.batch.first().is_some_and(|(k, _)| *k == self.next_start) {
+            self.pos = 1;
+        }
+        if let Some((k, _)) = self.batch.last() {
+            self.next_start.clear();
+            self.next_start.extend_from_slice(k);
+        }
+        self.primed = true;
+    }
+
+    /// Append entries to `buf` until the buffer's **spare capacity** is used
+    /// up or the cursor is exhausted; returns how many were appended. Never
+    /// grows the buffer — `clear()` + `reserve(n)` it once and reuse it across
+    /// scans for allocation-free streaming. A buffer with no spare capacity
+    /// appends nothing.
+    pub fn next_into(&mut self, buf: &mut Vec<(Vec<u8>, u64)>) -> usize {
+        let want = buf.capacity() - buf.len();
+        let mut n = 0;
+        while n < want {
+            match self.next() {
+                Some(e) => {
+                    buf.push(e);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Drain the remaining entries into a fresh vector (convenience for tests
+    /// and the legacy-`scan` compatibility adapter).
+    #[must_use]
+    pub fn collect_vec(self) -> Vec<(Vec<u8>, u64)> {
+        self.collect()
+    }
+}
+
+impl<I: Index + ?Sized> Iterator for Scanner<'_, '_, I> {
+    type Item = (Vec<u8>, u64);
+
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        if self.pos >= self.batch.len() {
+            if self.done {
+                return None;
+            }
+            self.refill();
+            if self.pos >= self.batch.len() {
+                return None;
+            }
+        }
+        let entry = std::mem::take(&mut self.batch[self.pos]);
+        self.pos += 1;
+        if let Some(r) = &mut self.remaining {
+            *r -= 1;
+        }
+        self.stats.entries_scanned += 1;
+        Some(entry)
+    }
+}
+
+/// Generates the `&T` / `Arc<T>` delegation impls for the session traits in
+/// one place, so adding a method cannot drift between the two pointer kinds
+/// (the legacy [`ConcurrentIndex`] needs no delegation impls at all: it is
+/// blanket-implemented over every [`Index`], including these).
+macro_rules! delegate_session_traits {
+    ($({$($decl:tt)*} {$($rdecl:tt)*} $ty:ty),+ $(,)?) => {$(
+        impl<$($decl)*> Index for $ty {
+            fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+                (**self).exec_insert(key, value)
+            }
+            fn exec_update(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+                (**self).exec_update(key, value)
+            }
+            fn exec_get(&self, key: &[u8]) -> Option<u64> {
+                (**self).exec_get(key)
+            }
+            fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+                (**self).exec_remove(key)
+            }
+            fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+                (**self).exec_scan_chunk(start, max, out);
+            }
+            fn capabilities(&self) -> Capabilities {
+                (**self).capabilities()
+            }
+            fn index_name(&self) -> String {
+                (**self).index_name()
+            }
+            fn reclaimer(&self) -> Option<&epoch::Collector> {
+                (**self).reclaimer()
+            }
+        }
+
+        impl<$($rdecl)*> crate::index::Recoverable for $ty {
+            fn recover(&self) {
+                (**self).recover();
+            }
+        }
+    )+};
+}
+
+delegate_session_traits! {
+    {'x, T: Index + ?Sized} {'x, T: crate::index::Recoverable + ?Sized} &'x T,
+    {T: Index + ?Sized} {T: crate::index::Recoverable + ?Sized} std::sync::Arc<T>,
+}
+
+/// The compatibility adapter: every [`Index`] is automatically a legacy
+/// [`ConcurrentIndex`]. Each call opens a transient [`Handle`] (epoch-pinned
+/// like any other session) and collapses the typed result into the old
+/// boolean. New code should use [`IndexExt::handle`] directly.
+impl<T: Index + ?Sized> ConcurrentIndex for T {
+    fn insert(&self, key: &[u8], value: u64) -> bool {
+        matches!(self.handle().insert(key, value), Ok(OpResult::Inserted))
+    }
+
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        self.handle().update(key, value).is_ok()
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        self.handle().get(key)
+    }
+
+    fn remove(&self, key: &[u8]) -> bool {
+        self.handle().remove(key).is_ok()
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut h = self.handle();
+        // A legacy scan was one call into the index; fetch the whole request as
+        // one chunk (capped for huge counts like `usize::MAX`) instead of
+        // paying a cursor refill — and its per-batch re-descent — every
+        // `DEFAULT_SCAN_BATCH` entries.
+        h.set_scan_batch(count.clamp(1, 4_096));
+        h.scan(start).limit(count).collect_vec()
+    }
+
+    fn supports_scan(&self) -> bool {
+        self.capabilities().scan
+    }
+
+    fn name(&self) -> String {
+        self.index_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::RwLock;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    /// Reference implementation with an epoch collector attached, so the
+    /// session tests exercise the pinning path too.
+    struct Model {
+        map: RwLock<BTreeMap<Vec<u8>, u64>>,
+        epoch: epoch::Collector,
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Model { map: RwLock::new(BTreeMap::new()), epoch: epoch::Collector::new() }
+        }
+    }
+
+    impl Index for Model {
+        fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+            if key.len() > 64 {
+                return Err(OpError::UnsupportedKey);
+            }
+            match self.map.write().insert(key.to_vec(), value) {
+                None => Ok(OpResult::Inserted),
+                Some(_) => Ok(OpResult::Updated),
+            }
+        }
+
+        fn exec_update(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+            match self.map.write().get_mut(key) {
+                Some(v) => {
+                    *v = value;
+                    Ok(OpResult::Updated)
+                }
+                None => Err(OpError::NotFound),
+            }
+        }
+
+        fn exec_get(&self, key: &[u8]) -> Option<u64> {
+            self.map.read().get(key).copied()
+        }
+
+        fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+            match self.map.write().remove(key) {
+                Some(_) => Ok(OpResult::Removed),
+                None => Err(OpError::NotFound),
+            }
+        }
+
+        fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+            out.extend(
+                self.map.read().range(start.to_vec()..).take(max).map(|(k, v)| (k.clone(), *v)),
+            );
+        }
+
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::ordered_index(true)
+        }
+
+        fn index_name(&self) -> String {
+            "model".into()
+        }
+
+        fn reclaimer(&self) -> Option<&epoch::Collector> {
+            Some(&self.epoch)
+        }
+    }
+
+    fn k(x: u64) -> [u8; 8] {
+        crate::key::u64_key(x)
+    }
+
+    #[test]
+    fn typed_results_distinguish_outcomes() {
+        let m = Model::new();
+        let mut h = m.handle();
+        assert_eq!(h.insert(&k(1), 10), Ok(OpResult::Inserted));
+        assert_eq!(h.insert(&k(1), 11), Ok(OpResult::Updated));
+        assert_eq!(h.update(&k(1), 12), Ok(OpResult::Updated));
+        assert_eq!(h.update(&k(2), 1), Err(OpError::NotFound));
+        assert_eq!(h.remove(&k(1)), Ok(OpResult::Removed));
+        assert_eq!(h.remove(&k(1)), Err(OpError::NotFound));
+        assert_eq!(h.insert(&[0u8; 65], 1), Err(OpError::UnsupportedKey));
+        let s = h.stats();
+        assert_eq!(s.inserts, 3);
+        assert_eq!(s.updates, 2);
+        assert_eq!(s.removes, 2);
+        assert_eq!(s.errors, 3);
+    }
+
+    #[test]
+    fn handle_stats_track_hits_and_misses() {
+        let m = Model::new();
+        let mut h = m.handle();
+        h.insert(&k(1), 1).unwrap();
+        assert_eq!(h.get(&k(1)), Some(1));
+        assert_eq!(h.get(&k(2)), None);
+        let s = h.stats();
+        assert_eq!((s.gets, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(s.ops(), 3);
+        let mut total = HandleStats::default();
+        total.merge(&s);
+        total.merge(&s);
+        assert_eq!(total.gets, 4);
+        h.reset_stats();
+        assert_eq!(h.stats(), HandleStats::default());
+    }
+
+    #[test]
+    fn scanner_streams_across_batches_in_order() {
+        let m = Model::new();
+        let mut h = m.handle();
+        for i in 0..500u64 {
+            h.insert(&k(i), i).unwrap();
+        }
+        h.set_scan_batch(7); // force many refills
+        let got: Vec<u64> = h.scan(&k(100)).map(|(_, v)| v).collect();
+        assert_eq!(got, (100..500).collect::<Vec<u64>>());
+        assert_eq!(h.stats().entries_scanned, 400);
+    }
+
+    #[test]
+    fn scanner_limit_and_next_into() {
+        let m = Model::new();
+        let mut h = m.handle();
+        for i in 0..100u64 {
+            h.insert(&k(i), i).unwrap();
+        }
+        assert_eq!(h.scan(&k(0)).limit(0).next(), None, "limit 0 yields nothing");
+        let mut buf: Vec<(Vec<u8>, u64)> = Vec::with_capacity(10);
+        let n = h.scan(&k(5)).limit(25).next_into(&mut buf);
+        assert_eq!(n, 10, "bounded by spare capacity");
+        assert_eq!(buf[0].1, 5);
+        // Reuse the buffer: clear keeps capacity, so the next scan is
+        // allocation-free again.
+        buf.clear();
+        let mut sc = h.scan(&k(90));
+        assert_eq!(sc.next_into(&mut buf), 10, "exhausts at the last key");
+        assert_eq!(sc.next(), None);
+    }
+
+    #[test]
+    fn compat_adapter_preserves_legacy_semantics() {
+        let m = Model::new();
+        let legacy: &dyn ConcurrentIndex = &m;
+        assert!(legacy.insert(&k(1), 1));
+        assert!(!legacy.insert(&k(1), 2), "re-insert reports existing");
+        assert_eq!(legacy.get(&k(1)), Some(2));
+        assert!(legacy.update(&k(1), 3));
+        assert!(!legacy.update(&k(9), 1));
+        assert!(legacy.supports_scan());
+        assert_eq!(legacy.scan(&k(0), 10).len(), 1);
+        assert_eq!(legacy.scan(&k(0), 0).len(), 0);
+        assert_eq!(legacy.name(), "model");
+        assert!(legacy.remove(&k(1)));
+        assert!(!legacy.remove(&k(1)));
+    }
+
+    #[test]
+    fn delegation_covers_refs_arcs_and_trait_objects() {
+        let m = Arc::new(Model::new());
+        let mut h = m.handle(); // Arc<Model> is itself an Index
+        assert_eq!(h.insert(&k(7), 70), Ok(OpResult::Inserted));
+        drop(h);
+        let obj: Arc<dyn Index> = m;
+        let mut h = obj.handle();
+        assert_eq!(h.get(&k(7)), Some(70));
+        let r: &dyn Index = &obj;
+        let mut h = r.handle();
+        assert_eq!(h.scan(&[]).count(), 1);
+        assert_eq!(h.capabilities(), Capabilities::ordered_index(true));
+        assert_eq!(h.index_name(), "model");
+    }
+
+    #[test]
+    fn handle_pins_reclaimer_per_operation() {
+        let m = Model::new();
+        let mut h = m.handle();
+        h.insert(&k(1), 1).unwrap();
+        // Retire garbage, then keep a cursor open: the cursor's pin must hold
+        // the garbage in place until the cursor drops.
+        let freed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let f = Arc::clone(&freed);
+        m.epoch.defer_free(8, move || {
+            f.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        let sc = h.scan(&[]);
+        m.epoch.flush();
+        assert_eq!(freed.load(std::sync::atomic::Ordering::Relaxed), 0, "cursor pin protects");
+        drop(sc);
+        m.epoch.flush();
+        assert_eq!(freed.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    /// Deterministic witness of the documented default-`exec_update`
+    /// non-atomicity: a shim injects a concurrent `remove` between the get and
+    /// the insert, resurrecting the removed key. This is exactly the
+    /// interleaving [`Capabilities::linearizable_update`]` = false` warns
+    /// about (the registry conformance suite probes it with real threads).
+    #[test]
+    fn default_update_resurrects_on_injected_remove() {
+        struct InjectRemove {
+            inner: Model,
+            armed: std::sync::atomic::AtomicBool,
+        }
+        impl Index for InjectRemove {
+            fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+                self.inner.exec_insert(key, value)
+            }
+            fn exec_get(&self, key: &[u8]) -> Option<u64> {
+                let r = self.inner.exec_get(key);
+                if self.armed.swap(false, std::sync::atomic::Ordering::Relaxed) {
+                    // The "concurrent" remove lands inside the window.
+                    let _ = self.inner.exec_remove(key);
+                }
+                r
+            }
+            fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+                self.inner.exec_remove(key)
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities::hash_index(false) // default update => flag false
+            }
+            fn index_name(&self) -> String {
+                "inject-remove".into()
+            }
+        }
+        let idx =
+            InjectRemove { inner: Model::new(), armed: std::sync::atomic::AtomicBool::new(false) };
+        let mut h = idx.handle();
+        h.insert(&k(1), 7).unwrap();
+        idx.armed.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Default update: get sees the key, the injected remove deletes it,
+        // the fallback insert resurrects it — `Ok` despite the interleaved
+        // remove, exactly the anomaly the capability flag documents.
+        assert_eq!(h.update(&k(1), 8), Ok(OpResult::Updated));
+        assert_eq!(h.get(&k(1)), Some(8), "removed key resurrected by the fallback");
+    }
+
+    #[test]
+    fn default_update_is_get_then_insert() {
+        struct NoUpdate(Model);
+        impl Index for NoUpdate {
+            fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+                self.0.exec_insert(key, value)
+            }
+            fn exec_get(&self, key: &[u8]) -> Option<u64> {
+                self.0.exec_get(key)
+            }
+            fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+                self.0.exec_remove(key)
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities::hash_index(false)
+            }
+            fn index_name(&self) -> String {
+                "no-update".into()
+            }
+        }
+        let m = NoUpdate(Model::new());
+        let mut h = m.handle();
+        assert_eq!(h.update(&k(1), 1), Err(OpError::NotFound));
+        h.insert(&k(1), 1).unwrap();
+        assert_eq!(h.update(&k(1), 2), Ok(OpResult::Updated));
+        assert_eq!(h.get(&k(1)), Some(2));
+    }
+}

@@ -8,14 +8,15 @@
 //! This crate reproduces exactly that configuration: a single-threaded radix tree with
 //! path compression and failure-atomic 8-byte commits (value first, then the child
 //! slot / entry publication, each followed by a flush and fence), wrapped in a global
-//! reader-writer lock to satisfy the [`recipe::index::ConcurrentIndex`] interface.
+//! reader-writer lock to satisfy the [`recipe::session::Index`] interface.
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use parking_lot::RwLock;
-use recipe::index::{ConcurrentIndex, Recoverable};
+use recipe::index::Recoverable;
 use recipe::persist::{PersistMode, Pmem};
+use recipe::session::{Capabilities, Index, OpError, OpResult};
 use std::marker::PhantomData;
 
 /// A node of the single-threaded radix tree: a compressed prefix and a sparse,
@@ -257,30 +258,38 @@ impl<P: PersistMode> Woart<P> {
     }
 }
 
-impl<P: PersistMode> ConcurrentIndex for Woart<P> {
-    fn insert(&self, key: &[u8], value: u64) -> bool {
+/// What this index supports. `linearizable_update` is `true`: the presence
+/// check and the insert happen under the same global write lock.
+pub const CAPS: Capabilities = Capabilities::ordered_index(true);
+
+impl<P: PersistMode> Index for Woart<P> {
+    fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
         if key.is_empty() {
-            return false;
+            return Err(OpError::UnsupportedKey);
         }
         let mut root = self.root.write();
-        Self::insert_rec(&mut root, key, 0, value)
+        if Self::insert_rec(&mut root, key, 0, value) {
+            Ok(OpResult::Inserted)
+        } else {
+            Ok(OpResult::Updated)
+        }
     }
 
     /// Atomic: presence check and insert happen under the same global write lock
     /// (overrides the non-atomic trait default).
-    fn update(&self, key: &[u8], value: u64) -> bool {
+    fn exec_update(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
         if key.is_empty() {
-            return false;
+            return Err(OpError::UnsupportedKey);
         }
         let mut root = self.root.write();
         if Self::get_rec(&root, key, 0).is_none() {
-            return false;
+            return Err(OpError::NotFound);
         }
         Self::insert_rec(&mut root, key, 0, value);
-        true
+        Ok(OpResult::Updated)
     }
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
+    fn exec_get(&self, key: &[u8]) -> Option<u64> {
         if key.is_empty() {
             return None;
         }
@@ -288,27 +297,33 @@ impl<P: PersistMode> ConcurrentIndex for Woart<P> {
         Self::get_rec(&root, key, 0)
     }
 
-    fn remove(&self, key: &[u8]) -> bool {
+    fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
         if key.is_empty() {
-            return false;
+            return Err(OpError::UnsupportedKey);
         }
         let mut root = self.root.write();
-        Self::remove_rec(&mut root, key, 0)
+        if Self::remove_rec(&mut root, key, 0) {
+            Ok(OpResult::Removed)
+        } else {
+            Err(OpError::NotFound)
+        }
     }
 
-    fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+    fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+        if max == 0 {
+            return;
+        }
+        let target = out.len().saturating_add(max);
         let root = self.root.read();
-        let mut out = Vec::with_capacity(count);
         let mut prefix = Vec::new();
-        Self::scan_rec(&root, &mut prefix, start, count, &mut out);
-        out
+        Self::scan_rec(&root, &mut prefix, start, target, out);
     }
 
-    fn supports_scan(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        CAPS
     }
 
-    fn name(&self) -> String {
+    fn index_name(&self) -> String {
         if P::PERSISTENT {
             "WOART(global-lock)".into()
         } else {
@@ -326,6 +341,7 @@ impl<P: PersistMode> Recoverable for Woart<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recipe::index::ConcurrentIndex;
     use recipe::key::u64_key;
     use std::collections::BTreeMap;
     use std::sync::Arc;

@@ -6,9 +6,14 @@
 //! per-operation counters (`clwb`, fences, node visits) are collected. Every
 //! [`LATENCY_SAMPLE_EVERY`]-th operation per thread is additionally timed end to end,
 //! yielding the p50/p99 tail-latency columns of [`PhaseResult`].
+//!
+//! Each worker thread drives the index through its own session
+//! [`recipe::session::Handle`]: operations run epoch-pinned with typed
+//! results, range queries stream through a cursor into one reusable per-thread
+//! buffer, and the per-thread [`HandleStats`] are merged into the phase result.
 
 use crate::workload::{GeneratedWorkload, Op, Spec};
-use recipe::index::ConcurrentIndex;
+use recipe::session::{Handle, HandleStats, Index, IndexExt};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -42,6 +47,8 @@ pub struct PhaseResult {
     /// [`pm::latency::Model`] (read charges + deduplicated flushes + fences); 0 when
     /// the zero model is installed.
     pub sim_ns_per_op: f64,
+    /// Session statistics merged across every worker thread's handle.
+    pub handle_stats: HandleStats,
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample set.
@@ -53,50 +60,97 @@ fn percentile(sorted: &[u64], pct: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseResult {
+/// Per-thread execution state: the session handle plus the reusable scan
+/// buffer the cursor streams into (no per-scan allocation).
+pub(crate) struct Worker<'a> {
+    handle: Handle<'a>,
+    scan_buf: Vec<(Vec<u8>, u64)>,
+    supports_scan: bool,
+    pub(crate) lat: Vec<u64>,
+    pub(crate) failed_reads: u64,
+}
+
+impl<'a> Worker<'a> {
+    pub(crate) fn new(index: &'a dyn Index, lat_capacity: usize) -> Self {
+        let handle = index.handle();
+        Worker {
+            supports_scan: handle.capabilities().scan,
+            handle,
+            scan_buf: Vec::new(),
+            lat: Vec::with_capacity(lat_capacity),
+            failed_reads: 0,
+        }
+    }
+
+    /// Execute one operation through the session handle; `timed` adds the
+    /// end-to-end latency to the sample set.
+    pub(crate) fn run_op(&mut self, op: &Op, timed: bool) {
+        let t0 = if timed { Some(Instant::now()) } else { None };
+        match op {
+            Op::Insert(k, v) => {
+                let _ = self.handle.insert(k, *v);
+            }
+            Op::Read(k) => {
+                if self.handle.get(k).is_none() {
+                    self.failed_reads += 1;
+                }
+            }
+            Op::Scan(k, len) => {
+                if self.supports_scan {
+                    self.scan_buf.clear();
+                    // The buffer is empty, so this guarantees spare capacity for
+                    // the whole scan (and is a no-op once warmed to the
+                    // workload's max scan length).
+                    self.scan_buf.reserve(*len);
+                    // One chunk per scan op: the measured cost stays one index
+                    // descent per scan, like the flat interface this driver
+                    // replaced, instead of one per cursor batch.
+                    self.handle.set_scan_batch((*len).clamp(1, 4_096));
+                    let mut cursor = self.handle.scan(k).limit(*len);
+                    let _ = cursor.next_into(&mut self.scan_buf);
+                } else if self.handle.get(k).is_none() {
+                    self.failed_reads += 1;
+                }
+            }
+        }
+        if let Some(t0) = t0 {
+            self.lat.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    pub(crate) fn stats(&self) -> HandleStats {
+        self.handle.stats()
+    }
+}
+
+fn run_partitions(index: &dyn Index, partitions: &[Vec<Op>]) -> PhaseResult {
     let failed_reads = AtomicU64::new(0);
     let total_ops: u64 = partitions.iter().map(|p| p.len() as u64).sum();
     let before = pm::stats::snapshot();
     let charged_before = pm::latency::charged();
     let start = Instant::now();
     let mut samples: Vec<u64> = Vec::new();
+    let mut handle_stats = HandleStats::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .iter()
             .map(|part| {
                 let failed = &failed_reads;
                 scope.spawn(move || {
-                    let mut lat = Vec::with_capacity(part.len() / LATENCY_SAMPLE_EVERY + 1);
+                    let mut worker = Worker::new(index, part.len() / LATENCY_SAMPLE_EVERY + 1);
                     for (i, op) in part.iter().enumerate() {
-                        let timed = i % LATENCY_SAMPLE_EVERY == 0;
-                        let t0 = if timed { Some(Instant::now()) } else { None };
-                        match op {
-                            Op::Insert(k, v) => {
-                                index.insert(k, *v);
-                            }
-                            Op::Read(k) => {
-                                if index.get(k).is_none() {
-                                    failed.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                            Op::Scan(k, len) => {
-                                if index.supports_scan() {
-                                    let _ = index.scan(k, *len);
-                                } else if index.get(k).is_none() {
-                                    failed.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                        }
-                        if let Some(t0) = t0 {
-                            lat.push(t0.elapsed().as_nanos() as u64);
-                        }
+                        worker.run_op(op, i % LATENCY_SAMPLE_EVERY == 0);
                     }
-                    lat
+                    failed.fetch_add(worker.failed_reads, Ordering::Relaxed);
+                    let stats = worker.stats();
+                    (worker.lat, stats)
                 })
             })
             .collect();
         for h in handles {
-            samples.extend(h.join().expect("worker thread panicked"));
+            let (lat, stats) = h.join().expect("worker thread panicked");
+            samples.extend(lat);
+            handle_stats.merge(&stats);
         }
     });
     let secs = start.elapsed().as_secs_f64();
@@ -115,6 +169,7 @@ fn run_partitions(index: &dyn ConcurrentIndex, partitions: &[Vec<Op>]) -> PhaseR
         p50_ns: percentile(&samples, 0.50),
         p99_ns: percentile(&samples, 0.99),
         sim_ns_per_op: charged.total() as f64 / total_ops.max(1) as f64,
+        handle_stats,
     }
 }
 
@@ -128,14 +183,14 @@ pub struct RunResult {
 }
 
 /// Execute `workload` against `index`: load phase first, then the run phase.
-pub fn execute(index: &dyn ConcurrentIndex, workload: &GeneratedWorkload) -> RunResult {
+pub fn execute(index: &dyn Index, workload: &GeneratedWorkload) -> RunResult {
     let load = run_partitions(index, &workload.load);
     let run = run_partitions(index, &workload.run);
     RunResult { load, run }
 }
 
 /// Convenience: generate the workload for `spec` and execute it.
-pub fn run_spec(index: &dyn ConcurrentIndex, spec: &Spec) -> RunResult {
+pub fn run_spec(index: &dyn Index, spec: &Spec) -> RunResult {
     let generated = crate::workload::generate(spec);
     execute(index, &generated)
 }
@@ -145,34 +200,38 @@ mod tests {
     use super::*;
     use crate::workload::{generate, KeyType, Spec, Workload};
     use parking_lot::RwLock;
+    use recipe::session::{Capabilities, OpError, OpResult};
     use std::collections::BTreeMap;
 
     struct Model {
         map: RwLock<BTreeMap<Vec<u8>, u64>>,
     }
 
-    impl recipe::index::ConcurrentIndex for Model {
-        fn insert(&self, key: &[u8], value: u64) -> bool {
-            self.map.write().insert(key.to_vec(), value).is_none()
+    impl Index for Model {
+        fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+            match self.map.write().insert(key.to_vec(), value) {
+                None => Ok(OpResult::Inserted),
+                Some(_) => Ok(OpResult::Updated),
+            }
         }
-        fn get(&self, key: &[u8]) -> Option<u64> {
+        fn exec_get(&self, key: &[u8]) -> Option<u64> {
             self.map.read().get(key).copied()
         }
-        fn remove(&self, key: &[u8]) -> bool {
-            self.map.write().remove(key).is_some()
+        fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+            match self.map.write().remove(key) {
+                Some(_) => Ok(OpResult::Removed),
+                None => Err(OpError::NotFound),
+            }
         }
-        fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-            self.map
-                .read()
-                .range(start.to_vec()..)
-                .take(count)
-                .map(|(k, v)| (k.clone(), *v))
-                .collect()
+        fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+            out.extend(
+                self.map.read().range(start.to_vec()..).take(max).map(|(k, v)| (k.clone(), *v)),
+            );
         }
-        fn supports_scan(&self) -> bool {
-            true
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::ordered_index(true)
         }
-        fn name(&self) -> String {
+        fn index_name(&self) -> String {
             "model".into()
         }
     }
@@ -195,6 +254,9 @@ mod tests {
         assert_eq!(res.run.failed_reads, 0, "reads of loaded keys must succeed");
         assert!(res.load.mops > 0.0);
         assert!(res.run.secs > 0.0);
+        // Session stats cover the whole phase: the load is pure inserts.
+        assert_eq!(res.load.handle_stats.inserts, 2_000);
+        assert_eq!(res.run.handle_stats.ops(), 2_000);
     }
 
     #[test]
@@ -241,5 +303,7 @@ mod tests {
         let res = run_spec(&model, &spec);
         assert_eq!(res.run.ops, 500);
         assert_eq!(res.run.failed_reads, 0);
+        assert!(res.run.handle_stats.scans > 0, "workload E must open cursors");
+        assert!(res.run.handle_stats.entries_scanned >= res.run.handle_stats.scans);
     }
 }

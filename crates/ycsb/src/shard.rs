@@ -20,9 +20,9 @@
 //! principle but have probability ~`n²/2⁶⁴`; a collision merely turns one insert
 //! into an upsert of the same derived value, so every check stays valid.
 
-use crate::driver::{PhaseResult, RunResult, LATENCY_SAMPLE_EVERY};
+use crate::driver::{PhaseResult, RunResult, Worker, LATENCY_SAMPLE_EVERY};
 use crate::workload::{id_value, Op, Spec};
-use recipe::index::ConcurrentIndex;
+use recipe::session::{HandleStats, Index};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -118,7 +118,7 @@ fn percentile(sorted: &[u64], pct: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn run_phase(index: &dyn ConcurrentIndex, spec: &Spec, phase: &Phase, chunk: usize) -> PhaseResult {
+fn run_phase(index: &dyn Index, spec: &Spec, phase: &Phase, chunk: usize) -> PhaseResult {
     let threads = spec.threads.max(1);
     let chunk = chunk.max(1);
     let total = match phase {
@@ -130,6 +130,7 @@ fn run_phase(index: &dyn ConcurrentIndex, spec: &Spec, phase: &Phase, chunk: usi
     let charged_before = pm::latency::charged();
     let start = Instant::now();
     let mut samples: Vec<u64> = Vec::new();
+    let mut handle_stats = HandleStats::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -137,7 +138,7 @@ fn run_phase(index: &dyn ConcurrentIndex, spec: &Spec, phase: &Phase, chunk: usi
                 let phase = &*phase;
                 scope.spawn(move || {
                     let my_ops = thread_share(total, threads, t);
-                    let mut lat = Vec::with_capacity(my_ops / LATENCY_SAMPLE_EVERY + 1);
+                    let mut worker = Worker::new(index, my_ops / LATENCY_SAMPLE_EVERY + 1);
                     let mut buf: Vec<Op> = Vec::with_capacity(chunk.min(my_ops));
                     let mut done = 0usize;
                     while done < my_ops {
@@ -148,38 +149,21 @@ fn run_phase(index: &dyn ConcurrentIndex, spec: &Spec, phase: &Phase, chunk: usi
                         }
                         gauge_add(n);
                         for (i, op) in buf.iter().enumerate() {
-                            let timed = (done + i) % LATENCY_SAMPLE_EVERY == 0;
-                            let t0 = if timed { Some(Instant::now()) } else { None };
-                            match op {
-                                Op::Insert(k, v) => {
-                                    index.insert(k, *v);
-                                }
-                                Op::Read(k) => {
-                                    if index.get(k).is_none() {
-                                        failed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                                Op::Scan(k, len) => {
-                                    if index.supports_scan() {
-                                        let _ = index.scan(k, *len);
-                                    } else if index.get(k).is_none() {
-                                        failed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                            }
-                            if let Some(t0) = t0 {
-                                lat.push(t0.elapsed().as_nanos() as u64);
-                            }
+                            worker.run_op(op, (done + i) % LATENCY_SAMPLE_EVERY == 0);
                         }
                         gauge_sub(n);
                         done += n;
                     }
-                    lat
+                    failed.fetch_add(worker.failed_reads, Ordering::Relaxed);
+                    let stats = worker.stats();
+                    (worker.lat, stats)
                 })
             })
             .collect();
         for h in handles {
-            samples.extend(h.join().expect("worker thread panicked"));
+            let (lat, stats) = h.join().expect("worker thread panicked");
+            samples.extend(lat);
+            handle_stats.merge(&stats);
         }
     });
     let secs = start.elapsed().as_secs_f64();
@@ -198,13 +182,15 @@ fn run_phase(index: &dyn ConcurrentIndex, spec: &Spec, phase: &Phase, chunk: usi
         p50_ns: percentile(&samples, 0.50),
         p99_ns: percentile(&samples, 0.99),
         sim_ns_per_op: charged.total() as f64 / (total as u64).max(1) as f64,
+        handle_stats,
     }
 }
 
 /// Execute `spec` against `index` with chunked per-thread generation: load phase
 /// first, then the run phase. Op-buffer footprint is bounded by
-/// `threads × chunk` operations.
-pub fn run_spec_sharded(index: &dyn ConcurrentIndex, spec: &Spec, chunk: usize) -> RunResult {
+/// `threads × chunk` operations. Like [`crate::driver::execute`], every worker
+/// thread drives the index through its own session handle.
+pub fn run_spec_sharded(index: &dyn Index, spec: &Spec, chunk: usize) -> RunResult {
     let load = run_phase(index, spec, &Phase::Load, chunk);
     let run = run_phase(index, spec, &Phase::Run, chunk);
     RunResult { load, run }
@@ -215,6 +201,7 @@ mod tests {
     use super::*;
     use crate::workload::{KeyType, Workload};
     use parking_lot::RwLock;
+    use recipe::session::{Capabilities, OpError, OpResult};
     use std::collections::BTreeMap;
 
     /// The resident-ops gauge is process-global, so tests that execute sharded
@@ -232,28 +219,31 @@ mod tests {
         }
     }
 
-    impl ConcurrentIndex for Model {
-        fn insert(&self, key: &[u8], value: u64) -> bool {
-            self.map.write().insert(key.to_vec(), value).is_none()
+    impl Index for Model {
+        fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+            match self.map.write().insert(key.to_vec(), value) {
+                None => Ok(OpResult::Inserted),
+                Some(_) => Ok(OpResult::Updated),
+            }
         }
-        fn get(&self, key: &[u8]) -> Option<u64> {
+        fn exec_get(&self, key: &[u8]) -> Option<u64> {
             self.map.read().get(key).copied()
         }
-        fn remove(&self, key: &[u8]) -> bool {
-            self.map.write().remove(key).is_some()
+        fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+            match self.map.write().remove(key) {
+                Some(_) => Ok(OpResult::Removed),
+                None => Err(OpError::NotFound),
+            }
         }
-        fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
-            self.map
-                .read()
-                .range(start.to_vec()..)
-                .take(count)
-                .map(|(k, v)| (k.clone(), *v))
-                .collect()
+        fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+            out.extend(
+                self.map.read().range(start.to_vec()..).take(max).map(|(k, v)| (k.clone(), *v)),
+            );
         }
-        fn supports_scan(&self) -> bool {
-            true
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::ordered_index(true)
         }
-        fn name(&self) -> String {
+        fn index_name(&self) -> String {
             "model".into()
         }
     }
