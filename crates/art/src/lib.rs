@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod node;
+pub mod search;
 pub mod tree;
 
 pub use tree::Art;

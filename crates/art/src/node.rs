@@ -100,14 +100,18 @@ pub unsafe fn leaf_ref<'a>(word: usize) -> &'a Leaf {
 }
 
 /// Common header shared (as the first field) by all inner node types.
+///
+/// Field order is cacheline-conscious: `count` sits **last** so that in every node
+/// type it is adjacent to the key material that follows the header (the packed key
+/// words of Node4/Node16, the byte index of Node48). A lookup's intra-node search
+/// reads exactly `count` + keys, so placing them on the same 64-byte line keeps the
+/// search to a single likely-cold line; the layout test below pins this.
 #[repr(C)]
 pub struct NodeHeader {
     /// Node kind.
     pub tag: NodeTag,
     /// Set when the node has been replaced (grown) and must no longer be modified.
     pub obsolete: AtomicBool,
-    /// Number of child slots ever used (holes from deletions are reused).
-    pub count: AtomicU16,
     /// Key-byte index at which this node branches in the *decompressed* radix tree:
     /// `level == depth + prefix_len` for a consistent node. Never modified after
     /// creation; readers and the Condition-#3 helper use it to detect (and repair)
@@ -118,6 +122,9 @@ pub struct NodeHeader {
     /// Packed compressed prefix (see [`pack_prefix`]). A single atomic word so prefix
     /// truncation — step 2 of the path-compression split — is one atomic store.
     pub prefix: AtomicU64,
+    /// Number of child slots ever used (holes from deletions are reused). Kept last:
+    /// see the struct-level layout note.
+    pub count: AtomicU16,
 }
 
 impl NodeHeader {
@@ -125,10 +132,10 @@ impl NodeHeader {
         NodeHeader {
             tag,
             obsolete: AtomicBool::new(false),
-            count: AtomicU16::new(0),
             level,
             lock: VersionLock::new(),
             prefix: AtomicU64::new(pack_prefix(prefix)),
+            count: AtomicU16::new(0),
         }
     }
 
@@ -138,26 +145,29 @@ impl NodeHeader {
     }
 }
 
-/// 4-way node.
-#[repr(C)]
+/// 4-way node. Key bytes are packed into one atomic word (byte lane `i` = slot `i`)
+/// so a search is one `Acquire` load + a branch-free compare.
+#[repr(C, align(64))]
 pub struct Node4 {
     /// Shared header.
     pub hdr: NodeHeader,
-    keys: [AtomicU8; 4],
+    keys: AtomicU64,
     children: [AtomicUsize; 4],
 }
 
-/// 16-way node.
-#[repr(C)]
+/// 16-way node. Key bytes are packed into two atomic words (slot `i` = byte lane
+/// `i % 8` of word `i / 8`), searched with one vectorized compare.
+#[repr(C, align(64))]
 pub struct Node16 {
     /// Shared header.
     pub hdr: NodeHeader,
-    keys: [AtomicU8; 16],
+    keys: [AtomicU64; 2],
     children: [AtomicUsize; 16],
 }
 
-/// 48-way node: a 256-entry index maps key bytes to one of 48 child slots.
-#[repr(C)]
+/// 48-way node: a 256-entry index maps key bytes to one of 48 child slots. The
+/// 64-byte alignment puts the header and the first stretch of the index on one line.
+#[repr(C, align(64))]
 pub struct Node48 {
     /// Shared header.
     pub hdr: NodeHeader,
@@ -166,7 +176,7 @@ pub struct Node48 {
 }
 
 /// 256-way node: direct-mapped children.
-#[repr(C)]
+#[repr(C, align(64))]
 pub struct Node256 {
     /// Shared header.
     pub hdr: NodeHeader,
@@ -187,24 +197,26 @@ impl Node4 {
     pub fn alloc(level: u32, prefix: &[u8]) -> usize {
         pm::alloc::pm_box(Node4 {
             hdr: NodeHeader::new(NodeTag::N4, level, prefix),
-            keys: zeroed_array!(AtomicU8, 4),
+            keys: AtomicU64::new(0),
             children: zeroed_array!(AtomicUsize, 4),
         }) as usize
     }
 }
 
 impl Node16 {
-    fn alloc(level: u32, prefix: &[u8]) -> usize {
+    /// Allocate an empty `Node16` on the PM pool. Returns the untagged pointer word.
+    pub fn alloc(level: u32, prefix: &[u8]) -> usize {
         pm::alloc::pm_box(Node16 {
             hdr: NodeHeader::new(NodeTag::N16, level, prefix),
-            keys: zeroed_array!(AtomicU8, 16),
+            keys: [AtomicU64::new(0), AtomicU64::new(0)],
             children: zeroed_array!(AtomicUsize, 16),
         }) as usize
     }
 }
 
 impl Node48 {
-    fn alloc(level: u32, prefix: &[u8]) -> usize {
+    /// Allocate an empty `Node48` on the PM pool. Returns the untagged pointer word.
+    pub fn alloc(level: u32, prefix: &[u8]) -> usize {
         pm::alloc::pm_box(Node48 {
             hdr: NodeHeader::new(NodeTag::N48, level, prefix),
             index: zeroed_array!(AtomicU8, 256),
@@ -284,19 +296,29 @@ impl NodeRef {
     }
 
     /// Find the child for key byte `b`, or 0 if absent. Non-blocking.
+    ///
+    /// Node4/Node16 go through [`crate::search::match_slots`] — one `Acquire` load
+    /// per packed key word, then a branch-free vectorized compare — instead of the
+    /// old per-byte `Acquire` loop.
     #[must_use]
     pub fn find_child(&self, b: u8) -> usize {
         match self.hdr().tag {
             NodeTag::N4 => {
-                Self::find_linear(&self.as_n4().keys, &self.as_n4().children, &self.as_n4().hdr, b)
+                let n = self.as_n4();
+                Self::find_packed(
+                    std::slice::from_ref(&n.keys),
+                    &n.children,
+                    &n.hdr,
+                    b,
+                    pm::stats::Mapping::ArtN4,
+                )
             }
-            NodeTag::N16 => Self::find_linear(
-                &self.as_n16().keys,
-                &self.as_n16().children,
-                &self.as_n16().hdr,
-                b,
-            ),
+            NodeTag::N16 => {
+                let n = self.as_n16();
+                Self::find_packed(&n.keys, &n.children, &n.hdr, b, pm::stats::Mapping::ArtN16)
+            }
             NodeTag::N48 => {
+                pm::stats::record_probes(pm::stats::Mapping::ArtN48, 1);
                 let n = self.as_n48();
                 let idx = n.index[b as usize].load(Ordering::Acquire);
                 if idx == 0 {
@@ -305,40 +327,56 @@ impl NodeRef {
                     n.children[(idx - 1) as usize].load(Ordering::Acquire)
                 }
             }
-            NodeTag::N256 => self.as_n256().children[b as usize].load(Ordering::Acquire),
+            NodeTag::N256 => {
+                pm::stats::record_probes(pm::stats::Mapping::ArtN256, 1);
+                self.as_n256().children[b as usize].load(Ordering::Acquire)
+            }
         }
     }
 
-    fn find_linear(keys: &[AtomicU8], children: &[AtomicUsize], hdr: &NodeHeader, b: u8) -> usize {
-        let count = hdr.count.load(Ordering::Acquire) as usize;
-        for i in 0..count.min(keys.len()) {
-            if keys[i].load(Ordering::Acquire) == b {
-                let c = children[i].load(Ordering::Acquire);
-                if c != 0 {
-                    return c;
-                }
+    fn find_packed(
+        words: &[AtomicU64],
+        children: &[AtomicUsize],
+        hdr: &NodeHeader,
+        b: u8,
+        mapping: pm::stats::Mapping,
+    ) -> usize {
+        let count = (hdr.count.load(Ordering::Acquire) as usize).min(children.len());
+        pm::stats::record_probes(mapping, count as u64);
+        let (w0, w1) = Self::load_key_words(words);
+        for i in crate::search::match_slots(w0, w1, count, b) {
+            let c = children[i].load(Ordering::Acquire);
+            if c != 0 {
+                return c;
             }
         }
         0
     }
 
-    /// All live `(key byte, child word)` pairs, unsorted. Lock-free snapshot.
+    /// One `Acquire` load per packed key word (Node4 has one, Node16 two).
+    #[inline]
+    fn load_key_words(words: &[AtomicU64]) -> (u64, u64) {
+        let w0 = words[0].load(Ordering::Acquire);
+        let w1 = if words.len() > 1 { words[1].load(Ordering::Acquire) } else { 0 };
+        (w0, w1)
+    }
+
+    /// All live `(key byte, child word)` pairs, **in key order**. Lock-free snapshot.
+    ///
+    /// Every node type reports sorted children (Node4/Node16 sort their ≤16 live
+    /// entries here; Node48/Node256 iterate in byte order), so `scan` needs no sort.
     #[must_use]
     pub fn children(&self) -> Vec<(u8, usize)> {
         let mut out = Vec::new();
         match self.hdr().tag {
-            NodeTag::N4 => Self::collect_linear(
-                &self.as_n4().keys,
-                &self.as_n4().children,
-                &self.as_n4().hdr,
-                &mut out,
-            ),
-            NodeTag::N16 => Self::collect_linear(
-                &self.as_n16().keys,
-                &self.as_n16().children,
-                &self.as_n16().hdr,
-                &mut out,
-            ),
+            NodeTag::N4 => {
+                let n = self.as_n4();
+                Self::collect_packed(std::slice::from_ref(&n.keys), &n.children, &n.hdr, &mut out);
+            }
+            NodeTag::N16 => {
+                let n = self.as_n16();
+                Self::collect_packed(&n.keys, &n.children, &n.hdr, &mut out);
+            }
             NodeTag::N48 => {
                 let n = self.as_n48();
                 for b in 0..256usize {
@@ -364,19 +402,22 @@ impl NodeRef {
         out
     }
 
-    fn collect_linear(
-        keys: &[AtomicU8],
+    fn collect_packed(
+        words: &[AtomicU64],
         children: &[AtomicUsize],
         hdr: &NodeHeader,
         out: &mut Vec<(u8, usize)>,
     ) {
-        let count = hdr.count.load(Ordering::Acquire) as usize;
-        for i in 0..count.min(keys.len()) {
-            let c = children[i].load(Ordering::Acquire);
+        let count = (hdr.count.load(Ordering::Acquire) as usize).min(children.len());
+        let (w0, w1) = Self::load_key_words(words);
+        let start = out.len();
+        for (i, child) in children.iter().enumerate().take(count) {
+            let c = child.load(Ordering::Acquire);
             if c != 0 {
-                out.push((keys[i].load(Ordering::Acquire), c));
+                out.push((crate::search::key_at(w0, w1, i), c));
             }
         }
+        out[start..].sort_unstable_by_key(|&(b, _)| b);
     }
 
     /// Whether the node has no room for a new child (caller should grow). Writers call
@@ -384,8 +425,8 @@ impl NodeRef {
     #[must_use]
     pub fn is_full(&self) -> bool {
         match self.hdr().tag {
-            NodeTag::N4 => self.linear_full(&self.as_n4().keys, &self.as_n4().children, 4),
-            NodeTag::N16 => self.linear_full(&self.as_n16().keys, &self.as_n16().children, 16),
+            NodeTag::N4 => self.linear_full(&self.as_n4().children, 4),
+            NodeTag::N16 => self.linear_full(&self.as_n16().children, 16),
             NodeTag::N48 => {
                 let n = self.as_n48();
                 (0..48).all(|i| n.children[i].load(Ordering::Acquire) != 0)
@@ -394,7 +435,7 @@ impl NodeRef {
         }
     }
 
-    fn linear_full(&self, _keys: &[AtomicU8], children: &[AtomicUsize], cap: usize) -> bool {
+    fn linear_full(&self, children: &[AtomicUsize], cap: usize) -> bool {
         let count = self.hdr().count.load(Ordering::Acquire) as usize;
         if count < cap {
             return false;
@@ -411,10 +452,12 @@ impl NodeRef {
     pub fn add_child(&self, b: u8, child: usize, persist: &dyn Fn(*const u8, usize, bool)) -> bool {
         match self.hdr().tag {
             NodeTag::N4 => {
-                self.add_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, child, persist)
+                let n = self.as_n4();
+                self.add_packed(std::slice::from_ref(&n.keys), &n.children, 4, b, child, persist)
             }
             NodeTag::N16 => {
-                self.add_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, child, persist)
+                let n = self.as_n16();
+                self.add_packed(&n.keys, &n.children, 16, b, child, persist)
             }
             NodeTag::N48 => {
                 let n = self.as_n48();
@@ -438,9 +481,9 @@ impl NodeRef {
         }
     }
 
-    fn add_linear(
+    fn add_packed(
         &self,
-        keys: &[AtomicU8],
+        words: &[AtomicU64],
         children: &[AtomicUsize],
         cap: usize,
         b: u8,
@@ -456,9 +499,14 @@ impl NodeRef {
             None if count < cap => (count, true),
             None => return false,
         };
-        // Key byte first (persisted), then the committing child-pointer store.
-        keys[slot].store(b, Ordering::Release);
-        persist(keys[slot].as_ptr() as *const u8, 1, true);
+        // Key byte first (persisted), then the committing child-pointer store. The
+        // byte is spliced into its packed word with one atomic store; the word is
+        // only written under the node lock, so the read-modify-write cannot race
+        // with another writer, and readers see the other lanes unchanged.
+        let (wi, lane) = (slot / 8, slot % 8);
+        let cur = words[wi].load(Ordering::Acquire);
+        words[wi].store(recipe::simd::set_lane8(cur, lane, b), Ordering::Release);
+        persist(words[wi].as_ptr() as *const u8, 8, true);
         children[slot].store(child, Ordering::Release);
         persist(children[slot].as_ptr() as *const u8, 8, true);
         if bump_count {
@@ -477,22 +525,20 @@ impl NodeRef {
         persist: &dyn Fn(*const u8, usize, bool),
     ) -> bool {
         match self.hdr().tag {
-            NodeTag::N4 => self.replace_linear(
-                &self.as_n4().keys,
-                &self.as_n4().children,
-                4,
-                b,
-                new_child,
-                persist,
-            ),
-            NodeTag::N16 => self.replace_linear(
-                &self.as_n16().keys,
-                &self.as_n16().children,
-                16,
-                b,
-                new_child,
-                persist,
-            ),
+            NodeTag::N4 => {
+                let n = self.as_n4();
+                self.replace_packed(
+                    std::slice::from_ref(&n.keys),
+                    &n.children,
+                    b,
+                    new_child,
+                    persist,
+                )
+            }
+            NodeTag::N16 => {
+                let n = self.as_n16();
+                self.replace_packed(&n.keys, &n.children, b, new_child, persist)
+            }
             NodeTag::N48 => {
                 let n = self.as_n48();
                 let idx = n.index[b as usize].load(Ordering::Acquire);
@@ -516,18 +562,18 @@ impl NodeRef {
         }
     }
 
-    fn replace_linear(
+    fn replace_packed(
         &self,
-        keys: &[AtomicU8],
+        words: &[AtomicU64],
         children: &[AtomicUsize],
-        cap: usize,
         b: u8,
         new_child: usize,
         persist: &dyn Fn(*const u8, usize, bool),
     ) -> bool {
-        let count = self.hdr().count.load(Ordering::Acquire) as usize;
-        for i in 0..count.min(cap) {
-            if keys[i].load(Ordering::Acquire) == b && children[i].load(Ordering::Acquire) != 0 {
+        let count = (self.hdr().count.load(Ordering::Acquire) as usize).min(children.len());
+        let (w0, w1) = Self::load_key_words(words);
+        for i in crate::search::match_slots(w0, w1, count, b) {
+            if children[i].load(Ordering::Acquire) != 0 {
                 children[i].store(new_child, Ordering::Release);
                 persist(children[i].as_ptr() as *const u8, 8, true);
                 return true;
@@ -540,10 +586,12 @@ impl NodeRef {
     pub fn remove_child(&self, b: u8, persist: &dyn Fn(*const u8, usize, bool)) -> bool {
         match self.hdr().tag {
             NodeTag::N4 => {
-                self.remove_linear(&self.as_n4().keys, &self.as_n4().children, 4, b, persist)
+                let n = self.as_n4();
+                self.remove_packed(std::slice::from_ref(&n.keys), &n.children, b, persist)
             }
             NodeTag::N16 => {
-                self.remove_linear(&self.as_n16().keys, &self.as_n16().children, 16, b, persist)
+                let n = self.as_n16();
+                self.remove_packed(&n.keys, &n.children, b, persist)
             }
             NodeTag::N48 => {
                 let n = self.as_n48();
@@ -568,17 +616,17 @@ impl NodeRef {
         }
     }
 
-    fn remove_linear(
+    fn remove_packed(
         &self,
-        keys: &[AtomicU8],
+        words: &[AtomicU64],
         children: &[AtomicUsize],
-        cap: usize,
         b: u8,
         persist: &dyn Fn(*const u8, usize, bool),
     ) -> bool {
-        let count = self.hdr().count.load(Ordering::Acquire) as usize;
-        for i in 0..count.min(cap) {
-            if keys[i].load(Ordering::Acquire) == b && children[i].load(Ordering::Acquire) != 0 {
+        let count = (self.hdr().count.load(Ordering::Acquire) as usize).min(children.len());
+        let (w0, w1) = Self::load_key_words(words);
+        for i in crate::search::match_slots(w0, w1, count, b) {
+            if children[i].load(Ordering::Acquire) != 0 {
                 children[i].store(0, Ordering::Release);
                 persist(children[i].as_ptr() as *const u8, 8, true);
                 return true;
@@ -743,5 +791,40 @@ mod tests {
         assert_eq!(std::mem::offset_of!(Node16, hdr), 0);
         assert_eq!(std::mem::offset_of!(Node48, hdr), 0);
         assert_eq!(std::mem::offset_of!(Node256, hdr), 0);
+    }
+
+    #[test]
+    fn count_and_keys_share_the_first_cacheline() {
+        // The cacheline-conscious relayout: nodes are 64-byte aligned and the
+        // occupancy count + the key material a search reads all sit in line 0.
+        assert_eq!(std::mem::align_of::<Node4>(), 64);
+        assert_eq!(std::mem::align_of::<Node16>(), 64);
+        assert_eq!(std::mem::align_of::<Node48>(), 64);
+        let count_off = std::mem::offset_of!(NodeHeader, count);
+        assert!(count_off + 2 <= 64);
+        assert!(std::mem::offset_of!(Node4, keys) + 8 <= 64);
+        assert!(std::mem::offset_of!(Node16, keys) + 16 <= 64);
+        // Node48's index array starts in line 0 right after the header.
+        assert!(std::mem::offset_of!(Node48, index) < 64);
+    }
+
+    #[test]
+    fn children_are_reported_in_key_order() {
+        // Insert out of order into N4 and N16; `children()` must come back sorted.
+        for (make, n_keys) in
+            [(Node4::alloc as fn(u32, &[u8]) -> usize, 4usize), (Node16::alloc, 16)]
+        {
+            let w = make(0, b"");
+            // SAFETY: freshly allocated.
+            let n = unsafe { NodeRef::from_word(w) };
+            let bytes: Vec<u8> = (0..n_keys as u8).map(|i| 251u8.wrapping_mul(i + 1)).collect();
+            for &b in &bytes {
+                assert!(n.add_child(b, Leaf::alloc(&[b], u64::from(b)), &noop()));
+            }
+            let got: Vec<u8> = n.children().iter().map(|&(b, _)| b).collect();
+            let mut want = bytes.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "{:?} children not in key order", n.hdr().tag);
+        }
     }
 }

@@ -508,9 +508,9 @@ impl<P: PersistMode> Art<P> {
                 }
             }
         }
-        let mut children = node.children();
-        children.sort_unstable_by_key(|(b, _)| *b);
-        for (b, child) in children {
+        // `NodeRef::children` reports every node type's children in key order, so
+        // the scan needs no sort here.
+        for (b, child) in node.children() {
             let child_bounded = if !bounded {
                 false
             } else {

@@ -95,12 +95,13 @@ pub fn constraints() -> Vec<Constraint> {
             workload: "C",
             lhs: "P-HOT",
             rhs: Rhs::BestOf(ORDERED),
-            factor: 0.50,
+            factor: 0.85,
             why: "Fig 4a (read-only C): P-HOT stays competitive with the best ordered \
-                  index. The paper's HOT has the fewest cache misses; this \
-                  reproduction's stand-in uses narrower compound nodes (~5 pointer \
-                  chases vs P-ART's ~2), so 'competitive' is calibrated to within 2x \
-                  rather than the paper's near-parity",
+                  index. Frontier-aware compound widening (settled between phases \
+                  via exec_settle) turns the root into a 1024-entry compound over a \
+                  depth-10 pointer frontier, so hit lookups touch exactly 2 nodes \
+                  like P-ART's path-compressed descent and the paper's near-parity \
+                  holds; recorded ratios were 0.94-1.14x against a 0.85x bar",
         },
         Constraint {
             id: "b_clht_over_level",
@@ -336,7 +337,7 @@ mod tests {
             constraints().into_iter().filter(|c| c.id == "c_hot_competitive").collect();
         let e = &evaluate(&cells, &cs)[0];
         assert_eq!(e.rhs_name, "P-ART");
-        assert!(e.ok, "0.9 >= 0.8 * 1.0: {}", e.describe());
+        assert!(e.ok, "0.9 >= 0.85 * 1.0: {}", e.describe());
     }
 
     #[test]

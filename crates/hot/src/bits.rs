@@ -9,6 +9,11 @@
 /// Maximum number of discriminative bits per node (fanout up to 32).
 pub const MAX_BITS: u32 = 5;
 
+/// Width of a compound node's bit window: up to three stacked [`MAX_BITS`] windows
+/// resolved in one node visit. 15 keeps partial keys (and their masks) in `u16`
+/// lanes for the vectorized sparse search.
+pub const COMPOUND_BITS: u32 = 15;
+
 /// Read the single bit at absolute position `pos` of `key` (0 = MSB of byte 0).
 #[inline]
 #[must_use]
@@ -31,6 +36,24 @@ pub fn extract_bits(key: &[u8], bit_pos: u32, width: u32) -> usize {
         idx = (idx << 1) | bit_at(key, bit_pos + i) as usize;
     }
     idx
+}
+
+/// Extract up to [`COMPOUND_BITS`] consecutive bits of `key` starting at `bit_pos`,
+/// as a compound-node partial key (zero-padded past the key end). The result keeps
+/// the window MSB-first in its low `width` bits, so numeric order of extracted
+/// values equals lexicographic key order within the window.
+#[inline]
+#[must_use]
+pub fn extract_wide(key: &[u8], bit_pos: u32, width: u32) -> u16 {
+    debug_assert!(width <= COMPOUND_BITS);
+    let first = (bit_pos / 8) as usize;
+    // A 24-bit gather always covers bit_pos%8 (≤7) skipped bits plus width (≤15).
+    let mut v = 0u32;
+    for i in 0..3 {
+        v = (v << 8) | u32::from(key.get(first + i).copied().unwrap_or(0));
+    }
+    let off = bit_pos % 8;
+    ((v >> (24 - off - width)) & ((1 << width) - 1)) as u16
 }
 
 /// Position of the first bit at which `a` and `b` differ, or `None` if one key is a
@@ -92,6 +115,33 @@ mod tests {
         assert_eq!(extract_bits(&key, 0, 4), 0b1011);
         assert_eq!(extract_bits(&key, 2, 5), 0b11011);
         assert_eq!(extract_bits(&key, 6, 5), 0b10000, "tail padded with zeros");
+    }
+
+    #[test]
+    fn extract_wide_agrees_with_bit_at() {
+        let key = [0xA5u8, 0x3C, 0x81, 0xF0];
+        for bit_pos in 0..40 {
+            for width in 1..=COMPOUND_BITS {
+                let mut want = 0u16;
+                for i in 0..width {
+                    want = (want << 1) | bit_at(&key, bit_pos + i) as u16;
+                }
+                assert_eq!(extract_wide(&key, bit_pos, width), want, "pos {bit_pos} w {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_wide_agrees_with_extract_bits() {
+        let key = b"user00000000000000042";
+        for bit_pos in 0..(key.len() as u32 * 8) {
+            for width in 1..=MAX_BITS {
+                assert_eq!(
+                    usize::from(extract_wide(key, bit_pos, width)),
+                    extract_bits(key, bit_pos, width)
+                );
+            }
+        }
     }
 
     #[test]

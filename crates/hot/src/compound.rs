@@ -1,0 +1,302 @@
+//! Compound nodes: up to three stacked discriminative-bit windows in one node.
+//!
+//! A plain [`crate::trie::Node`] resolves at most [`crate::bits::MAX_BITS`] bits per
+//! pointer chase. A `Compound` covers a [`COMPOUND_BITS`]-bit window and stores a
+//! *sparse partial-key array*: each entry is a `(pkey, mask)` pair where `mask` is a
+//! prefix mask over the window and `pkey` the subtree's key bits under that mask
+//! (bits past the prefix zero). A lookup extracts the window bits once
+//! ([`crate::bits::extract_wide`]), binary-searches the build-time sorted region by
+//! 8-lane group (prefix-free intervals are disjoint and ascending, so one group
+//! holds the only possible match), and resolves the group with the vectorized
+//! masked-compare primitive ([`recipe::simd::masked_eq_mask8`]) — SSE2/NEON or SWAR,
+//! the same dispatch the ART node search uses — so two to three levels of the trie
+//! resolve in a single node visit at a handful of compared lanes.
+//!
+//! Entries are **prefix-free**: no live entry's masked prefix is a prefix of
+//! another's, so at most one live entry matches any extracted window value. Lanes of
+//! published slots are immutable (appends only ever write lanes at or past `count`,
+//! or reuse a dead slot whose lanes already equal the new entry), which keeps
+//! lock-free readers exact: a stale lane can never alias a different live entry.
+//!
+//! Publish protocols (Condition #1, one atomic store each):
+//! * append at the end: lanes and child are written first, `count` store publishes;
+//! * dead-slot reuse: the child-slot store publishes;
+//! * widening/unwidening: the whole node is built aside, flushed, and installed with
+//!   one parent-slot store (see `trie.rs`).
+
+use crate::bits::COMPOUND_BITS;
+use pm::stats::{record_probes, Mapping};
+use recipe::lock::VersionLock;
+use recipe::simd::{self, SetBits};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum entries per compound node. A 15-bit window could address 2^15 slots; the
+/// sparse array caps the footprint, and overflow falls back to plain nodes. The cap
+/// is sized so the *root* of a large tree can widen into pointer entries two
+/// plain-node layers deep (32 x 32 slots), which is what takes hit lookups from
+/// three node visits to two.
+pub const COMPOUND_CAP: usize = 1024;
+/// `u64` words backing the `u16` lanes (4 lanes per word).
+const LANE_WORDS: usize = COMPOUND_CAP / 4;
+/// Prefix mask covering the full window: a leaf entry stored at full depth.
+pub const FULL_MASK: u16 = ((1u32 << COMPOUND_BITS) - 1) as u16;
+
+/// Prefix mask for the first `depth` bits of the window (`1..=COMPOUND_BITS`).
+#[inline]
+#[must_use]
+pub fn prefix_mask(depth: u32) -> u16 {
+    debug_assert!((1..=COMPOUND_BITS).contains(&depth));
+    (((1u32 << depth) - 1) << (COMPOUND_BITS - depth)) as u16
+}
+
+/// One gathered entry: `(pkey, mask, tagged child word)`.
+pub type Entry = (u16, u16, usize);
+
+/// A compound node. See the module docs for the layout and publish protocols.
+pub struct Compound {
+    /// First bit of the window (absolute position in the key).
+    pub bit_pos: u32,
+    /// Set (under the parent's and this node's locks) once the node has been
+    /// replaced by a rebuild; writers must re-descend.
+    pub obsolete: AtomicBool,
+    /// Writer lock.
+    pub lock: VersionLock,
+    /// Number of published slots; the append publish store.
+    pub count: AtomicU32,
+    /// Slots `[0, sorted)` were published pkey-ascending at build time; later
+    /// appends land past it in arrival order. Immutable after [`Compound::alloc`],
+    /// so lookups binary-search the sorted region by lane group and only scan the
+    /// appended tail linearly.
+    pub sorted: u32,
+    /// Partial keys, 4 `u16` lanes per word (slot `i` = lane `i % 4` of word `i / 4`).
+    pub pkeys: [AtomicU64; LANE_WORDS],
+    /// Prefix masks, packed like `pkeys`.
+    pub masks: [AtomicU64; LANE_WORDS],
+    /// Tagged child words (leaf / node / compound), 0 = dead or unpublished.
+    pub children: [AtomicUsize; COMPOUND_CAP],
+}
+
+impl Compound {
+    /// Allocate a compound privately from prefix-free, pkey-sorted `entries`.
+    /// The caller persists and publishes it.
+    pub fn alloc(bit_pos: u32, entries: &[Entry]) -> *mut Compound {
+        debug_assert!(entries.len() <= COMPOUND_CAP);
+        debug_assert!(entries.windows(2).all(|p| p[0].0 < p[1].0), "entries must be sorted");
+        #[cfg(debug_assertions)]
+        for (i, a) in entries.iter().enumerate() {
+            for b in &entries[i + 1..] {
+                let common = a.1 & b.1;
+                debug_assert_ne!(a.0 & common, b.0 & common, "entries must be prefix-free");
+            }
+        }
+        let c = pm::alloc::pm_box(Compound {
+            bit_pos,
+            obsolete: AtomicBool::new(false),
+            lock: VersionLock::new(),
+            count: AtomicU32::new(entries.len() as u32),
+            sorted: entries.len() as u32,
+            pkeys: std::array::from_fn(|_| AtomicU64::new(0)),
+            masks: std::array::from_fn(|_| AtomicU64::new(0)),
+            children: std::array::from_fn(|_| AtomicUsize::new(0)),
+        });
+        // SAFETY: freshly allocated, uniquely owned until published.
+        let node = unsafe { &*c };
+        for (i, &(pkey, mask, child)) in entries.iter().enumerate() {
+            node.set_lanes(i, pkey, mask);
+            node.children[i].store(child, Ordering::Relaxed);
+        }
+        c
+    }
+
+    /// Partial key stored at `slot`.
+    #[inline]
+    pub fn pkey_at(&self, slot: usize) -> u16 {
+        simd::get_lane16(self.pkeys[slot / 4].load(Ordering::Relaxed), slot % 4)
+    }
+
+    /// Prefix mask stored at `slot`.
+    #[inline]
+    pub fn mask_at(&self, slot: usize) -> u16 {
+        simd::get_lane16(self.masks[slot / 4].load(Ordering::Relaxed), slot % 4)
+    }
+
+    /// Write the lanes of `slot`. Only legal for unpublished slots (`slot >=
+    /// count`, under the node lock): published lanes are immutable.
+    pub fn set_lanes(&self, slot: usize, pkey: u16, mask: u16) {
+        let (w, l) = (slot / 4, slot % 4);
+        let p = self.pkeys[w].load(Ordering::Relaxed);
+        self.pkeys[w].store(simd::set_lane16(p, l, pkey), Ordering::Release);
+        let m = self.masks[w].load(Ordering::Relaxed);
+        self.masks[w].store(simd::set_lane16(m, l, mask), Ordering::Release);
+    }
+
+    /// Find the live entry matching window value `ext`: `(slot, child, depth)` where
+    /// `depth` is the number of window bits the entry resolves. Records one probe
+    /// per lane actually examined (binary-search steps + compared lanes) under
+    /// [`Mapping::HotCompound`].
+    pub fn find_child(&self, ext: u16) -> Option<(usize, usize, u32)> {
+        let count = (self.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+        let sorted = (self.sorted as usize).min(count);
+        let mut probes = 0u64;
+        let mut hit = None;
+        if sorted > 0 {
+            // Prefix-free entries cover disjoint ascending `[pkey, pkey | !mask]`
+            // intervals, so only the last build-time entry with `pkey <= ext` can
+            // match. Binary-search for its 8-lane group, then run the vectorized
+            // masked compare on that one group instead of every published lane.
+            let groups = sorted.div_ceil(8);
+            let (mut lo, mut hi) = (0usize, groups);
+            while lo + 1 < hi {
+                let mid = lo.midpoint(hi);
+                probes += 1;
+                if self.pkey_at(mid * 8) <= ext {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            hit = self.scan_range(lo * 8, sorted.min(lo * 8 + 8), ext, &mut probes);
+        }
+        // Appends after the build are unordered: scan the (short) tail linearly.
+        let hit = hit.or_else(|| self.scan_range(sorted, count, ext, &mut probes));
+        record_probes(Mapping::HotCompound, probes);
+        hit
+    }
+
+    /// Vectorized masked compare over slots `[from, to)` (need not be
+    /// group-aligned); returns the first live match and counts compared lanes
+    /// into `probes`.
+    fn scan_range(
+        &self,
+        from: usize,
+        to: usize,
+        ext: u16,
+        probes: &mut u64,
+    ) -> Option<(usize, usize, u32)> {
+        let mut base = from & !7;
+        while base < to {
+            let w = base / 4;
+            let p0 = self.pkeys[w].load(Ordering::Relaxed);
+            let m0 = self.masks[w].load(Ordering::Relaxed);
+            let (p1, m1) = if w + 1 < LANE_WORDS {
+                (
+                    self.pkeys[w + 1].load(Ordering::Relaxed),
+                    self.masks[w + 1].load(Ordering::Relaxed),
+                )
+            } else {
+                (0, 0)
+            };
+            let lanes = (to - base).min(8);
+            let mut mm = simd::masked_eq_mask8(p0, p1, m0, m1, ext) & ((1u32 << lanes) - 1);
+            if base < from {
+                mm &= !((1u32 << (from - base)) - 1);
+            }
+            *probes += (lanes - from.saturating_sub(base)) as u64;
+            for lane in SetBits(mm) {
+                let slot = base + lane;
+                let child = self.children[slot].load(Ordering::Acquire);
+                if child != 0 {
+                    return Some((slot, child, u32::from(self.mask_at(slot)).count_ones()));
+                }
+            }
+            base += 8;
+        }
+        None
+    }
+
+    /// All live entries, sorted by partial key (ascending = key order).
+    pub fn live_entries(&self) -> Vec<Entry> {
+        let count = (self.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+        let mut out = Vec::with_capacity(count);
+        for slot in 0..count {
+            let child = self.children[slot].load(Ordering::Acquire);
+            if child != 0 {
+                out.push((self.pkey_at(slot), self.mask_at(slot), child));
+            }
+        }
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+
+    /// Child of the live entry with the smallest partial key, if any.
+    pub fn min_child(&self) -> Option<usize> {
+        self.min_child_after(None).map(|(_, c)| c)
+    }
+
+    /// Live entry with the smallest partial key strictly greater than `after`
+    /// (`None` = no lower bound), without allocating. Callers that must skip
+    /// empty subtrees walk the entries in key order by advancing the bound.
+    pub fn min_child_after(&self, after: Option<u16>) -> Option<(u16, usize)> {
+        let count = (self.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+        let mut best: Option<(u16, usize)> = None;
+        for slot in 0..count {
+            let child = self.children[slot].load(Ordering::Acquire);
+            if child != 0 {
+                let pkey = self.pkey_at(slot);
+                if after.is_none_or(|a| pkey > a) && best.is_none_or(|(b, _)| pkey < b) {
+                    best = Some((pkey, child));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_masks_are_left_aligned() {
+        assert_eq!(prefix_mask(1), 0b100_0000_0000_0000);
+        assert_eq!(prefix_mask(5), 0b111_1100_0000_0000);
+        assert_eq!(prefix_mask(COMPOUND_BITS), FULL_MASK);
+    }
+
+    #[test]
+    fn find_child_matches_masked_prefixes_only() {
+        // Pointer entry covering prefix 0b10100 (depth 5) and two full-depth leaves.
+        let entries: Vec<Entry> = vec![
+            (0b00001_00000_00000, FULL_MASK, 0x11),
+            (0b10100_00000_00000, prefix_mask(5), 0x20),
+            (0b11111_11111_11111, FULL_MASK, 0x31),
+        ];
+        // SAFETY: never freed, test-local.
+        let c = unsafe { &*Compound::alloc(0, &entries) };
+        assert_eq!(c.find_child(0b00001_00000_00000), Some((0, 0x11, COMPOUND_BITS)));
+        // Anything under the 0b10100 prefix resolves 5 bits to the pointer entry.
+        assert_eq!(c.find_child(0b10100_01010_11011), Some((1, 0x20, 5)));
+        assert_eq!(c.find_child(0b10100_11111_11111), Some((1, 0x20, 5)));
+        assert_eq!(c.find_child(0b10101_00000_00000), None);
+        assert_eq!(c.find_child(0b11111_11111_11110), None);
+    }
+
+    #[test]
+    fn dead_slots_are_skipped_and_min_child_tracks_live_entries() {
+        let entries: Vec<Entry> =
+            vec![(10, FULL_MASK, 0x11), (20, FULL_MASK, 0x21), (30, FULL_MASK, 0x31)];
+        // SAFETY: never freed, test-local.
+        let c = unsafe { &*Compound::alloc(7, &entries) };
+        assert_eq!(c.min_child(), Some(0x11));
+        c.children[0].store(0, Ordering::Release); // remove the smallest entry
+        assert_eq!(c.find_child(10), None);
+        assert_eq!(c.min_child(), Some(0x21));
+        assert_eq!(c.live_entries(), vec![(20, FULL_MASK, 0x21), (30, FULL_MASK, 0x31)]);
+    }
+
+    #[test]
+    fn search_spans_multiple_lane_words() {
+        // 100 entries exercises 13 word pairs and the ragged last group.
+        let entries: Vec<Entry> =
+            (0..100u16).map(|i| (i * 17, FULL_MASK, (usize::from(i) << 3) | 1)).collect();
+        // SAFETY: never freed, test-local.
+        let c = unsafe { &*Compound::alloc(0, &entries) };
+        for i in 0..100u16 {
+            assert_eq!(
+                c.find_child(i * 17),
+                Some((usize::from(i), (usize::from(i) << 3) | 1, COMPOUND_BITS))
+            );
+        }
+        assert_eq!(c.find_child(5), None);
+    }
+}

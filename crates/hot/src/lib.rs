@@ -17,13 +17,17 @@
 //! several physical layouts. This reproduction keeps the properties RECIPE relies on —
 //! bit-level discrimination with path skipping (low height), no key material in inner
 //! nodes, copy-on-write subtree construction committed by one atomic pointer swap,
-//! non-blocking readers — but uses a single 32-way node layout. The substitution is
-//! recorded in `DESIGN.md`.
+//! non-blocking readers — and since the speed pass it also widens hot subtrees into
+//! SIMD-searched compound nodes ([`compound`]) stacking up to three discriminative-bit
+//! windows, resolved in one node visit via the same vectorized primitive the ART
+//! nodes use. The remaining substitution (two physical layouts instead of HOT's
+//! several) is recorded in `DESIGN.md`.
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod compound;
 pub mod trie;
 
 pub use trie::Hot;
@@ -37,6 +41,11 @@ pub const CRASH_SITES: &[&str] = &[
     "hot.branch.built",
     "hot.branch.committed",
     "hot.remove.committed",
+    // Compound-node widening (and the inverse plain-node rebuild on overflow):
+    // built aside, flushed, then published with one parent-slot store.
+    "hot.widen.built",
+    "hot.widen.flushed",
+    "hot.widen.committed",
 ];
 
 use recipe::index::Recoverable;
@@ -79,6 +88,10 @@ impl<P: PersistMode> Index for Hot<P> {
 
     fn exec_scan_chunk(&self, start: &[u8], max: usize, out: &mut Vec<(Vec<u8>, u64)>) {
         Hot::scan_into(self, start, max, out);
+    }
+
+    fn exec_settle(&self) {
+        self.widen_all();
     }
 
     fn capabilities(&self) -> Capabilities {

@@ -21,11 +21,129 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static CLWB: AtomicU64 = AtomicU64::new(0);
 static FENCE: AtomicU64 = AtomicU64::new(0);
 static NODE_VISITS: AtomicU64 = AtomicU64::new(0);
+static PROBES: [AtomicU64; Mapping::COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
 
 thread_local! {
     static TL_CLWB: Cell<u64> = const { Cell::new(0) };
     static TL_FENCE: Cell<u64> = const { Cell::new(0) };
     static TL_NODE_VISITS: Cell<u64> = const { Cell::new(0) };
+    static TL_PROBES: Cell<[u64; Mapping::COUNT]> = const { Cell::new([0; Mapping::COUNT]) };
+}
+
+/// The intra-node key-search *mappings* the tries use, for per-mapping probe
+/// accounting.
+///
+/// A **probe** is one candidate key slot examined during an intra-node search —
+/// the work the vectorized search paths do in bulk. The count is defined by the
+/// node's occupancy, not by the dispatch path, so SWAR, SIMD and scalar runs of
+/// the same workload report identical probe counts (this is what makes the
+/// counter usable as deterministic evidence on a 1-core host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// ART Node4: linear keyed mapping, up to 4 slots probed.
+    ArtN4 = 0,
+    /// ART Node16: linear keyed mapping, up to 16 slots probed.
+    ArtN16 = 1,
+    /// ART Node48: indirect index array, exactly 1 probe.
+    ArtN48 = 2,
+    /// ART Node256: direct array, exactly 1 probe.
+    ArtN256 = 3,
+    /// HOT plain node: direct bit-window index, exactly 1 probe.
+    HotNode = 4,
+    /// HOT compound node: sparse partial-key array, occupancy slots probed.
+    HotCompound = 5,
+}
+
+impl Mapping {
+    /// Number of distinct mappings.
+    pub const COUNT: usize = 6;
+
+    /// Every mapping, in counter order.
+    pub const ALL: [Mapping; Mapping::COUNT] = [
+        Mapping::ArtN4,
+        Mapping::ArtN16,
+        Mapping::ArtN48,
+        Mapping::ArtN256,
+        Mapping::HotNode,
+        Mapping::HotCompound,
+    ];
+
+    /// Short stable label for reports/CSV.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mapping::ArtN4 => "art_n4",
+            Mapping::ArtN16 => "art_n16",
+            Mapping::ArtN48 => "art_n48",
+            Mapping::ArtN256 => "art_n256",
+            Mapping::HotNode => "hot_node",
+            Mapping::HotCompound => "hot_compound",
+        }
+    }
+}
+
+/// A snapshot of the per-mapping probe counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Probes per mapping, indexed by `Mapping as usize`.
+    pub per_mapping: [u64; Mapping::COUNT],
+}
+
+impl ProbeStats {
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(&self, earlier: &ProbeStats) -> ProbeStats {
+        let mut out = ProbeStats::default();
+        for (i, o) in out.per_mapping.iter_mut().enumerate() {
+            *o = self.per_mapping[i].saturating_sub(earlier.per_mapping[i]);
+        }
+        out
+    }
+
+    /// Probes recorded for one mapping.
+    #[must_use]
+    pub fn get(&self, m: Mapping) -> u64 {
+        self.per_mapping[m as usize]
+    }
+
+    /// Total probes across all mappings.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per_mapping.iter().sum()
+    }
+}
+
+/// Record `n` key-slot probes for mapping `m`.
+#[inline]
+pub fn record_probes(m: Mapping, n: u64) {
+    PROBES[m as usize].fetch_add(n, Ordering::Relaxed);
+    TL_PROBES.with(|c| {
+        let mut a = c.get();
+        a[m as usize] += n;
+        c.set(a);
+    });
+}
+
+/// Take a snapshot of the global per-mapping probe counters.
+pub fn probes() -> ProbeStats {
+    let mut out = ProbeStats::default();
+    for (i, o) in out.per_mapping.iter_mut().enumerate() {
+        *o = PROBES[i].load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Take a snapshot of the calling thread's probe counters only (see
+/// [`snapshot_local`] for why tests should prefer this).
+pub fn probes_local() -> ProbeStats {
+    ProbeStats { per_mapping: TL_PROBES.with(Cell::get) }
 }
 
 /// A snapshot of the global counters.
@@ -101,6 +219,9 @@ pub fn reset() {
     CLWB.store(0, Ordering::Relaxed);
     FENCE.store(0, Ordering::Relaxed);
     NODE_VISITS.store(0, Ordering::Relaxed);
+    for p in &PROBES {
+        p.store(0, Ordering::Relaxed);
+    }
 }
 
 #[inline]
@@ -175,6 +296,33 @@ mod tests {
         let b = Stats { clwb: 5, fence: 5, node_visits: 5 };
         let d = a.since(&b);
         assert_eq!(d, Stats::default());
+    }
+
+    #[test]
+    fn probe_counters_are_per_mapping() {
+        let before = probes_local();
+        let global_before = probes();
+        record_probes(Mapping::ArtN16, 16);
+        record_probes(Mapping::ArtN16, 4);
+        record_probes(Mapping::HotCompound, 9);
+        let d = probes_local().since(&before);
+        assert_eq!(d.get(Mapping::ArtN16), 20);
+        assert_eq!(d.get(Mapping::HotCompound), 9);
+        assert_eq!(d.get(Mapping::ArtN4), 0);
+        assert_eq!(d.total(), 29);
+        let g = probes().since(&global_before);
+        assert!(g.get(Mapping::ArtN16) >= 20 && g.get(Mapping::HotCompound) >= 9);
+        // Labels are stable and unique.
+        let labels: std::collections::BTreeSet<_> =
+            Mapping::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), Mapping::COUNT);
+    }
+
+    #[test]
+    fn probe_local_snapshot_ignores_other_threads() {
+        let before = probes_local();
+        std::thread::spawn(|| record_probes(Mapping::ArtN4, 5)).join().unwrap();
+        assert_eq!(probes_local().since(&before), ProbeStats::default());
     }
 
     #[test]

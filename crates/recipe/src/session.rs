@@ -210,6 +210,14 @@ pub trait Index: Send + Sync {
         let _ = (start, max, out);
     }
 
+    /// One-shot structural maintenance after a bulk load: indexes that reshape
+    /// themselves opportunistically during inserts (e.g. P-HOT's compound-node
+    /// widening) finish the job here, so read-phase measurements see the settled
+    /// structure instead of whatever the load's sampling left behind. Must be
+    /// safe to call at any time, including concurrently with operations. The
+    /// default does nothing.
+    fn exec_settle(&self) {}
+
     /// What this index supports; see [`Capabilities`].
     fn capabilities(&self) -> Capabilities;
 

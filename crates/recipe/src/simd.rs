@@ -1,0 +1,508 @@
+//! Vectorized intra-node key search primitives shared by the trie crates.
+//!
+//! The paper's fast tries (ART, HOT) spend most of a lookup *inside* nodes, comparing
+//! a search byte (or partial key) against a small key array. The original C++
+//! implementations use SSE2 `_mm_cmpeq_epi8` + `movemask` for this; the DRAM→PM
+//! conversion does not change it, so a faithful speed profile needs the same shape.
+//!
+//! This module provides branch-free equality masks over key material packed into
+//! `u64` words. Callers load each word with **one** atomic load (the words live in
+//! `AtomicU64` fields inside nodes), then hand the plain values here — so the
+//! concurrency story stays entirely in the caller and everything below is pure
+//! arithmetic on owned integers, with no aliasing or data-race concerns.
+//!
+//! Three implementations of each primitive exist:
+//!
+//! | path     | mechanism                                   | when used                      |
+//! |----------|---------------------------------------------|--------------------------------|
+//! | `simd`   | SSE2 (`_mm_cmpeq_epi8`/`epi16` + movemask) on x86-64, NEON (`vceqq` + `shrn`) on aarch64 | default on those arches |
+//! | `swar`   | portable 64-bit SWAR zero-byte/zero-lane detect | fallback, and when forced   |
+//! | `scalar` | per-lane loop                               | reference for differential tests |
+//!
+//! Dispatch is resolved **once** per process by [`kind`]: the `simd` cargo feature
+//! (default-on) gates compilation of the `std::arch` paths, and setting
+//! `RECIPE_NO_SIMD=1` in the environment forces the SWAR path at runtime even when
+//! they are compiled in. All three paths return bit-identical masks — asserted by
+//! unit tests here and by the differential proptest in `art::search`.
+
+use std::sync::OnceLock;
+
+/// Which search implementation [`eq_mask16`] and [`masked_eq_mask8`] dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchKind {
+    /// `std::arch` intrinsics (SSE2 on x86-64, NEON on aarch64).
+    Simd,
+    /// Portable SWAR on 64-bit words.
+    Swar,
+}
+
+static KIND: OnceLock<SearchKind> = OnceLock::new();
+
+/// The search implementation in effect for this process.
+///
+/// Resolved once: `Swar` if the `simd` cargo feature is off, if `RECIPE_NO_SIMD=1`
+/// is set in the environment, or if the target has no vectorized path; `Simd`
+/// otherwise. SSE2 is part of the x86-64 baseline and NEON of the aarch64 baseline,
+/// so no finer-grained CPU feature detection is needed.
+pub fn kind() -> SearchKind {
+    *KIND.get_or_init(|| {
+        if !cfg!(feature = "simd") {
+            return SearchKind::Swar;
+        }
+        if std::env::var("RECIPE_NO_SIMD").ok().as_deref() == Some("1") {
+            return SearchKind::Swar;
+        }
+        if cfg!(any(target_arch = "x86_64", target_arch = "aarch64")) {
+            SearchKind::Simd
+        } else {
+            SearchKind::Swar
+        }
+    })
+}
+
+/// Human-readable label of the active search path (for bench/report output).
+#[must_use]
+pub fn kind_label() -> &'static str {
+    match kind() {
+        SearchKind::Simd if cfg!(target_arch = "x86_64") => "sse2",
+        SearchKind::Simd if cfg!(target_arch = "aarch64") => "neon",
+        SearchKind::Simd => "simd",
+        SearchKind::Swar => "swar",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane accessors: key material is packed little-endian into u64 words, byte
+// lane `i` of a word pair = bits `8*(i%8) ..` of word `i/8` (same order SSE2's
+// movemask reports), u16 lane `i` = bits `16*(i%4) ..` of word `i/4`.
+// ---------------------------------------------------------------------------
+
+/// Read byte lane `lane` (0..8) of `w`.
+#[inline]
+#[must_use]
+pub fn get_lane8(w: u64, lane: usize) -> u8 {
+    debug_assert!(lane < 8);
+    (w >> (8 * lane)) as u8
+}
+
+/// Return `w` with byte lane `lane` (0..8) replaced by `v`.
+#[inline]
+#[must_use]
+pub fn set_lane8(w: u64, lane: usize, v: u8) -> u64 {
+    debug_assert!(lane < 8);
+    let sh = 8 * lane;
+    (w & !(0xFFu64 << sh)) | (u64::from(v) << sh)
+}
+
+/// Read 16-bit lane `lane` (0..4) of `w`.
+#[inline]
+#[must_use]
+pub fn get_lane16(w: u64, lane: usize) -> u16 {
+    debug_assert!(lane < 4);
+    (w >> (16 * lane)) as u16
+}
+
+/// Return `w` with 16-bit lane `lane` (0..4) replaced by `v`.
+#[inline]
+#[must_use]
+pub fn set_lane16(w: u64, lane: usize, v: u16) -> u64 {
+    debug_assert!(lane < 4);
+    let sh = 16 * lane;
+    (w & !(0xFFFFu64 << sh)) | (u64::from(v) << sh)
+}
+
+/// Iterator over the indexes of the set bits of a mask, ascending.
+///
+/// This is how callers walk a match mask: `for slot in SetBits(mask) { ... }`.
+#[derive(Debug, Clone)]
+pub struct SetBits(pub u32);
+
+impl Iterator for SetBits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 16-lane byte equality: which of the 16 byte lanes of (w0, w1) equal `needle`?
+// ---------------------------------------------------------------------------
+
+/// Bitmask (bit `i` = lane `i`) of the 16 byte lanes of `(w0, w1)` equal to `needle`.
+///
+/// Dispatched per [`kind`]; all paths are bit-identical.
+#[inline]
+#[must_use]
+pub fn eq_mask16(w0: u64, w1: u64, needle: u8) -> u32 {
+    match kind() {
+        SearchKind::Simd => eq_mask16_simd(w0, w1, needle),
+        SearchKind::Swar => eq_mask16_swar(w0, w1, needle),
+    }
+}
+
+/// Scalar reference implementation of [`eq_mask16`] (per-lane loop).
+#[must_use]
+pub fn eq_mask16_scalar(w0: u64, w1: u64, needle: u8) -> u32 {
+    let mut m = 0u32;
+    for i in 0..16 {
+        let b = if i < 8 { get_lane8(w0, i) } else { get_lane8(w1, i - 8) };
+        if b == needle {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+/// SWAR implementation of [`eq_mask16`]: broadcast-XOR then zero-byte detect.
+#[inline]
+#[must_use]
+pub fn eq_mask16_swar(w0: u64, w1: u64, needle: u8) -> u32 {
+    let lo = u32::from(swar_eq_bytes(w0, needle));
+    let hi = u32::from(swar_eq_bytes(w1, needle));
+    lo | (hi << 8)
+}
+
+/// Zero-byte-detect SWAR: bitmask of the 8 byte lanes of `w` equal to `needle`.
+#[inline]
+fn swar_eq_bytes(w: u64, needle: u8) -> u16 {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let x = w ^ (LO.wrapping_mul(u64::from(needle)));
+    // Exact per-lane zero detect: `(x | HI) - LO` cannot borrow across lanes, and
+    // its lane MSB is clear only when the lane of `x` is zero (and x's own MSB is
+    // clear). The naive `(x - LO) & !x & HI` is wrong here: a zero lane borrows
+    // into its neighbour and flags non-zero lanes.
+    let z = !(x | ((x | HI).wrapping_sub(LO))) & HI;
+    compress_msb8(z)
+}
+
+/// Gather the per-byte MSB flags of `z` (bits 7, 15, ..., 63) into bits 0..8.
+#[inline]
+fn compress_msb8(z: u64) -> u16 {
+    let mut m = 0u16;
+    for i in 0..8 {
+        m |= (((z >> (8 * i + 7)) & 1) as u16) << i;
+    }
+    m
+}
+
+/// `std::arch` implementation of [`eq_mask16`]; compiles to the SWAR path when no
+/// vectorized target path is built in (so dispatch code exists on every target).
+#[inline]
+#[must_use]
+#[allow(unreachable_code)]
+pub fn eq_mask16_simd(w0: u64, w1: u64, needle: u8) -> u32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        return x86::eq_mask16(w0, w1, needle);
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        return neon::eq_mask16(w0, w1, needle);
+    }
+    eq_mask16_swar(w0, w1, needle)
+}
+
+// ---------------------------------------------------------------------------
+// 8-lane masked u16 equality: which lanes satisfy (ext & mask_i) == pkey_i?
+// HOT's compound nodes store sparse partial keys (pkey) with per-entry prefix
+// masks; a lookup extracts `ext` once and matches all entries at once.
+// ---------------------------------------------------------------------------
+
+/// Bitmask (bit `i` = lane `i`) of the 8 u16 lanes where `(ext & mask) == pkey`,
+/// with lanes 0..4 from `(p0, m0)` and lanes 4..8 from `(p1, m1)`.
+#[inline]
+#[must_use]
+pub fn masked_eq_mask8(p0: u64, p1: u64, m0: u64, m1: u64, ext: u16) -> u32 {
+    match kind() {
+        SearchKind::Simd => masked_eq_mask8_simd(p0, p1, m0, m1, ext),
+        SearchKind::Swar => masked_eq_mask8_swar(p0, p1, m0, m1, ext),
+    }
+}
+
+/// Scalar reference implementation of [`masked_eq_mask8`] (per-lane loop).
+#[must_use]
+pub fn masked_eq_mask8_scalar(p0: u64, p1: u64, m0: u64, m1: u64, ext: u16) -> u32 {
+    let mut out = 0u32;
+    for i in 0..8 {
+        let (p, m) = if i < 4 {
+            (get_lane16(p0, i), get_lane16(m0, i))
+        } else {
+            (get_lane16(p1, i - 4), get_lane16(m1, i - 4))
+        };
+        if (ext & m) == p {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// SWAR implementation of [`masked_eq_mask8`]: broadcast, mask, XOR, zero-lane detect.
+#[inline]
+#[must_use]
+pub fn masked_eq_mask8_swar(p0: u64, p1: u64, m0: u64, m1: u64, ext: u16) -> u32 {
+    let lo = u32::from(swar_masked_eq_lanes(p0, m0, ext));
+    let hi = u32::from(swar_masked_eq_lanes(p1, m1, ext));
+    lo | (hi << 4)
+}
+
+/// Zero-lane-detect SWAR over four 16-bit lanes: bit `i` set iff
+/// `(ext & mask_lane_i) == pkey_lane_i`.
+#[inline]
+fn swar_masked_eq_lanes(p: u64, mask: u64, ext: u16) -> u8 {
+    const LO16: u64 = 0x0001_0001_0001_0001;
+    const HI16: u64 = 0x8000_8000_8000_8000;
+    let e4 = LO16.wrapping_mul(u64::from(ext));
+    let x = (e4 & mask) ^ p;
+    // Borrow-free per-lane zero detect; see `swar_eq_bytes`.
+    let z = !(x | ((x | HI16).wrapping_sub(LO16))) & HI16;
+    let mut m = 0u8;
+    for i in 0..4 {
+        m |= (((z >> (16 * i + 15)) & 1) as u8) << i;
+    }
+    m
+}
+
+/// `std::arch` implementation of [`masked_eq_mask8`]; falls back to SWAR when no
+/// vectorized target path is built in.
+#[inline]
+#[must_use]
+#[allow(unreachable_code)]
+pub fn masked_eq_mask8_simd(p0: u64, p1: u64, m0: u64, m1: u64, ext: u16) -> u32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        return x86::masked_eq_mask8(p0, p1, m0, m1, ext);
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        return neon::masked_eq_mask8(p0, p1, m0, m1, ext);
+    }
+    masked_eq_mask8_swar(p0, p1, m0, m1, ext)
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use std::arch::x86_64::{
+        _mm_and_si128, _mm_cmpeq_epi16, _mm_cmpeq_epi8, _mm_movemask_epi8, _mm_set1_epi16,
+        _mm_set1_epi8, _mm_set_epi64x,
+    };
+
+    #[inline]
+    pub(super) fn eq_mask16(w0: u64, w1: u64, needle: u8) -> u32 {
+        // SAFETY: SSE2 is unconditionally available on x86_64 (part of the ABI
+        // baseline); the intrinsics operate only on register values.
+        unsafe {
+            let v = _mm_set_epi64x(w1 as i64, w0 as i64);
+            let n = _mm_set1_epi8(needle as i8);
+            (_mm_movemask_epi8(_mm_cmpeq_epi8(v, n)) as u32) & 0xFFFF
+        }
+    }
+
+    #[inline]
+    pub(super) fn masked_eq_mask8(p0: u64, p1: u64, m0: u64, m1: u64, ext: u16) -> u32 {
+        // SAFETY: SSE2 is unconditionally available on x86_64; register-only ops.
+        unsafe {
+            let p = _mm_set_epi64x(p1 as i64, p0 as i64);
+            let m = _mm_set_epi64x(m1 as i64, m0 as i64);
+            let e = _mm_set1_epi16(ext as i16);
+            let eq = _mm_cmpeq_epi16(_mm_and_si128(e, m), p);
+            // movemask yields 2 bits per u16 lane (both set on equality); keep the
+            // even bit of each pair and compact to one bit per lane.
+            let bm = _mm_movemask_epi8(eq) as u32;
+            let pairs = bm & (bm >> 1) & 0x5555;
+            compact_even8(pairs)
+        }
+    }
+
+    /// Gather bits 0,2,4,...,14 of `pairs` into bits 0..8.
+    #[inline]
+    fn compact_even8(pairs: u32) -> u32 {
+        let mut out = 0u32;
+        for i in 0..8 {
+            out |= ((pairs >> (2 * i)) & 1) << i;
+        }
+        out
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod neon {
+    use std::arch::aarch64::{
+        uint8x16_t, vceqq_u16, vceqq_u8, vcombine_u16, vcombine_u8, vcreate_u16, vcreate_u8,
+        vdupq_n_u16, vdupq_n_u8, vget_lane_u64, vreinterpret_u64_u8, vreinterpretq_u16_u8,
+        vreinterpretq_u8_u16, vshrn_n_u16,
+    };
+
+    /// NEON "movemask": 4-bit nibble per byte lane (0x0 or 0xF), packed into a u64
+    /// via the narrowing-shift trick, then compacted to one bit per lane.
+    #[inline]
+    fn bytemask16(eq: uint8x16_t) -> u32 {
+        // SAFETY: NEON is unconditionally available on aarch64; register-only ops.
+        let nib = unsafe {
+            let n = vshrn_n_u16::<4>(vreinterpretq_u16_u8(eq));
+            vget_lane_u64::<0>(vreinterpret_u64_u8(n))
+        };
+        let mut out = 0u32;
+        for i in 0..16 {
+            out |= (((nib >> (4 * i)) & 1) as u32) << i;
+        }
+        out
+    }
+
+    #[inline]
+    pub(super) fn eq_mask16(w0: u64, w1: u64, needle: u8) -> u32 {
+        // SAFETY: NEON is unconditionally available on aarch64; register-only ops.
+        let eq = unsafe {
+            let v = vcombine_u8(vreinterpret_u64_u8_inv(w0), vreinterpret_u64_u8_inv(w1));
+            vceqq_u8(v, vdupq_n_u8(needle))
+        };
+        bytemask16(eq)
+    }
+
+    /// `vcreate_u8` spelled as a helper so both call sites read the same way.
+    #[inline]
+    fn vreinterpret_u64_u8_inv(w: u64) -> std::arch::aarch64::uint8x8_t {
+        // SAFETY: register-only reinterpretation of a u64 as 8 byte lanes.
+        unsafe { vcreate_u8(w) }
+    }
+
+    #[inline]
+    pub(super) fn masked_eq_mask8(p0: u64, p1: u64, m0: u64, m1: u64, ext: u16) -> u32 {
+        // SAFETY: NEON is unconditionally available on aarch64; register-only ops.
+        let bm = unsafe {
+            let p = vcombine_u16(vcreate_u16(p0), vcreate_u16(p1));
+            let m = vcombine_u16(vcreate_u16(m0), vcreate_u16(m1));
+            let e = vdupq_n_u16(ext);
+            let masked = std::arch::aarch64::vandq_u16(e, m);
+            let eq = vceqq_u16(masked, p);
+            bytemask16(vreinterpretq_u8_u16(eq))
+        };
+        // Each u16 lane produced two identical byte-mask bits; keep one per lane.
+        let pairs = bm & (bm >> 1) & 0x5555;
+        let mut out = 0u32;
+        for i in 0..8 {
+            out |= ((pairs >> (2 * i)) & 1) << i;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 64-bit mixer (splitmix64) so tests need no RNG dependency.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn lane_accessors_roundtrip() {
+        let mut w = 0u64;
+        for i in 0..8 {
+            w = set_lane8(w, i, (i as u8) * 17);
+        }
+        for i in 0..8 {
+            assert_eq!(get_lane8(w, i), (i as u8) * 17);
+        }
+        let mut w = 0u64;
+        for i in 0..4 {
+            w = set_lane16(w, i, (i as u16) * 1000 + 7);
+        }
+        for i in 0..4 {
+            assert_eq!(get_lane16(w, i), (i as u16) * 1000 + 7);
+        }
+    }
+
+    #[test]
+    fn set_bits_iterates_ascending() {
+        assert_eq!(SetBits(0).collect::<Vec<_>>(), Vec::<usize>::new());
+        assert_eq!(SetBits(0b1011_0001).collect::<Vec<_>>(), vec![0, 4, 5, 7]);
+        assert_eq!(SetBits(1 << 31).collect::<Vec<_>>(), vec![31]);
+    }
+
+    #[test]
+    fn eq_mask16_paths_agree() {
+        let mut s = 42u64;
+        for _ in 0..2000 {
+            let w0 = mix(&mut s);
+            let w1 = mix(&mut s);
+            // Pick needles that sometimes hit: either random or a lane of w0/w1.
+            let pick = mix(&mut s);
+            let needle = match pick % 3 {
+                0 => pick as u8,
+                1 => get_lane8(w0, (pick >> 8) as usize % 8),
+                _ => get_lane8(w1, (pick >> 8) as usize % 8),
+            };
+            let scalar = eq_mask16_scalar(w0, w1, needle);
+            assert_eq!(eq_mask16_swar(w0, w1, needle), scalar);
+            assert_eq!(eq_mask16_simd(w0, w1, needle), scalar);
+            assert_eq!(eq_mask16(w0, w1, needle), scalar);
+        }
+    }
+
+    #[test]
+    fn eq_mask16_edge_values() {
+        for needle in [0u8, 0xFF, 0x80, 1] {
+            for (w0, w1) in
+                [(0u64, 0u64), (u64::MAX, u64::MAX), (0x8080_8080_8080_8080, 0x0101_0101_0101_0101)]
+            {
+                let scalar = eq_mask16_scalar(w0, w1, needle);
+                assert_eq!(eq_mask16_swar(w0, w1, needle), scalar);
+                assert_eq!(eq_mask16_simd(w0, w1, needle), scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_eq_mask8_paths_agree() {
+        let mut s = 7u64;
+        for _ in 0..2000 {
+            let p0 = mix(&mut s);
+            let p1 = mix(&mut s);
+            let m0 = mix(&mut s);
+            let m1 = mix(&mut s);
+            let ext = mix(&mut s) as u16;
+            let scalar = masked_eq_mask8_scalar(p0, p1, m0, m1, ext);
+            assert_eq!(masked_eq_mask8_swar(p0, p1, m0, m1, ext), scalar);
+            assert_eq!(masked_eq_mask8_simd(p0, p1, m0, m1, ext), scalar);
+            assert_eq!(masked_eq_mask8(p0, p1, m0, m1, ext), scalar);
+        }
+    }
+
+    #[test]
+    fn masked_eq_matches_prefix_semantics() {
+        // Entry 0: pkey 0b10100_00000000000 with a 5-bit prefix mask; entry 1: full
+        // 15-bit key. ext sharing the 5-bit prefix matches entry 0 only.
+        let mask5 = 0b1111_1000_0000_0000u16;
+        let full = 0xFFFFu16;
+        let p0 = u64::from(0b1010_1000_0000_0000u16) | (u64::from(0b1010_1010_1010_1010u16) << 16);
+        let m0 = u64::from(mask5) | (u64::from(full) << 16);
+        let ext = 0b1010_1111_0000_1111u16;
+        let got = masked_eq_mask8_scalar(p0, 0, m0, u64::MAX, ext);
+        assert_eq!(got & 0b11, 0b01);
+        assert_eq!(masked_eq_mask8(p0, 0, m0, u64::MAX, ext) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn kind_is_stable_and_labelled() {
+        let k = kind();
+        assert_eq!(kind(), k, "dispatch must resolve once");
+        let label = kind_label();
+        assert!(["sse2", "neon", "simd", "swar"].contains(&label));
+        if std::env::var("RECIPE_NO_SIMD").ok().as_deref() == Some("1") || !cfg!(feature = "simd") {
+            assert_eq!(k, SearchKind::Swar);
+        }
+    }
+}

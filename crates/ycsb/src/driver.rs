@@ -183,8 +183,12 @@ pub struct RunResult {
 }
 
 /// Execute `workload` against `index`: load phase first, then the run phase.
+/// Between the phases the index gets its [`Index::exec_settle`] maintenance pass
+/// (untimed, like the load), so run-phase numbers measure the settled structure
+/// rather than whatever the load's opportunistic reshaping left behind.
 pub fn execute(index: &dyn Index, workload: &GeneratedWorkload) -> RunResult {
     let load = run_partitions(index, &workload.load);
+    index.exec_settle();
     let run = run_partitions(index, &workload.run);
     RunResult { load, run }
 }

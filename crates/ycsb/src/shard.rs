@@ -189,9 +189,11 @@ fn run_phase(index: &dyn Index, spec: &Spec, phase: &Phase, chunk: usize) -> Pha
 /// Execute `spec` against `index` with chunked per-thread generation: load phase
 /// first, then the run phase. Op-buffer footprint is bounded by
 /// `threads × chunk` operations. Like [`crate::driver::execute`], every worker
-/// thread drives the index through its own session handle.
+/// thread drives the index through its own session handle, and the index gets
+/// its untimed [`Index::exec_settle`] maintenance pass between the phases.
 pub fn run_spec_sharded(index: &dyn Index, spec: &Spec, chunk: usize) -> RunResult {
     let load = run_phase(index, spec, &Phase::Load, chunk);
+    index.exec_settle();
     let run = run_phase(index, spec, &Phase::Run, chunk);
     RunResult { load, run }
 }
