@@ -79,6 +79,12 @@ fn main() {
         if !sweep.full_coverage() {
             eprintln!("error: {} has never-exercised or undeclared crash sites", entry.name);
         }
+        // Dump-on-failure: the event timeline (SMO steps, crash sites, epoch
+        // activity, failing keys) of every inconsistent state.
+        for fd in &sweep.failure_dumps {
+            eprintln!("  FAILING STATE [{}] {} — {}", entry.name, fd.state, fd.summary);
+            eprint!("{}", fd.dump.tail(120));
+        }
         all_passed &= sweep.passed() && durability.passed();
         rows.push(format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",

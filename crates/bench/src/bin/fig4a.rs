@@ -9,4 +9,5 @@ fn main() {
         &workloads,
     );
     bench::csv::report(bench::csv::write_cells("fig4a", &cells), "fig4a");
+    bench::metrics::export_report("fig4a_metrics");
 }

@@ -9,4 +9,5 @@ fn main() {
         &workloads,
     );
     bench::csv::report(bench::csv::write_cells("fig4b", &cells), "fig4b");
+    bench::metrics::export_report("fig4b_metrics");
 }

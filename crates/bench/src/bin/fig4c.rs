@@ -9,4 +9,5 @@ fn main() {
         &workloads,
     );
     bench::csv::report(bench::csv::write_cells("fig4c", &cells), "fig4c");
+    bench::metrics::export_report("fig4c_metrics");
 }

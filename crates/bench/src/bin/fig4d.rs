@@ -9,4 +9,5 @@ fn main() {
         &workloads,
     );
     bench::csv::report(bench::csv::write_cells("fig4d", &cells), "fig4d");
+    bench::metrics::export_report("fig4d_metrics");
 }

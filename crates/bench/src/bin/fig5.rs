@@ -7,4 +7,5 @@ fn main() {
     let cells = bench::run_matrix(&bench::hash_indexes(), &workloads, ycsb::KeyType::RandInt);
     bench::print_throughput_table("Fig 5 — hash indexes, integer keys (YCSB)", &cells, &workloads);
     bench::csv::report(bench::csv::write_cells("fig5", &cells), "fig5");
+    bench::metrics::export_report("fig5_metrics");
 }

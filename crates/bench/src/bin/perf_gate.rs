@@ -114,6 +114,7 @@ fn main() {
     );
     let current = baseline::entries_from_cells(&cells);
     let current_gauges = bench::measure_bwtree_reclamation();
+    bench::metrics::export_report("perf_gate_metrics");
 
     if write_baseline {
         if let Some(dir) = path.parent() {

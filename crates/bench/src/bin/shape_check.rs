@@ -45,6 +45,7 @@ fn main() {
         ),
         "shape_check",
     );
+    bench::metrics::export_report("shape_check_metrics");
 
     if !failed.is_empty() {
         eprintln!("\nshape check FAILED — the measured matrix contradicts the paper's shape:");

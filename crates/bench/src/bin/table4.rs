@@ -10,4 +10,5 @@ fn main() {
         &workloads,
     );
     bench::csv::report(bench::csv::write_cells("table4", &cells), "table4");
+    bench::metrics::export_report("table4_metrics");
 }

@@ -29,4 +29,5 @@ fn main() {
         );
     }
     bench::csv::report(bench::csv::write_cells("woart_compare", &cells), "woart_compare");
+    bench::metrics::export_report("woart_compare_metrics");
 }

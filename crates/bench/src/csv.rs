@@ -12,7 +12,8 @@ use std::path::{Path, PathBuf};
 
 /// Column header of the per-cell measurement CSVs written by [`write_cells`].
 const CELL_HEADER: &str = "index,workload,ops,secs,mops,clwb_per_op,fence_per_op,\
-                           node_visits_per_op,failed_reads,p50_ns,p99_ns,sim_ns_per_op";
+                           node_visits_per_op,failed_reads,p50_ns,p90_ns,p99_ns,p999_ns,\
+                           sim_ns_per_op";
 
 /// Directory the CSV files are written to (`RECIPE_OUT_DIR`, default
 /// `target/figures`).
@@ -57,7 +58,7 @@ fn cell_rows(cells: &[Cell]) -> Vec<String> {
         .iter()
         .map(|c| {
             format!(
-                "{},{},{},{:.6},{:.4},{:.2},{:.2},{:.2},{},{},{},{:.1}",
+                "{},{},{},{:.6},{:.4},{:.2},{:.2},{:.2},{},{},{},{},{},{:.1}",
                 c.index,
                 c.workload,
                 c.result.ops,
@@ -68,7 +69,9 @@ fn cell_rows(cells: &[Cell]) -> Vec<String> {
                 c.result.node_visits_per_op,
                 c.result.failed_reads,
                 c.result.p50_ns,
+                c.result.p90_ns,
                 c.result.p99_ns,
+                c.result.p999_ns,
                 c.result.sim_ns_per_op,
             )
         })
@@ -103,9 +106,11 @@ mod tests {
                 node_visits_per_op: 4.5,
                 failed_reads: 0,
                 p50_ns: 1_200,
+                p90_ns: 4_500,
                 p99_ns: 9_800,
+                p999_ns: 22_000,
                 sim_ns_per_op: 350.5,
-                handle_stats: recipe::session::HandleStats::default(),
+                ..Default::default()
             },
         }
     }
@@ -120,10 +125,11 @@ mod tests {
         let lines: Vec<&str> = body.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("index,workload,ops,secs,mops"));
-        assert_eq!(lines[0].split(',').count(), 12, "header column count");
+        assert_eq!(lines[0].split(',').count(), 14, "header column count");
+        assert!(lines[0].contains(",p50_ns,p90_ns,p99_ns,p999_ns,"), "quantile columns present");
         assert!(lines[1].starts_with("P-Masstree,Load A,10,"));
-        assert!(lines[1].ends_with(",1200,9800,350.5"));
-        assert_eq!(lines[1].split(',').count(), 12, "row column count");
+        assert!(lines[1].ends_with(",1200,4500,9800,22000,350.5"));
+        assert_eq!(lines[1].split(',').count(), 14, "row column count");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -25,6 +25,8 @@
 //! | `RECIPE_PERF_BASELINE` | perf-gate baseline path | crates/bench/baselines/throughput.json |
 //! | `RECIPE_PERF_TOLERANCE` | perf-gate per-entry regression tolerance | 0.25 |
 //! | `RECIPE_PERF_WRITE` | `1` = regenerate the perf baseline        | unset     |
+//! | `RECIPE_OBS_EVENTS` | `1` = enable the obs structured event ring | off      |
+//! | `RECIPE_OBS_RING`   | per-thread event-ring capacity (records)  | 4096      |
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -35,6 +37,7 @@ use ycsb::{KeyType, PhaseResult, Spec, Workload};
 
 pub mod baseline;
 pub mod csv;
+pub mod metrics;
 pub mod shape;
 
 pub use harness::registry;
@@ -192,6 +195,7 @@ pub fn run_matrix_scaled(
     key_type: KeyType,
     scale: MatrixScale,
 ) -> Vec<Cell> {
+    metrics::install();
     let chunk = chunk_from_env();
     let m = Model::current();
     eprintln!(
@@ -215,15 +219,20 @@ pub fn run_matrix_scaled(
             let res = ycsb::run_spec_sharded(index.as_ref(), &spec, chunk);
             let reported = if wl == Workload::LoadA { res.load.clone() } else { res.run.clone() };
             eprintln!(
-                "#   {:<14} {:<6} -> {:>7.3} Mops/s, p50 {:>7.2} µs, p99 {:>7.2} µs, sim {:>7.1} ns/op",
+                "#   {:<14} {:<6} -> {:>7.3} Mops/s, p50 {:>7.2} µs, p99 {:>7.2} µs, \
+                 p999 {:>7.2} µs, sim {:>7.1} ns/op",
                 entry.name,
                 wl.label(),
                 reported.mops,
                 reported.p50_ns as f64 / 1_000.0,
                 reported.p99_ns as f64 / 1_000.0,
+                reported.p999_ns as f64 / 1_000.0,
                 reported.sim_ns_per_op
             );
-            cells.push(Cell { index: entry.name, workload: wl.label(), result: reported });
+            let cell = Cell { index: entry.name, workload: wl.label(), result: reported };
+            metrics::record_cell(&cell);
+            metrics::record_epoch(entry.name, index.as_ref());
+            cells.push(cell);
         }
     }
     cells

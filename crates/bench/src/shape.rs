@@ -288,19 +288,7 @@ mod tests {
         Cell {
             index,
             workload,
-            result: PhaseResult {
-                ops: 1,
-                secs: 1.0,
-                mops,
-                clwb_per_op: 0.0,
-                fence_per_op: 0.0,
-                node_visits_per_op: 0.0,
-                failed_reads: 0,
-                p50_ns: 0,
-                p99_ns: 0,
-                sim_ns_per_op: 0.0,
-                handle_stats: recipe::session::HandleStats::default(),
-            },
+            result: PhaseResult { ops: 1, secs: 1.0, mops, ..Default::default() },
         }
     }
 

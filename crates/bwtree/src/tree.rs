@@ -199,6 +199,7 @@ impl<P: PersistMode> BwTree<P> {
         P::persist_obj(delta as *const Delta, false);
         P::persist_obj(self.map.slot(right), true);
         P::crash_site("bwtree.help.split_flushed");
+        obs::event::emit("bwtree.smo", "help_split", pid, right);
         self.complete_smo(pid, sep, right);
         done.store(true, Ordering::Release);
     }
@@ -271,6 +272,7 @@ impl<P: PersistMode> BwTree<P> {
             P::persist_obj(delta, true);
             if self.publish(parent, head, delta) {
                 P::crash_site("bwtree.smo.parent_published");
+                obs::event::emit("bwtree.smo", "parent_published", parent, right);
                 self.try_consolidate(parent);
                 return Some(());
             }
@@ -300,6 +302,7 @@ impl<P: PersistMode> BwTree<P> {
             P::mark_dirty_obj(&self.root);
             P::persist_obj(&self.root, true);
             P::crash_site("bwtree.root_split.committed");
+            obs::event::emit("bwtree.smo", "root_split", left, right);
             true
         } else {
             // Lost the race: the page under `new_root` stays unreachable and is
@@ -336,6 +339,7 @@ impl<P: PersistMode> BwTree<P> {
         P::persist_obj(delta, true);
         if self.publish(pid, head, delta) {
             P::crash_site("bwtree.consolidate.installed");
+            obs::event::emit("bwtree.smo", "consolidate", pid, view.entries.len() as u64);
             // The whole old chain is now unreachable; retire it to the epoch
             // domain (freed once every thread that might still hold the old
             // snapshot has unpinned).
@@ -400,6 +404,7 @@ impl<P: PersistMode> BwTree<P> {
             return; // chain moved on; the right page leaks until Drop
         }
         P::crash_site("bwtree.split.delta_published");
+        obs::event::emit("bwtree.smo", "split", pid, right);
 
         // Step 3: the splitting writer is the SMO's first helper.
         self.help_page(pid, self.head(pid));

@@ -23,7 +23,9 @@
 
 pub mod sweep;
 
-pub use sweep::{run_crash_sweep, MixedGen, MixedOp, SiteOutcome, SweepConfig, SweepReport};
+pub use sweep::{
+    run_crash_sweep, FailureDump, MixedGen, MixedOp, SiteOutcome, SweepConfig, SweepReport,
+};
 
 use pm::crash;
 use recipe::index::Recoverable;

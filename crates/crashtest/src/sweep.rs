@@ -19,6 +19,12 @@
 //!   permanent inconsistency behind) are reached;
 //! * the sweep **fails** if consistency is violated *or* if any declared site was
 //!   never exercised — a never-exercised site means the crash matrix has a hole.
+//!
+//! The whole sweep runs with the `obs` event ring enabled: every crash state
+//! starts from a cleared ring, and a state that fails any consistency check
+//! drains the ring into a [`FailureDump`] — the SMO/crash/epoch event timeline
+//! leading up to the violation, plus `sweep.*` events pinpointing the failing
+//! keys — so one failing run is enough to see *what* the index was doing.
 
 use pm::crash;
 use recipe::index::Recoverable;
@@ -64,6 +70,18 @@ pub struct SiteOutcome {
     pub exercised: bool,
 }
 
+/// Event-trace capture of one failing crash state: which state it was, what
+/// it got wrong, and the drained event timeline that led there.
+#[derive(Debug, Clone)]
+pub struct FailureDump {
+    /// Which crash state failed (`site <name> hit <n>` or `sampled state <s>`).
+    pub state: String,
+    /// Counts of what went wrong (lost/wrong/resurrected/failed-post).
+    pub summary: String,
+    /// The drained event timeline for the failing state.
+    pub dump: obs::event::Dump,
+}
+
 /// Outcome of a full per-index sweep.
 #[derive(Debug, Clone, Default)]
 pub struct SweepReport {
@@ -87,6 +105,8 @@ pub struct SweepReport {
     pub failed_post_ops: usize,
     /// Average milliseconds per crash state.
     pub avg_state_ms: f64,
+    /// Event timelines of every failing crash state (empty on a clean sweep).
+    pub failure_dumps: Vec<FailureDump>,
 }
 
 impl SweepReport {
@@ -294,6 +314,12 @@ where
                             let id = 1_000_000 + t * per_thread as u64 + j;
                             let _ = h.insert(&u64_key(id), MixedGen::value(id, j));
                             if h.get(&u64_key(id)) != Some(MixedGen::value(id, j)) {
+                                obs::event::emit(
+                                    "sweep.post_fail",
+                                    "insert_get",
+                                    id,
+                                    MixedGen::value(id, j),
+                                );
                                 failed_ops.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -307,6 +333,7 @@ where
                         _ if !present.is_empty() => {
                             let (k, v) = present[(j as usize * 31 + 7) % present.len()];
                             if h.get(&u64_key(k)) != Some(v) {
+                                obs::event::emit("sweep.post_fail", "read", k, v);
                                 failed_ops.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -323,9 +350,18 @@ where
         let got = h.get(&u64_key(*k));
         match (state, got) {
             (Some(v), Some(g)) if g == *v => {}
-            (Some(_), Some(_)) => result.wrong += 1,
-            (Some(_), None) => result.lost += 1,
-            (None, Some(_)) => result.resurrected += 1,
+            (Some(v), Some(_)) => {
+                obs::event::emit("sweep.readback", "wrong_value", *k, *v);
+                result.wrong += 1;
+            }
+            (Some(v), None) => {
+                obs::event::emit("sweep.readback", "lost_key", *k, *v);
+                result.lost += 1;
+            }
+            (None, Some(g)) => {
+                obs::event::emit("sweep.readback", "resurrected_key", *k, g);
+                result.resurrected += 1;
+            }
             (None, None) => {}
         }
     }
@@ -350,6 +386,9 @@ where
 {
     crash::install_quiet_hook();
     crash::start_named_counts();
+    // Trace SMO/crash/epoch/sweep events for the whole sweep so a failing
+    // state can be explained from its timeline; restored on exit.
+    let events_were_on = obs::event::set_enabled(true);
     let started = Instant::now();
 
     // Calibration: run the mixed load crash-free, counting per-site hits (used to
@@ -388,31 +427,27 @@ where
         let hit =
             1 + mix64(cfg.seed ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % hits.max(1);
         let index = factory();
+        obs::event::clear();
         let r = run_state(&index, cfg, &Arm::AtSite(site, hit));
         report.states_tested += 1;
         if r.crashed_at.is_some() {
             report.crashes_triggered += 1;
         }
         fired.push(r.crashed_at == Some(site));
-        report.lost_keys += r.lost;
-        report.wrong_values += r.wrong;
-        report.resurrected_keys += r.resurrected;
-        report.failed_post_ops += r.failed_post;
+        record_state(&mut report, &r, format!("site {site} hit {hit}"));
     }
 
     // The uniformly sampled mixed states on top.
     for s in 0..cfg.sampled_states as u64 {
         let crash_at = mix64(cfg.seed ^ s.wrapping_mul(0xD6E8_FEB8_6659_FD93)) % total_sites + 1;
         let index = factory();
+        obs::event::clear();
         let r = run_state(&index, cfg, &Arm::Nth(crash_at));
         report.states_tested += 1;
         if r.crashed_at.is_some() {
             report.crashes_triggered += 1;
         }
-        report.lost_keys += r.lost;
-        report.wrong_values += r.wrong;
-        report.resurrected_keys += r.resurrected;
-        report.failed_post_ops += r.failed_post;
+        record_state(&mut report, &r, format!("sampled state {s} (crash at hit {crash_at})"));
     }
 
     report.per_site = declared
@@ -436,7 +471,27 @@ where
     report.avg_state_ms =
         started.elapsed().as_secs_f64() * 1000.0 / report.states_tested.max(1) as f64;
     crash::stop_named_counts();
+    obs::event::set_enabled(events_were_on);
     report
+}
+
+/// Fold one state's consistency counts into the report; a failing state also
+/// drains the event ring into a [`FailureDump`].
+fn record_state(report: &mut SweepReport, r: &StateResult, state: String) {
+    report.lost_keys += r.lost;
+    report.wrong_values += r.wrong;
+    report.resurrected_keys += r.resurrected;
+    report.failed_post_ops += r.failed_post;
+    if r.lost + r.wrong + r.resurrected + r.failed_post > 0 {
+        report.failure_dumps.push(FailureDump {
+            state,
+            summary: format!(
+                "lost={} wrong={} resurrected={} failed-post-ops={} (crashed at {:?})",
+                r.lost, r.wrong, r.resurrected, r.failed_post, r.crashed_at
+            ),
+            dump: obs::event::drain(),
+        });
+    }
 }
 
 #[cfg(test)]

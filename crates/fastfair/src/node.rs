@@ -3,9 +3,13 @@
 //! FAST & FAIR (Hwang et al., FAST '18) keeps entries sorted *in place* and makes the
 //! shift-based insertion failure-atomic: every 8-byte store during a shift leaves the
 //! array in a state that lock-free readers can tolerate (either a transient duplicate
-//! of a neighbouring entry or a valid sorted array). This module implements the node
-//! layout, the tolerant read, and the FAST shift; the tree logic lives in the crate
-//! root.
+//! of a neighbouring entry or a valid sorted array). Writers order the two stores of a
+//! slot value-first, so whenever a key appears in two adjacent slots the *rightmost*
+//! copy is a complete (key, value) pair and readers resolve duplicate runs rightward —
+//! this holds both for the transient windows seen by concurrent readers and for the
+//! persistent state left by a crash between the two stores. This module implements the
+//! node layout, the tolerant read, and the FAST shift; the tree logic lives in the
+//! crate root.
 //!
 //! Key words are either the big-endian encoding of an 8-byte key (integer mode) or a
 //! pointer to an out-of-line key buffer (string mode) — the same scheme the RECIPE
@@ -152,9 +156,12 @@ impl Node {
 
     /// Lock-free, duplicate-tolerant point lookup within this node (leaf).
     ///
-    /// The FAST shift can momentarily duplicate an adjacent entry; scanning left to
-    /// right and returning the first match is always correct because the duplicate
-    /// carries the same value it is about to overwrite.
+    /// A FAST shift, the final entry plant of an insert and a FAIR remove all
+    /// momentarily duplicate a key into two adjacent slots, and the *left* copy is
+    /// the one that can hold a mixed (key, value) pair mid-store — mirrored
+    /// persistently if a crash lands between the two 8-byte stores. The rightmost
+    /// copy of a duplicate run is always a complete pair, so a reader that matches a
+    /// duplicated key defers to it.
     pub fn find_in_leaf(&self, mode: KeyMode, key: &[u8]) -> Option<u64> {
         for i in 0..CARDINALITY {
             let k = self.entries[i].key.load(Ordering::Acquire);
@@ -164,6 +171,11 @@ impl Node {
             match cmp_word_key(mode, k, key) {
                 CmpOrdering::Equal => {
                     let v = self.entries[i].val.load(Ordering::Acquire);
+                    // Rightmost-duplicate rule: the left copy may be mid-plant
+                    // (new value, old key) or mid-shift (new key, old value).
+                    if i + 1 < CARDINALITY && self.entries[i + 1].key.load(Ordering::Acquire) == k {
+                        continue;
+                    }
                     // Re-check the key to pair the value with the right key (atomic
                     // snapshot, same idea as CLHT).
                     if self.entries[i].key.load(Ordering::Acquire) == k {
@@ -176,6 +188,26 @@ impl Node {
             }
         }
         None
+    }
+
+    /// [`Node::find_in_leaf`] under seqlock-style version validation (the
+    /// original implementation's `switch_counter` retry).
+    ///
+    /// Duplicate tolerance alone is not enough for concurrent *removes*: the
+    /// FAIR shift-left walks the array in the same ascending order as a
+    /// reader, so a writer that overtakes the reader moves an entry to a slot
+    /// the reader has already passed — the reader then hits a larger key and
+    /// concludes absence. Retrying whenever the node's version moved closes
+    /// that window; the duplicate rules in [`Node::find_in_leaf`] still
+    /// handle crash-*persisted* duplicate runs, which no retry can see.
+    pub fn find_in_leaf_validated(&self, mode: KeyMode, key: &[u8]) -> Option<u64> {
+        loop {
+            let begin = self.lock.read_begin();
+            let r = self.find_in_leaf(mode, key);
+            if !self.lock.read_retry(begin) {
+                return r;
+            }
+        }
     }
 
     /// Lock-free child search within an internal node: the child covering `key`.
@@ -222,27 +254,23 @@ impl Node {
                 break;
             }
         }
-        // Shift right: highest index first. The order of the two 8-byte stores within
-        // a slot is chosen so that concurrent lock-free readers never act on a mixed
-        // (key from one entry, value from another) pair:
-        //   * leaves are searched first-match left-to-right, so the key moves first —
-        //     a reader either takes the untouched original one slot to the left or the
-        //     fully copied pair one slot to the right;
-        //   * internal nodes are searched last-match-≤, so the child pointer moves
-        //     first — the transiently duplicated key keeps routing to the old child,
-        //     which the sibling pointer / high key makes correct.
-        let key_first = self.is_leaf();
+        // Shift right: highest index first, value before key within each slot.
+        // Every transient (and, after a crash, persistent) state is safe for
+        // lock-free readers:
+        //   * a destination slot shows a mixed pair only while the slot to its
+        //     right still holds a complete copy of the duplicated key, so leaf
+        //     readers resolve it with the rightmost-duplicate rule
+        //     (`find_in_leaf`) — the same rule covers the value-then-key entry
+        //     plant below;
+        //   * internal nodes are searched last-match-≤, so the transiently
+        //     duplicated key keeps routing to the old child, which the sibling
+        //     pointer / high key makes correct.
         let mut i = count;
         while i > pos {
             let prev_val = self.entries[i - 1].val.load(Ordering::Acquire);
             let prev_key = self.entries[i - 1].key.load(Ordering::Acquire);
-            if key_first {
-                self.entries[i].key.store(prev_key, Ordering::Release);
-                self.entries[i].val.store(prev_val, Ordering::Release);
-            } else {
-                self.entries[i].val.store(prev_val, Ordering::Release);
-                self.entries[i].key.store(prev_key, Ordering::Release);
-            }
+            self.entries[i].val.store(prev_val, Ordering::Release);
+            self.entries[i].key.store(prev_key, Ordering::Release);
             P::mark_dirty_obj(&self.entries[i].key);
             P::mark_dirty_obj(&self.entries[i].val);
             // FAST flushes once per cache line crossed during the shift.
@@ -262,7 +290,19 @@ impl Node {
 
     /// FAIR deletion (lock must be held): shift entries left over the removed slot.
     /// Returns false if the key is absent.
+    ///
+    /// Removes repeatedly until no copy of the key remains: a crash between the
+    /// value and key stores of an entry plant can persist a duplicate run, and a
+    /// single shift-left would leave the stale copy behind to resurrect the key.
     pub fn remove_sorted<P: PersistMode>(&self, mode: KeyMode, key: &[u8]) -> bool {
+        let mut removed = false;
+        while self.remove_one::<P>(mode, key) {
+            removed = true;
+        }
+        removed
+    }
+
+    fn remove_one<P: PersistMode>(&self, mode: KeyMode, key: &[u8]) -> bool {
         let count = self.count();
         let mut pos = None;
         for i in 0..count {
@@ -283,8 +323,9 @@ impl Node {
             } else {
                 (EMPTY, 0)
             };
-            // Key first: a reader that sees the new key with the old value skips the
-            // transient duplicate exactly as during FAST shifts.
+            // Key first: the transiently mixed slot then duplicates the key of the
+            // complete pair to its right, which readers defer to
+            // (rightmost-duplicate rule in `find_in_leaf`).
             self.entries[i].key.store(nk, Ordering::Release);
             P::mark_dirty_obj(&self.entries[i].key);
             self.entries[i].val.store(nv, Ordering::Release);
@@ -303,6 +344,14 @@ impl Node {
             if cmp_word_key(mode, self.entries[i].key.load(Ordering::Acquire), key)
                 == CmpOrdering::Equal
             {
+                // A crash-persisted duplicate run is resolved by readers in
+                // favour of its rightmost copy, so update that one.
+                if i + 1 < count
+                    && cmp_word_key(mode, self.entries[i + 1].key.load(Ordering::Acquire), key)
+                        == CmpOrdering::Equal
+                {
+                    continue;
+                }
                 self.entries[i].val.store(val, Ordering::Release);
                 P::mark_dirty_obj(&self.entries[i].val);
                 P::persist_obj(&self.entries[i].val, true);
@@ -398,6 +447,106 @@ mod tests {
         assert_eq!(node.find_child(KeyMode::Inline, &u64_key(10)), 110);
         assert_eq!(node.find_child(KeyMode::Inline, &u64_key(25)), 120);
         assert_eq!(node.find_child(KeyMode::Inline, &u64_key(99)), 130);
+    }
+
+    /// Regression test for the crash-sweep flake the obs event ring caught
+    /// (FAST&FAIR post-recovery `failed-ops=1..2`): a lock-free reader racing
+    /// a FAST shift/plant (or a FAIR remove shift) must never observe a mixed
+    /// (old key, new value) pair nor miss a key a remove shift moved below its
+    /// cursor. The writer holds the node's `VersionLock` per operation, exactly
+    /// as the tree does, and the reader uses the version-validated entry point.
+    #[test]
+    fn concurrent_reader_never_sees_mixed_pair() {
+        let n = Node::alloc(true);
+        // SAFETY: freshly allocated, lives for the whole test.
+        let node = unsafe { &*n };
+        for k in [10u64, 20, 30, 40] {
+            let w = encode_key::<Dram>(KeyMode::Inline, &u64_key(k));
+            node.insert_sorted::<Dram>(KeyMode::Inline, w, k * 100);
+        }
+        let poison = 9_999u64;
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Single writer: churn key 15 so both the insert plant at key
+                // 20's slot and the remove shift over it run continuously
+                // until the reader is done. Each op holds the node lock, as
+                // `Tree::insert`/`Tree::remove` do.
+                let w = encode_key::<Dram>(KeyMode::Inline, &u64_key(15));
+                while !stop.load(Ordering::Acquire) {
+                    {
+                        let _g = node.lock.lock();
+                        node.insert_sorted::<Dram>(KeyMode::Inline, w, poison);
+                    }
+                    {
+                        let _g = node.lock.lock();
+                        node.remove_sorted::<Dram>(KeyMode::Inline, &u64_key(15));
+                    }
+                }
+            });
+            let mut violation = None;
+            'sweeps: for sweep in 0..400_000u64 {
+                for k in [10u64, 20, 30, 40] {
+                    let got = node.find_in_leaf_validated(KeyMode::Inline, &u64_key(k));
+                    if got != Some(k * 100) {
+                        violation = Some((sweep, k, got));
+                        break 'sweeps;
+                    }
+                }
+            }
+            // Stop the writer before asserting so a failure doesn't hang the
+            // scope join.
+            stop.store(true, Ordering::Release);
+            assert!(violation.is_none(), "reader observed a mixed pair: {violation:?}");
+        });
+    }
+
+    /// Deterministic regression test for the same bug class: a crash between
+    /// an insert's value and key stores (`fastfair.insert.value_written`)
+    /// *persists* the mixed pair the concurrent test above races for — the
+    /// planted slot still carries the shifted-up neighbour's key next to the
+    /// new value, with the neighbour's complete pair duplicated one slot to
+    /// the right. Readers must resolve the duplicate run rightward, updates
+    /// must land on the copy readers resolve, and a remove must clear the
+    /// whole run instead of resurrecting the stale copy.
+    #[test]
+    fn torn_insert_duplicate_run_is_resolved_rightward() {
+        let n = Node::alloc(true);
+        // SAFETY: freshly allocated.
+        let node = unsafe { &*n };
+        for k in [10u64, 20, 30, 40] {
+            let w = encode_key::<Dram>(KeyMode::Inline, &u64_key(k));
+            node.insert_sorted::<Dram>(KeyMode::Inline, w, k * 100);
+        }
+        // Replay an insert of key 15 interrupted at `insert.value_written`:
+        // slots 1..=3 have been shifted up one, the new value is planted in
+        // slot 1, but the crash hit before the new key overwrote the
+        // duplicated key 20.
+        for i in (1..4).rev() {
+            let v = node.entries[i].val.load(Ordering::Acquire);
+            let k = node.entries[i].key.load(Ordering::Acquire);
+            node.entries[i + 1].val.store(v, Ordering::Release);
+            node.entries[i + 1].key.store(k, Ordering::Release);
+        }
+        node.entries[1].val.store(9_999, Ordering::Release);
+
+        assert_eq!(node.find_in_leaf(KeyMode::Inline, &u64_key(15)), None);
+        assert_eq!(
+            node.find_in_leaf(KeyMode::Inline, &u64_key(20)),
+            Some(2_000),
+            "reader must defer to the complete right copy, not the torn pair"
+        );
+        assert!(node.update_value::<Dram>(KeyMode::Inline, &u64_key(20), 2_222));
+        assert_eq!(node.find_in_leaf(KeyMode::Inline, &u64_key(20)), Some(2_222));
+        assert!(node.remove_sorted::<Dram>(KeyMode::Inline, &u64_key(20)));
+        assert_eq!(
+            node.find_in_leaf(KeyMode::Inline, &u64_key(20)),
+            None,
+            "remove must clear the whole duplicate run, not resurrect the stale copy"
+        );
+        for k in [10u64, 30, 40] {
+            assert_eq!(node.find_in_leaf(KeyMode::Inline, &u64_key(k)), Some(k * 100));
+        }
     }
 
     #[test]

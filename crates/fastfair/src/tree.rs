@@ -122,7 +122,7 @@ impl<P: PersistMode> FastFair<P> {
                     continue;
                 }
             }
-            if let Some(v) = leaf.find_in_leaf(mode, key) {
+            if let Some(v) = leaf.find_in_leaf_validated(mode, key) {
                 return Some(v);
             }
             // A split may have moved the key to the right sibling after we checked the
@@ -403,25 +403,44 @@ impl<P: PersistMode> FastFair<P> {
         while !leaf_ptr.is_null() && out.len() < count {
             let leaf = self.node_ref(leaf_ptr);
             pm::stats::record_node_visit();
-            let n = leaf.count();
-            for i in 0..n {
-                let kw = leaf.entries[i].key.load(Ordering::Acquire);
-                if kw == EMPTY {
+            // Version-validated per-leaf read section (see
+            // `Node::find_in_leaf_validated`): a concurrent FAIR remove can
+            // move an entry below an ascending reader's cursor, so a leaf
+            // scanned while its version moved is rolled back and re-read.
+            loop {
+                let begin = leaf.lock.read_begin();
+                let mark = out.len();
+                let n = leaf.count();
+                for i in 0..n {
+                    let kw = leaf.entries[i].key.load(Ordering::Acquire);
+                    if kw == EMPTY {
+                        break;
+                    }
+                    if cmp_word_key(mode, kw, start) == CmpOrdering::Less {
+                        continue;
+                    }
+                    // Rightmost-duplicate rule (see `Node::find_in_leaf`): a
+                    // crash-persisted torn insert duplicates a key into
+                    // adjacent slots with the complete pair on the right.
+                    if i + 1 < CARDINALITY && leaf.entries[i + 1].key.load(Ordering::Acquire) == kw
+                    {
+                        continue;
+                    }
+                    let bytes = word_to_bytes(mode, kw);
+                    let val = leaf.entries[i].val.load(Ordering::Acquire);
+                    // Skip transient duplicates across a split boundary.
+                    if out.last().map(|(k, _)| k == &bytes).unwrap_or(false) {
+                        continue;
+                    }
+                    out.push((bytes, val));
+                    if out.len() >= count {
+                        break;
+                    }
+                }
+                if !leaf.lock.read_retry(begin) {
                     break;
                 }
-                if cmp_word_key(mode, kw, start) == CmpOrdering::Less {
-                    continue;
-                }
-                let bytes = word_to_bytes(mode, kw);
-                let val = leaf.entries[i].val.load(Ordering::Acquire);
-                // Skip transient duplicates across a split boundary.
-                if out.last().map(|(k, _)| k == &bytes).unwrap_or(false) {
-                    continue;
-                }
-                out.push((bytes, val));
-                if out.len() >= count {
-                    break;
-                }
+                out.truncate(mark);
             }
             leaf_ptr = leaf.sibling.load(Ordering::Acquire);
         }

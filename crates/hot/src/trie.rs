@@ -781,6 +781,7 @@ impl<P: PersistMode> Hot<P> {
             }
         }
         P::crash_site("hot.widen.committed");
+        obs::event::emit("hot.smo", "widen", base as u64, ctx.entries.len() as u64);
         // Retire the replaced nodes while their locks are still held, so any writer
         // blocked on one of them re-checks and restarts. The flags are volatile
         // hints: after a crash these nodes are simply unreachable.
@@ -1034,6 +1035,7 @@ impl<P: PersistMode> Hot<P> {
             }
         }
         P::crash_site("hot.widen.committed");
+        obs::event::emit("hot.smo", "unwiden", c.bit_pos as u64, entries.len() as u64);
         c.obsolete.store(true, Ordering::Release);
     }
 

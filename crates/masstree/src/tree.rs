@@ -476,6 +476,7 @@ impl<P: PersistMode> Masstree<P> {
         P::mark_dirty_obj(&node.perm);
         P::persist_obj(&node.perm, true);
         P::crash_site("masstree.split.left_truncated");
+        obs::event::emit("masstree.smo", "leaf_split", split_slice, right_ptr as u64);
 
         // A pending entry belonging to the lower half goes in through the normal
         // one-store commit (the leaf now has free slots).
@@ -523,6 +524,7 @@ impl<P: PersistMode> Masstree<P> {
             P::mark_dirty_obj(&layer.root);
             P::persist_obj(&layer.root, true);
             P::crash_site("masstree.root_split.committed");
+            obs::event::emit("masstree.smo", "root_split", split_slice, new_root_ptr as u64);
             return;
         }
         let Some(parent_ptr) = self.find_parent(layer, left, split_slice) else {
@@ -590,6 +592,7 @@ impl<P: PersistMode> Masstree<P> {
         P::mark_dirty_obj(&parent.perm);
         P::persist_obj(&parent.perm, true);
         P::crash_site("masstree.parent_split.left_truncated");
+        obs::event::emit("masstree.smo", "parent_split", up_slice, right_ptr as u64);
 
         // Route the pending separator into the half that now covers it.
         let target = if slice < up_slice { parent } else { right };

@@ -1,0 +1,338 @@
+//! Opt-in structured event tracing: bounded per-thread ring buffers of
+//! compact records, globally sequenced, drained on demand.
+//!
+//! Tracing is off by default; [`emit`] then costs one relaxed atomic load
+//! and performs **zero allocation** (asserted by the crate's
+//! `tests/no_alloc.rs`). Enable it with [`set_enabled`] or by exporting
+//! `RECIPE_OBS_EVENTS=1` and calling [`init_from_env`]. When enabled, each
+//! thread lazily registers a fixed-capacity ring (default 4096 records,
+//! `RECIPE_OBS_RING` overrides); a full ring overwrites its oldest record
+//! and counts the drop, so the most recent history — the part that explains
+//! a failure — is always retained.
+//!
+//! Records carry a global sequence number from one shared atomic, so a
+//! [`drain`] merges every thread's ring into a single totally-ordered
+//! timeline. The crash harness uses exactly this: clear at the start of a
+//! crash state, dump on failure.
+//!
+//! ```
+//! let was = obs::event::set_enabled(true);
+//! obs::event::clear();
+//! obs::event::emit("doc.step", "example", 7, 0);
+//! let dump = obs::event::drain();
+//! obs::event::set_enabled(was);
+//! assert_eq!(dump.events.len(), 1);
+//! assert_eq!(dump.events[0].kind, "doc.step");
+//! assert_eq!(dump.events[0].a, 7);
+//! ```
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default per-thread ring capacity (records); `RECIPE_OBS_RING` overrides.
+pub const DEFAULT_RING_CAP: usize = 4096;
+
+/// One traced event. `kind` is a stable dotted family name
+/// (`"crash.site"`, `"bwtree.smo"`, ...), `detail` a static qualifier
+/// (site name, SMO step), and `a`/`b` free-form payload words.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Small per-thread id assigned at ring registration.
+    pub tid: u32,
+    /// Event family.
+    pub kind: &'static str,
+    /// Qualifier within the family.
+    pub detail: &'static str,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+struct Ring {
+    tid: u32,
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    next: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            // Overwrite the oldest record: newest history wins.
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn take(&mut self) -> (Vec<Event>, u64) {
+        self.next = 0;
+        (std::mem::take(&mut self.buf), std::mem::take(&mut self.dropped))
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn ring_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("RECIPE_OBS_RING")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_RING_CAP)
+    })
+}
+
+thread_local! {
+    static MY_RING: RefCell<Option<Arc<Mutex<Ring>>>> = const { RefCell::new(None) };
+}
+
+/// Is event tracing currently enabled?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable/disable tracing; returns the previous setting.
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// Enable tracing when `RECIPE_OBS_EVENTS` is set to a truthy value
+/// (`1`/`true`/`yes`/`on`).
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("RECIPE_OBS_EVENTS") {
+        let v = v.trim().to_ascii_lowercase();
+        if matches!(v.as_str(), "1" | "true" | "yes" | "on") {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Record an event if tracing is enabled. The disabled path is a single
+/// relaxed load with no allocation and no thread-local access.
+#[inline]
+pub fn emit(kind: &'static str, detail: &'static str, a: u64, b: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    emit_slow(kind, detail, a, b);
+}
+
+#[cold]
+fn emit_slow(kind: &'static str, detail: &'static str, a: u64, b: u64) {
+    MY_RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let arc = slot.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let ring = Arc::new(Mutex::new(Ring {
+                tid,
+                buf: Vec::with_capacity(ring_cap()),
+                cap: ring_cap(),
+                next: 0,
+                dropped: 0,
+            }));
+            rings().lock().push(Arc::clone(&ring));
+            ring
+        });
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut ring = arc.lock();
+        let tid = ring.tid;
+        ring.push(Event { seq, tid, kind, detail, a, b });
+    });
+}
+
+/// A drained event timeline.
+#[derive(Clone, Debug, Default)]
+pub struct Dump {
+    /// Events from every thread, ascending by global sequence number.
+    pub events: Vec<Event>,
+    /// Records overwritten before the drain (oldest-dropped accounting).
+    pub dropped: u64,
+}
+
+impl Dump {
+    /// The newest `n` events as their own dump; everything older is folded
+    /// into the `dropped` count. Used by failure reporters that want the
+    /// tail of the timeline without flooding the log.
+    #[must_use]
+    pub fn tail(&self, n: usize) -> Dump {
+        let skip = self.events.len().saturating_sub(n);
+        Dump { events: self.events[skip..].to_vec(), dropped: self.dropped + skip as u64 }
+    }
+}
+
+impl std::fmt::Display for Dump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for ev in &self.events {
+            writeln!(
+                f,
+                "  #{seq:<6} t{tid} {kind} {detail} a={a} b={b}",
+                seq = ev.seq,
+                tid = ev.tid,
+                kind = ev.kind,
+                detail = ev.detail,
+                a = ev.a,
+                b = ev.b
+            )?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "  ({} older events dropped by ring overflow)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+/// Drain every thread's ring into one sequence-ordered timeline, emptying
+/// the rings. Rings belonging to threads that have since exited are drained
+/// too, then discarded.
+pub fn drain() -> Dump {
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    let mut rings = rings().lock();
+    rings.retain(|arc| {
+        let (evs, drops) = arc.lock().take();
+        events.extend(evs);
+        dropped += drops;
+        // strong_count == 1 means only the registry holds it: the owning
+        // thread exited, so the (now empty) ring can be discarded.
+        Arc::strong_count(arc) > 1
+    });
+    drop(rings);
+    events.sort_unstable_by_key(|e| e.seq);
+    Dump { events, dropped }
+}
+
+/// Empty all rings (and discard rings of exited threads) without building a
+/// dump. Call at the start of a scoped capture, e.g. one crash state.
+pub fn clear() {
+    let mut rings = rings().lock();
+    rings.retain(|arc| {
+        let _ = arc.lock().take();
+        Arc::strong_count(arc) > 1
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The event subsystem is global, so these tests serialise on a lock to
+    // avoid interleaving with each other under the multi-threaded test
+    // runner.
+    fn guard() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+    }
+
+    #[test]
+    fn disabled_emit_records_nothing() {
+        let _g = guard();
+        let was = set_enabled(false);
+        clear();
+        emit("t.ev", "off", 1, 2);
+        let dump = drain();
+        set_enabled(was);
+        assert!(dump.events.is_empty());
+        assert_eq!(dump.dropped, 0);
+    }
+
+    #[test]
+    fn events_are_sequenced_across_threads() {
+        let _g = guard();
+        let was = set_enabled(true);
+        clear();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        emit("t.ev", "mt", t, i);
+                    }
+                });
+            }
+        });
+        let dump = drain();
+        set_enabled(was);
+        assert_eq!(dump.events.len(), 200);
+        for w in dump.events.windows(2) {
+            assert!(w[0].seq < w[1].seq, "strictly ascending seq");
+        }
+        // Per-thread order must be preserved within the global order.
+        for t in 0..4u64 {
+            let per: Vec<u64> = dump.events.iter().filter(|e| e.a == t).map(|e| e.b).collect();
+            assert_eq!(per, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let _g = guard();
+        let was = set_enabled(true);
+        clear();
+        // A dedicated thread gets a fresh ring; overflow it deliberately.
+        let cap = ring_cap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..(cap as u64 + 10) {
+                    emit("t.ev", "ovf", i, 0);
+                }
+            });
+        });
+        let dump = drain();
+        set_enabled(was);
+        let ovf: Vec<&Event> = dump.events.iter().filter(|e| e.detail == "ovf").collect();
+        assert_eq!(ovf.len(), cap, "ring keeps exactly `cap` newest records");
+        assert_eq!(dump.dropped, 10, "dropped records are accounted");
+        // The *newest* records survive.
+        let min_a = ovf.iter().map(|e| e.a).min().unwrap();
+        assert_eq!(min_a, 10);
+    }
+
+    #[test]
+    fn tail_keeps_newest_and_accounts_for_the_rest() {
+        let _g = guard();
+        let was = set_enabled(true);
+        clear();
+        for i in 0..10u64 {
+            emit("t.ev", "tail", i, 0);
+        }
+        let dump = drain();
+        set_enabled(was);
+        let tail = dump.tail(3);
+        assert_eq!(tail.events.len(), 3);
+        assert_eq!(tail.events[0].a, 7, "newest three survive");
+        assert_eq!(tail.dropped, 7, "older events counted as dropped");
+    }
+
+    #[test]
+    fn clear_discards_pending_events() {
+        let _g = guard();
+        let was = set_enabled(true);
+        clear();
+        emit("t.ev", "gone", 0, 0);
+        clear();
+        emit("t.ev", "kept", 0, 0);
+        let dump = drain();
+        set_enabled(was);
+        let details: Vec<&str> = dump.events.iter().map(|e| e.detail).collect();
+        assert!(!details.contains(&"gone"));
+        assert!(details.contains(&"kept"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Log-bucketed HDR-style histogram of `u64` values.
+//!
+//! The bucket layout is the classic HDR scheme: values below `2^SUB_BITS` get
+//! one exact bucket each; above that, every power-of-two octave is divided
+//! into `2^SUB_BITS` linear sub-buckets, so the relative width of any bucket
+//! is at most `2^-SUB_BITS` (3.125% with the default of 5 bits) and a
+//! reported quantile is within half a bucket — ~1.6% — of the true value.
+//! The whole `u64` range is representable in [`N_BUCKETS`] buckets (15 KiB of
+//! counters), so recording never saturates or clips.
+//!
+//! Everything is plain integer arithmetic over a dense counter array:
+//! recording the same values in any order, or merging per-thread histograms
+//! in any order, yields byte-identical state — the property the crash/bench
+//! harnesses rely on for deterministic output under the simulated clock.
+//!
+//! ```
+//! let mut h = obs::Hist::new();
+//! for v in 1..=1000u64 {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 1000);
+//! let p50 = h.quantile(0.50);
+//! // Within the documented 2^-SUB_BITS relative error of the true median.
+//! assert!((p50 as f64 - 500.0).abs() <= 500.0 / 32.0 + 1.0);
+//! assert_eq!(h.quantile(1.0), 1000); // min/max are tracked exactly
+//! ```
+
+/// Number of linear sub-bucket bits per octave; buckets are at most
+/// `2^-SUB_BITS` (3.125%) wide relative to their value.
+pub const SUB_BITS: u32 = 5;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range (octave groups
+/// `0..=64-SUB_BITS`, each `2^SUB_BITS` wide).
+pub const N_BUCKETS: usize = ((64 - SUB_BITS + 1) as usize) << SUB_BITS;
+
+/// Dense bucket index for a value. Monotone in `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let mant = ((v >> (exp - SUB_BITS)) & (SUBS - 1)) as usize;
+        (((exp - SUB_BITS + 1) as usize) << SUB_BITS) | mant
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (the smallest value mapping to it).
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    let g = (i >> SUB_BITS) as u32;
+    let m = (i as u64) & (SUBS - 1);
+    if g == 0 {
+        m
+    } else {
+        let exp = g + SUB_BITS - 1;
+        (1u64 << exp) | (m << (exp - SUB_BITS))
+    }
+}
+
+/// Representative value reported for bucket `i`: its midpoint (exact value
+/// for the single-value buckets of the first two octave groups).
+#[inline]
+pub fn bucket_value(i: usize) -> u64 {
+    let g = (i >> SUB_BITS) as u32;
+    if g <= 1 {
+        bucket_lower(i)
+    } else {
+        let width = 1u64 << (g - 1);
+        bucket_lower(i) + width / 2
+    }
+}
+
+/// A mergeable log-bucketed histogram with exact `count`/`sum`/`min`/`max`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl std::fmt::Debug for Hist {
+    /// Compact summary (the dense bucket array would drown any containing
+    /// struct's debug output).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist")
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist { counts: vec![0; N_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of the same value.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Merging is commutative and
+    /// associative, so any merge order over per-thread histograms produces
+    /// identical state.
+    pub fn merge(&mut self, other: &Hist) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`. Returns the representative
+    /// value of the bucket holding the target rank, clamped into
+    /// `[min, max]` so the single-observation edges stay exact; 0 when
+    /// empty. Within `2^-SUB_BITS` relative error of the true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The top rank is the exactly-tracked maximum.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs, ascending — the
+    /// sparse form used by the registry's JSON export.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuild a histogram from its sparse bucket form (inverse of
+    /// [`Hist::nonzero_buckets`] up to the exact `sum`, which the sparse form
+    /// approximates by bucket representatives).
+    pub fn from_buckets(buckets: &[(u32, u64)]) -> Self {
+        let mut h = Hist::new();
+        for &(i, c) in buckets {
+            h.record_n(bucket_value(i as usize), c);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_dense_at_boundaries() {
+        let mut prev = bucket_index(0);
+        assert_eq!(prev, 0);
+        for v in 1..10_000u64 {
+            let i = bucket_index(v);
+            assert!(i == prev || i == prev + 1, "index jumps at v={v}");
+            prev = i;
+        }
+        assert!(bucket_index(u64::MAX) < N_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_lower_roundtrips() {
+        for i in 0..N_BUCKETS {
+            let lo = bucket_lower(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i} maps back");
+            let rep = bucket_value(i);
+            assert_eq!(bucket_index(rep), i, "representative of bucket {i} maps back");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Hist::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - truth).abs() / truth;
+            assert!(rel <= 1.0 / 32.0, "q={q}: got {got}, want {truth} (rel {rel})");
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100_000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Hist::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record(x >> 40);
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) regressed");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_deterministic() {
+        let vals: Vec<u64> = (0..5000u64).map(|i| i * i % 777_777).collect();
+        let mut whole = Hist::new();
+        for &v in &vals {
+            whole.record(v);
+        }
+        let mut parts: Vec<Hist> = (0..4).map(|_| Hist::new()).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            parts[i % 4].record(v);
+        }
+        let mut fwd = Hist::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Hist::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, whole);
+        assert_eq!(rev, whole);
+    }
+
+    #[test]
+    fn multi_thread_merge_is_deterministic() {
+        // Four threads record disjoint slices into private histograms; the
+        // merged result must be byte-identical to the single-threaded
+        // histogram regardless of scheduling (stable under
+        // RUST_TEST_THREADS=4).
+        let mut whole = Hist::new();
+        for v in 0..8_000u64 {
+            whole.record(v * 37 % 100_003);
+        }
+        let shared = parking_lot::Mutex::new(Hist::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut local = Hist::new();
+                    for v in (t * 2_000)..((t + 1) * 2_000) {
+                        local.record(v * 37 % 100_003);
+                    }
+                    shared.lock().merge(&local);
+                });
+            }
+        });
+        assert_eq!(*shared.lock(), whole);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_counts_and_quantiles() {
+        let mut h = Hist::new();
+        for v in [1u64, 5, 40, 40, 1000, 123_456, 9_999_999] {
+            h.record(v);
+        }
+        let back = Hist::from_buckets(&h.nonzero_buckets());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.nonzero_buckets(), h.nonzero_buckets());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            // Same buckets => same bucket-representative quantiles (up to the
+            // exact min/max clamp, which the sparse form widens slightly).
+            assert_eq!(bucket_index(back.quantile(q)), bucket_index(h.quantile(q)));
+        }
+    }
+}

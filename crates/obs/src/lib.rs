@@ -1,0 +1,54 @@
+//! Unified observability for the RECIPE workspace.
+//!
+//! Three pieces, one crate, zero external dependencies beyond `parking_lot`:
+//!
+//! * [`hist`] — mergeable log-bucketed HDR-style histograms ([`Hist`]) with
+//!   bounded relative quantile error. The YCSB drivers keep one per thread
+//!   (wall-ns and charged-ns), record **every** operation, and merge at
+//!   phase end, replacing the old biased every-8th-op sampling.
+//! * [`registry`] — named [`Counter`]/[`Gauge`]/[`Histogram`] handles plus
+//!   keyed collector closures, unified behind a single [`snapshot`] that
+//!   exports self-describing JSON (`recipe-obs-metrics/v1`) or CSV. The `pm`
+//!   substrate registers a collector for its probe/flush/charged counters;
+//!   the bench layer pushes per-cell latency histograms and epoch gauges.
+//! * [`event`] — an opt-in structured event ring (per-thread bounded
+//!   buffers, global sequencing) tracing SMO steps, epoch advances, and
+//!   crash-site hits; the crash harness dumps the timeline of a failing
+//!   state. Disabled (the default), emitting costs one relaxed atomic load
+//!   and allocates nothing.
+//!
+//! ```
+//! // Metrics: named handles, one snapshot, self-describing export.
+//! obs::counter("demo.ops").add(10);
+//! let lat = obs::histogram("demo.lat_ns");
+//! let mut local = obs::Hist::new(); // per-thread, lock-free
+//! local.record(250);
+//! local.record(4_000);
+//! lat.merge_from(&local);
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.counter_value("demo.ops"), Some(10));
+//! assert_eq!(snap.hist("demo.lat_ns").unwrap().count(), 2);
+//! let json = snap.to_json();
+//! assert!(obs::json::parse(&json).is_ok());
+//! ```
+//!
+//! ```
+//! // Events: opt-in, globally ordered, drained on demand.
+//! let was = obs::event::set_enabled(true);
+//! obs::event::clear();
+//! obs::event::emit("smo.split", "leaf", 42, 0);
+//! let dump = obs::event::drain();
+//! obs::event::set_enabled(was);
+//! assert_eq!(dump.events[0].detail, "leaf");
+//! ```
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod registry;
+
+pub use hist::Hist;
+pub use registry::{
+    counter, gauge, histogram, register_collector, snapshot, Counter, Gauge, Histogram, Sample,
+    Snapshot, Value, SCHEMA,
+};

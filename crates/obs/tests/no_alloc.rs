@@ -1,0 +1,80 @@
+//! Disabled-mode zero-allocation assertion: `obs::event::emit` with tracing
+//! off must not allocate (it is called from every SMO hot path and every
+//! crash-site check, unconditionally).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, which upholds the GlobalAlloc
+// contract; the added counter has no effect on returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `Self::alloc`, i.e. by `System`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as `System::realloc`; ptr originates from it.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations observed across `f`, minimised over a few attempts. The
+/// counter is process-global, so a libtest harness thread scheduled into the
+/// measured window (rare, but real under full-suite load on a small host)
+/// can contribute unrelated allocations; a genuine per-emit allocation would
+/// show up ~10 000 times in *every* attempt, so "any attempt is clean" is
+/// the property that separates the two.
+fn min_allocs_during(mut f: impl FnMut()) -> u64 {
+    let mut min = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        f();
+        min = min.min(ALLOCS.load(Ordering::Relaxed) - before);
+        if min == 0 {
+            break;
+        }
+    }
+    min
+}
+
+// One test function, not two: both phases toggle the global enabled flag,
+// so they must run sequentially.
+#[test]
+fn emit_allocates_nothing_disabled_and_in_enabled_steady_state() {
+    // Phase 1: disabled (the default) — emit must be allocation-free.
+    assert!(!obs::event::enabled(), "tracing must default to off");
+    obs::event::emit("warm", "warm", 0, 0);
+    let disabled = min_allocs_during(|| {
+        for i in 0..10_000u64 {
+            obs::event::emit("hot.kind", "hot.detail", i, i * 2);
+            let _ = obs::event::enabled();
+        }
+    });
+    assert_eq!(disabled, 0, "disabled emit must be allocation-free");
+
+    // Phase 2: enabled steady state — after the first emit registers this
+    // thread's fixed-capacity ring, further emits must reuse it.
+    let was = obs::event::set_enabled(true);
+    obs::event::emit("warm", "warm", 0, 0);
+    let enabled = min_allocs_during(|| {
+        for i in 0..10_000u64 {
+            obs::event::emit("hot.kind", "hot.detail", i, 0);
+        }
+    });
+    obs::event::set_enabled(was);
+    obs::event::clear();
+    assert_eq!(enabled, 0, "steady-state enabled emit must reuse the ring");
+}

@@ -153,6 +153,7 @@ fn fire(name: &'static str) -> ! {
     MODE.store(MODE_OFF, Ordering::SeqCst);
     CRASHED.store(true, Ordering::SeqCst);
     *LAST_CRASH_SITE.lock() = Some(name);
+    obs::event::emit("crash.fire", name, 0, 0);
     std::panic::panic_any(CrashPanic(name));
 }
 
@@ -178,6 +179,7 @@ fn site_slow(mode: u8, name: &'static str) {
         }
     }
     let hit = HITS.fetch_add(1, Ordering::SeqCst) + 1;
+    obs::event::emit("crash.site", name, hit, 0);
     match mode {
         MODE_COUNT => {}
         MODE_NTH if hit == PARAM.load(Ordering::SeqCst) => fire(name),

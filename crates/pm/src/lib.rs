@@ -22,6 +22,9 @@
 //! * [`crash`] — named crash sites placed between the atomic steps of insert and
 //!   structure-modification operations, implementing the paper's targeted
 //!   crash-state generation (§5).
+//! * [`obs_bridge`] — registers an `obs` collector so one `obs::snapshot()`
+//!   export carries the substrate's counters, per-mapping probes, and
+//!   charged-ns breakdown alongside the rest of the stack's metrics.
 //!
 //! The substrate is deliberately process-local and heap-backed: the paper itself notes
 //! that its crash-recovery methodology "does not require actual PM; we are able to
@@ -34,6 +37,7 @@ pub mod alloc;
 pub mod crash;
 pub mod flush;
 pub mod latency;
+pub mod obs_bridge;
 pub mod stats;
 pub mod tracker;
 

@@ -80,8 +80,13 @@ impl Inner {
         }
         if can_advance {
             // A lost race just means another thread advanced for us.
-            let _ =
-                self.epoch.compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if self
+                .epoch
+                .compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                obs::event::emit("epoch.advance", "", global + 1, 0);
+            }
         }
         let global = self.epoch.load(Ordering::SeqCst);
         let ready: Vec<Bag> = {
@@ -95,6 +100,7 @@ impl Inner {
         for bag in ready {
             self.retired_bytes.fetch_sub(bag.bytes, Ordering::Relaxed);
             self.reclaimed_bytes.fetch_add(bag.bytes, Ordering::Relaxed);
+            obs::event::emit("epoch.reclaim", "", bag.bytes, bag.epoch);
             for f in bag.items {
                 f();
             }

@@ -3,9 +3,11 @@
 //! Mirrors the paper's procedure (§7): operations are statically partitioned across
 //! threads, the load phase is executed first, then each run-phase partition is
 //! executed by its own thread while the wall-clock time and the PM substrate's
-//! per-operation counters (`clwb`, fences, node visits) are collected. Every
-//! [`LATENCY_SAMPLE_EVERY`]-th operation per thread is additionally timed end to end,
-//! yielding the p50/p99 tail-latency columns of [`PhaseResult`].
+//! per-operation counters (`clwb`, fences, node visits) are collected. **Every**
+//! operation is timed end to end into a per-thread [`obs::Hist`] (wall-ns and
+//! charged-ns), merged at phase end, so the p50/p90/p99/p999 columns of
+//! [`PhaseResult`] are true full-distribution quantiles — the old every-8th-op
+//! sampling systematically missed rare tail events between sample points.
 //!
 //! Each worker thread drives the index through its own session
 //! [`recipe::session::Handle`]: operations run epoch-pinned with typed
@@ -17,12 +19,8 @@ use recipe::session::{Handle, HandleStats, Index, IndexExt};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// One in this many operations (per thread) is individually timed for the latency
-/// percentiles, keeping the `Instant` overhead off the other operations.
-pub const LATENCY_SAMPLE_EVERY: usize = 8;
-
 /// Result of executing one phase of a workload against one index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PhaseResult {
     /// Total operations executed.
     pub ops: u64,
@@ -39,53 +37,105 @@ pub struct PhaseResult {
     /// Number of reads that found no value (sanity signal; should be ~0 for reads of
     /// loaded keys).
     pub failed_reads: u64,
-    /// Median sampled operation latency, in nanoseconds (0 if the phase was empty).
+    /// Median operation latency in nanoseconds, from the full wall-clock
+    /// distribution (0 if the phase was empty).
     pub p50_ns: u64,
-    /// 99th-percentile sampled operation latency, in nanoseconds.
+    /// 90th-percentile operation latency, in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile operation latency, in nanoseconds.
     pub p99_ns: u64,
+    /// 99.9th-percentile operation latency, in nanoseconds.
+    pub p999_ns: u64,
     /// Simulated PM nanoseconds charged per operation by the installed
     /// [`pm::latency::Model`] (read charges + deduplicated flushes + fences); 0 when
     /// the zero model is installed.
     pub sim_ns_per_op: f64,
+    /// Full wall-clock latency distribution (every operation recorded).
+    pub wall_hist: obs::Hist,
+    /// Full distribution of per-operation simulated PM charge (deterministic
+    /// under the simulated clock).
+    pub charged_hist: obs::Hist,
     /// Session statistics merged across every worker thread's handle.
     pub handle_stats: HandleStats,
 }
 
-/// Nearest-rank percentile over an ascending-sorted sample set.
-fn percentile(sorted: &[u64], pct: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+/// Assemble a [`PhaseResult`] from merged per-thread state; shared by this
+/// driver and the sharded one so the quantile definitions cannot drift.
+// One argument per merged input — bundling them into a struct would just move
+// the field list one call site up.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn phase_result(
+    ops: u64,
+    secs: f64,
+    delta: pm::stats::Stats,
+    charged: pm::latency::ChargedNs,
+    failed_reads: u64,
+    wall_hist: obs::Hist,
+    charged_hist: obs::Hist,
+    handle_stats: HandleStats,
+) -> PhaseResult {
+    let per_op = delta.per_op(ops);
+    PhaseResult {
+        ops,
+        secs,
+        mops: ops as f64 / secs / 1e6,
+        clwb_per_op: per_op.clwb,
+        fence_per_op: per_op.fence,
+        node_visits_per_op: per_op.node_visits,
+        failed_reads,
+        p50_ns: wall_hist.quantile(0.50),
+        p90_ns: wall_hist.quantile(0.90),
+        p99_ns: wall_hist.quantile(0.99),
+        p999_ns: wall_hist.quantile(0.999),
+        sim_ns_per_op: charged.total() as f64 / ops.max(1) as f64,
+        wall_hist,
+        charged_hist,
+        handle_stats,
     }
-    let idx = ((sorted.len() - 1) as f64 * pct).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Per-thread execution state: the session handle plus the reusable scan
-/// buffer the cursor streams into (no per-scan allocation).
+/// buffer the cursor streams into (no per-scan allocation), and the two
+/// private latency histograms every operation is recorded into (lock-free by
+/// ownership; merged once at phase end).
 pub(crate) struct Worker<'a> {
     handle: Handle<'a>,
     scan_buf: Vec<(Vec<u8>, u64)>,
     supports_scan: bool,
-    pub(crate) lat: Vec<u64>,
+    pub(crate) wall: obs::Hist,
+    pub(crate) charged: obs::Hist,
     pub(crate) failed_reads: u64,
+    /// End timestamp of the previous operation, doubling as the start of the
+    /// next one: recording every operation (no sampling) costs one clock
+    /// read per op instead of two.
+    last_now: Instant,
 }
 
 impl<'a> Worker<'a> {
-    pub(crate) fn new(index: &'a dyn Index, lat_capacity: usize) -> Self {
+    pub(crate) fn new(index: &'a dyn Index) -> Self {
         let handle = index.handle();
         Worker {
             supports_scan: handle.capabilities().scan,
             handle,
             scan_buf: Vec::new(),
-            lat: Vec::with_capacity(lat_capacity),
+            wall: obs::Hist::new(),
+            charged: obs::Hist::new(),
             failed_reads: 0,
+            last_now: Instant::now(),
         }
     }
 
-    /// Execute one operation through the session handle; `timed` adds the
-    /// end-to-end latency to the sample set.
-    pub(crate) fn run_op(&mut self, op: &Op, timed: bool) {
-        let t0 = if timed { Some(Instant::now()) } else { None };
+    /// Re-anchor the chained timestamp. Call after any off-measurement work
+    /// between `run_op` calls (e.g. the sharded driver generating its next
+    /// op chunk) so that time is not attributed to the following operation.
+    pub(crate) fn resync(&mut self) {
+        self.last_now = Instant::now();
+    }
+
+    /// Execute one operation through the session handle, recording its
+    /// end-to-end wall latency and simulated-PM charge.
+    pub(crate) fn run_op(&mut self, op: &Op) {
+        let c0 = pm::latency::charged_local().total();
         match op {
             Op::Insert(k, v) => {
                 let _ = self.handle.insert(k, *v);
@@ -113,9 +163,10 @@ impl<'a> Worker<'a> {
                 }
             }
         }
-        if let Some(t0) = t0 {
-            self.lat.push(t0.elapsed().as_nanos() as u64);
-        }
+        let now = Instant::now();
+        self.wall.record((now - self.last_now).as_nanos() as u64);
+        self.last_now = now;
+        self.charged.record(pm::latency::charged_local().total().saturating_sub(c0));
     }
 
     pub(crate) fn stats(&self) -> HandleStats {
@@ -129,7 +180,8 @@ fn run_partitions(index: &dyn Index, partitions: &[Vec<Op>]) -> PhaseResult {
     let before = pm::stats::snapshot();
     let charged_before = pm::latency::charged();
     let start = Instant::now();
-    let mut samples: Vec<u64> = Vec::new();
+    let mut wall_hist = obs::Hist::new();
+    let mut charged_hist = obs::Hist::new();
     let mut handle_stats = HandleStats::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
@@ -137,40 +189,37 @@ fn run_partitions(index: &dyn Index, partitions: &[Vec<Op>]) -> PhaseResult {
             .map(|part| {
                 let failed = &failed_reads;
                 scope.spawn(move || {
-                    let mut worker = Worker::new(index, part.len() / LATENCY_SAMPLE_EVERY + 1);
-                    for (i, op) in part.iter().enumerate() {
-                        worker.run_op(op, i % LATENCY_SAMPLE_EVERY == 0);
+                    let mut worker = Worker::new(index);
+                    worker.resync();
+                    for op in part.iter() {
+                        worker.run_op(op);
                     }
                     failed.fetch_add(worker.failed_reads, Ordering::Relaxed);
                     let stats = worker.stats();
-                    (worker.lat, stats)
+                    (worker.wall, worker.charged, stats)
                 })
             })
             .collect();
         for h in handles {
-            let (lat, stats) = h.join().expect("worker thread panicked");
-            samples.extend(lat);
+            let (wall, charged, stats) = h.join().expect("worker thread panicked");
+            wall_hist.merge(&wall);
+            charged_hist.merge(&charged);
             handle_stats.merge(&stats);
         }
     });
     let secs = start.elapsed().as_secs_f64();
     let delta = pm::stats::snapshot().since(&before);
     let charged = pm::latency::charged().since(&charged_before);
-    let per_op = delta.per_op(total_ops);
-    samples.sort_unstable();
-    PhaseResult {
-        ops: total_ops,
+    phase_result(
+        total_ops,
         secs,
-        mops: total_ops as f64 / secs / 1e6,
-        clwb_per_op: per_op.clwb,
-        fence_per_op: per_op.fence,
-        node_visits_per_op: per_op.node_visits,
-        failed_reads: failed_reads.load(Ordering::Relaxed),
-        p50_ns: percentile(&samples, 0.50),
-        p99_ns: percentile(&samples, 0.99),
-        sim_ns_per_op: charged.total() as f64 / total_ops.max(1) as f64,
+        delta,
+        charged,
+        failed_reads.load(Ordering::Relaxed),
+        wall_hist,
+        charged_hist,
         handle_stats,
-    }
+    )
 }
 
 /// Result of a full load + run execution.
@@ -264,7 +313,7 @@ mod tests {
     }
 
     #[test]
-    fn latency_percentiles_are_sampled_and_ordered() {
+    fn latency_histograms_cover_every_op_and_quantiles_are_ordered() {
         let spec = Spec {
             load_count: 4_000,
             op_count: 4_000,
@@ -276,21 +325,22 @@ mod tests {
         let model = Model { map: RwLock::new(BTreeMap::new()) };
         let res = run_spec(&model, &spec);
         for phase in [&res.load, &res.run] {
-            assert!(phase.p50_ns > 0, "sampled phases must report a median");
-            assert!(phase.p50_ns <= phase.p99_ns, "p50 must not exceed p99");
+            // Full distribution: one record per executed operation.
+            assert_eq!(phase.wall_hist.count(), phase.ops);
+            assert_eq!(phase.charged_hist.count(), phase.ops);
+            assert!(phase.p50_ns > 0, "phases must report a median");
+            assert!(
+                phase.p50_ns <= phase.p90_ns
+                    && phase.p90_ns <= phase.p99_ns
+                    && phase.p99_ns <= phase.p999_ns,
+                "quantiles must be monotone: p50={} p90={} p99={} p999={}",
+                phase.p50_ns,
+                phase.p90_ns,
+                phase.p99_ns,
+                phase.p999_ns
+            );
+            assert!(phase.p999_ns <= phase.wall_hist.max());
         }
-    }
-
-    #[test]
-    fn percentile_is_nearest_rank() {
-        assert_eq!(super::percentile(&[], 0.5), 0);
-        assert_eq!(super::percentile(&[7], 0.99), 7);
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(super::percentile(&v, 0.0), 1);
-        // Index (n-1)*q rounds half away from zero: (99 * 0.5).round() = 50 -> 51.
-        assert_eq!(super::percentile(&v, 0.50), 51);
-        assert_eq!(super::percentile(&v, 0.99), 99);
-        assert_eq!(super::percentile(&v, 1.0), 100);
     }
 
     #[test]

@@ -13,6 +13,6 @@ pub mod driver;
 pub mod shard;
 pub mod workload;
 
-pub use driver::{execute, run_spec, PhaseResult, RunResult, LATENCY_SAMPLE_EVERY};
+pub use driver::{execute, run_spec, PhaseResult, RunResult};
 pub use shard::{peak_resident_ops, reset_peak_resident_ops, run_spec_sharded, DEFAULT_CHUNK_OPS};
 pub use workload::{generate, id_value, GeneratedWorkload, KeyType, Op, Spec, Workload};

@@ -20,7 +20,7 @@
 //! principle but have probability ~`n²/2⁶⁴`; a collision merely turns one insert
 //! into an upsert of the same derived value, so every check stays valid.
 
-use crate::driver::{PhaseResult, RunResult, Worker, LATENCY_SAMPLE_EVERY};
+use crate::driver::{phase_result, PhaseResult, RunResult, Worker};
 use crate::workload::{id_value, Op, Spec};
 use recipe::session::{HandleStats, Index};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -109,15 +109,6 @@ fn gen_op(spec: &Spec, phase: &Phase, threads: usize, t: usize, j: usize) -> Op 
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted sample set.
-fn percentile(sorted: &[u64], pct: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * pct).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 fn run_phase(index: &dyn Index, spec: &Spec, phase: &Phase, chunk: usize) -> PhaseResult {
     let threads = spec.threads.max(1);
     let chunk = chunk.max(1);
@@ -129,7 +120,8 @@ fn run_phase(index: &dyn Index, spec: &Spec, phase: &Phase, chunk: usize) -> Pha
     let before = pm::stats::snapshot();
     let charged_before = pm::latency::charged();
     let start = Instant::now();
-    let mut samples: Vec<u64> = Vec::new();
+    let mut wall_hist = obs::Hist::new();
+    let mut charged_hist = obs::Hist::new();
     let mut handle_stats = HandleStats::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -138,7 +130,7 @@ fn run_phase(index: &dyn Index, spec: &Spec, phase: &Phase, chunk: usize) -> Pha
                 let phase = &*phase;
                 scope.spawn(move || {
                     let my_ops = thread_share(total, threads, t);
-                    let mut worker = Worker::new(index, my_ops / LATENCY_SAMPLE_EVERY + 1);
+                    let mut worker = Worker::new(index);
                     let mut buf: Vec<Op> = Vec::with_capacity(chunk.min(my_ops));
                     let mut done = 0usize;
                     while done < my_ops {
@@ -148,42 +140,40 @@ fn run_phase(index: &dyn Index, spec: &Spec, phase: &Phase, chunk: usize) -> Pha
                             buf.push(gen_op(spec, phase, threads, t, j));
                         }
                         gauge_add(n);
-                        for (i, op) in buf.iter().enumerate() {
-                            worker.run_op(op, (done + i) % LATENCY_SAMPLE_EVERY == 0);
+                        // Chunk generation above is not operation latency.
+                        worker.resync();
+                        for op in buf.iter() {
+                            worker.run_op(op);
                         }
                         gauge_sub(n);
                         done += n;
                     }
                     failed.fetch_add(worker.failed_reads, Ordering::Relaxed);
                     let stats = worker.stats();
-                    (worker.lat, stats)
+                    (worker.wall, worker.charged, stats)
                 })
             })
             .collect();
         for h in handles {
-            let (lat, stats) = h.join().expect("worker thread panicked");
-            samples.extend(lat);
+            let (wall, charged, stats) = h.join().expect("worker thread panicked");
+            wall_hist.merge(&wall);
+            charged_hist.merge(&charged);
             handle_stats.merge(&stats);
         }
     });
     let secs = start.elapsed().as_secs_f64();
     let delta = pm::stats::snapshot().since(&before);
     let charged = pm::latency::charged().since(&charged_before);
-    let per_op = delta.per_op(total as u64);
-    samples.sort_unstable();
-    PhaseResult {
-        ops: total as u64,
+    phase_result(
+        total as u64,
         secs,
-        mops: total as f64 / secs / 1e6,
-        clwb_per_op: per_op.clwb,
-        fence_per_op: per_op.fence,
-        node_visits_per_op: per_op.node_visits,
-        failed_reads: failed_reads.load(Ordering::Relaxed),
-        p50_ns: percentile(&samples, 0.50),
-        p99_ns: percentile(&samples, 0.99),
-        sim_ns_per_op: charged.total() as f64 / (total as u64).max(1) as f64,
+        delta,
+        charged,
+        failed_reads.load(Ordering::Relaxed),
+        wall_hist,
+        charged_hist,
         handle_stats,
-    }
+    )
 }
 
 /// Execute `spec` against `index` with chunked per-thread generation: load phase
