@@ -1,0 +1,152 @@
+//! CI gate for the sharded session-store service: a reduced 2-shard soak
+//! over persistent Bw-trees that must demonstrate, in one run,
+//!
+//! 1. **shed accounting that adds up** — an open-loop flood against a small
+//!    bounded queue sheds with typed reasons, and
+//!    `offered == enqueued + shed(queue_full)` holds exactly, with every
+//!    enqueued op executed;
+//! 2. **batching** — the flood produces real group-commit batches (mean
+//!    batch > 1) and charges fewer fences than ops;
+//! 3. **the per-shard metrics export** — `service_metrics.json` parses,
+//!    carries the `recipe-obs-metrics/v1` schema stamp, and contains every
+//!    `service.shard{i}.*` counter/gauge plus an exact latency histogram
+//!    whose count equals the executed ops;
+//! 4. **zero event-ring drops** — with the ring drained between chunks (cap
+//!    4096 per thread), nothing is overwritten.
+//!
+//! Exits non-zero on the first violation so the workflow step fails loudly.
+
+use service::{run_open_loop, LoadgenConfig, Service, ServiceConfig};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("service_smoke: FAIL — {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    bench::install_latency_from_env();
+    pm::obs_bridge::install_obs();
+    obs::event::set_enabled(true);
+    let _ = obs::event::drain();
+
+    let shards = 2usize;
+    let svc = Service::start(ServiceConfig { shards, queue_cap: 256, max_batch: 32 }, |_| {
+        Arc::new(bwtree::PBwTree::new())
+    });
+
+    // Chunked open-loop flood: chunks keep per-thread event volume under the
+    // ring capacity so "zero drops" is a real assertion, not luck.
+    let chunks = 10u64;
+    let chunk_ops = 6_000u64;
+    let mut offered = 0u64;
+    let mut dropped = 0u64;
+    let mut last = None;
+    for chunk in 0..chunks {
+        let report = run_open_loop(
+            &svc,
+            &LoadgenConfig {
+                keys: 5_000,
+                ops: chunk_ops,
+                read_pct: 30,
+                remove_pct: 20,
+                churn: 2_000,
+                seed: 0x5A0C ^ chunk,
+                ..LoadgenConfig::default()
+            },
+        );
+        offered += chunk_ops;
+        dropped += obs::event::drain().dropped;
+        last = Some(report);
+    }
+    let report = last.expect("at least one chunk ran");
+    let stats = svc.shutdown();
+    dropped += obs::event::drain().dropped;
+
+    // 1. Shed accounting adds up exactly.
+    let enqueued: u64 = stats.iter().map(|s| s.enqueued).sum();
+    let completed: u64 = stats.iter().map(|s| s.completed).sum();
+    let shed_q: u64 = stats.iter().map(|s| s.shed_queue_full).sum();
+    let shed_cap: u64 = stats.iter().map(|s| s.shed_index_capacity).sum();
+    if enqueued + shed_q != offered {
+        fail(&format!("accounting leak: enqueued {enqueued} + shed {shed_q} != offered {offered}"));
+    }
+    if completed + shed_cap != enqueued {
+        fail(&format!(
+            "lost ops: completed {completed} + capacity-shed {shed_cap} != enqueued {enqueued}"
+        ));
+    }
+    if shed_cap != 0 {
+        fail("P-BwTree has no capacity limit; capacity sheds are impossible here");
+    }
+    eprintln!(
+        "# offered {offered} completed {completed} shed(queue_full) {shed_q} \
+         ({:.1}% shed under flood)",
+        100.0 * shed_q as f64 / offered as f64
+    );
+
+    // 2. The flood batches.
+    let batches: u64 = stats.iter().map(|s| s.batches).sum();
+    if batches == 0 || completed as f64 / batches as f64 <= 1.0 {
+        fail(&format!("open-loop flood must batch: {completed} ops in {batches} batches"));
+    }
+    eprintln!(
+        "# {batches} group commits, mean batch {:.1}, charged {:.0} ns/op",
+        completed as f64 / batches as f64,
+        report.charged_ns_per_op()
+    );
+
+    // 3. Per-shard metrics export.
+    let path = match bench::metrics::export("service_metrics") {
+        Ok(p) => p,
+        Err(e) => fail(&format!("could not write service_metrics.json: {e}")),
+    };
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("could not read back {}: {e}", path.display())));
+    let doc = obs::json::parse(&raw)
+        .unwrap_or_else(|e| fail(&format!("service_metrics.json is not valid JSON: {e}")));
+    if doc.get("schema").and_then(|v| v.as_str()) != Some(obs::SCHEMA) {
+        fail(&format!("schema stamp missing or not {:?}", obs::SCHEMA));
+    }
+    let Some(metrics) = doc.get("metrics").and_then(|v| v.as_array()) else {
+        fail("top-level \"metrics\" array missing");
+    };
+    let names: BTreeSet<&str> =
+        metrics.iter().filter_map(|m| m.get("name").and_then(|v| v.as_str())).collect();
+    for i in 0..shards {
+        for suffix in [
+            "enqueued",
+            "completed",
+            "batches",
+            "shed.queue_full",
+            "shed.index_capacity",
+            "queue_depth",
+            "latency_ns",
+        ] {
+            let name = format!("service.shard{i}.{suffix}");
+            if !names.contains(name.as_str()) {
+                fail(&format!("required metric {name} missing from service_metrics.json"));
+            }
+        }
+    }
+    // The latency histograms are exact: one record per executed op.
+    let mut hist_total = 0u64;
+    for i in 0..shards {
+        let h = obs::histogram(&format!("service.shard{i}.latency_ns")).snapshot();
+        if h.quantile(0.5) > h.quantile(0.999) {
+            fail(&format!("shard {i}: quantiles out of order"));
+        }
+        hist_total += h.count();
+    }
+    if hist_total != completed {
+        fail(&format!("latency histograms hold {hist_total} samples != {completed} executed ops"));
+    }
+    eprintln!("# wrote per-shard metrics to {}", path.display());
+
+    // 4. Event-ring integrity.
+    if dropped != 0 {
+        fail(&format!("{dropped} events dropped by ring overflow during the soak"));
+    }
+    eprintln!("# event ring clean (0 drops); service_smoke OK");
+}

@@ -16,9 +16,10 @@
 //! conversion at 85 LOC of 5.2K for the BwTree CC implementation.
 //!
 //! `BwTree<Dram>` is the original concurrent DRAM index; `BwTree<Pmem>` is
-//! P-BwTree, with crash sites at every ordered SMO step and a
-//! [`recipe::index::Recoverable::recover`] that replays incomplete split-delta
-//! installations at restart.
+//! P-BwTree, with crash sites at every ordered SMO step (splits *and* the
+//! three-step node merge that retires emptied leaves) and a
+//! [`recipe::index::Recoverable::recover`] that replays incomplete SMOs at
+//! restart.
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -39,9 +40,11 @@ pub type DramBwTree = BwTree<Dram>;
 
 /// Every crash site this crate can emit, for the §5 per-site exhaustive sweep.
 ///
-/// The first four cover the single-atomic-store (non-SMO) commits; the remaining
-/// six are the ordered steps of the split SMO, the help path's flush-after-load,
-/// and the root split.
+/// The first four cover the single-atomic-store (non-SMO) commits; the next six
+/// are the ordered steps of the split SMO, the help path's flush-after-load,
+/// and the root split; the final four are the ordered steps of the merge SMO
+/// (remove-node published → helper flush → merge delta published → parent
+/// index term deleted).
 pub const CRASH_SITES: &[&str] = &[
     "bwtree.insert.delta_published",
     "bwtree.update.delta_published",
@@ -53,6 +56,10 @@ pub const CRASH_SITES: &[&str] = &[
     "bwtree.smo.parent_published",
     "bwtree.root_split.new_root_installed",
     "bwtree.root_split.committed",
+    "bwtree.merge.remove_published",
+    "bwtree.help.merge_flushed",
+    "bwtree.merge.merge_published",
+    "bwtree.merge.parent_updated",
 ];
 
 /// What this index supports. `linearizable_update` is `true`: the presence
@@ -104,6 +111,11 @@ impl<P: PersistMode> Index for BwTree<P> {
 
     fn reclaimer(&self) -> Option<&recipe::epoch::Collector> {
         Some(BwTree::reclaimer(self))
+    }
+
+    fn exec_settle(&self) {
+        // Maintenance between batches: retire emptied leaves via the merge SMO.
+        BwTree::merge_empty_pages(self);
     }
 }
 
@@ -385,6 +397,73 @@ mod tests {
         t.reclaimer().flush();
         assert_eq!(t.retired_bytes(), 0);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn merge_retires_emptied_pages_and_gauge_shrinks() {
+        let t: PBwTree = BwTree::new();
+        for i in 0..600u64 {
+            t.insert(&u64_key(i), i);
+        }
+        // Empty a wide middle range: the emptied leaves must be merged away,
+        // not left as permanent husks every scan still traverses.
+        for i in 100..500u64 {
+            assert!(t.remove(&u64_key(i)));
+        }
+        let backlog = t.empty_leaf_pages();
+        let swept = t.merge_empty_pages();
+        assert!(
+            t.merged_pages() > 0,
+            "delete-heavy churn must complete merges (inline {} + swept {swept})",
+            t.merged_pages() - swept,
+        );
+        assert!(
+            t.empty_leaf_pages() <= backlog && t.empty_leaf_pages() <= 1,
+            "empty-page backlog must shrink to at most the leftmost leaf: \
+             {backlog} -> {}",
+            t.empty_leaf_pages()
+        );
+        assert_eq!(t.incomplete_smos(), 0, "merges must be driven to completion");
+
+        // Merged key space stays fully consistent: lookups, ordered scans and
+        // re-inserts into the adopted ranges all behave.
+        assert_eq!(t.get(&u64_key(99)), Some(99));
+        assert_eq!(t.get(&u64_key(300)), None);
+        assert_eq!(t.get(&u64_key(550)), Some(550));
+        let got = t.scan(&u64_key(0), 1_000);
+        assert_eq!(got.len(), 200);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        for i in 100..500u64 {
+            assert!(t.insert(&u64_key(i), i * 2), "re-insert {i} into merged range");
+        }
+        for i in 100..500u64 {
+            assert_eq!(t.get(&u64_key(i)), Some(i * 2));
+        }
+        assert_eq!(t.len(), 600);
+        // The husks' memory went through the epoch domain.
+        t.reclaimer().flush();
+        assert!(t.reclaimed_bytes() > 0);
+    }
+
+    #[test]
+    fn emptied_tree_merges_down_and_reports_empty() {
+        let t: PBwTree = BwTree::new();
+        for i in 0..300u64 {
+            t.insert(&u64_key(i), i);
+        }
+        assert!(!t.is_empty());
+        for i in 0..300u64 {
+            assert!(t.remove(&u64_key(i)));
+        }
+        assert!(t.is_empty(), "mapping-table walk must see no live records");
+        t.merge_empty_pages();
+        assert!(t.is_empty());
+        assert_eq!(t.empty_leaf_pages(), 1, "only the leftmost leaf may remain empty");
+        assert_eq!(t.len(), 0);
+        for i in 0..300u64 {
+            assert!(t.insert(&u64_key(i), i + 1), "tree must stay writable after merges");
+        }
+        assert_eq!(t.len(), 300);
     }
 
     #[test]

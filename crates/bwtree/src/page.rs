@@ -39,6 +39,11 @@ pub struct BasePage {
     pub vals: Vec<Pid>,
     /// Child covering keys below every separator (inner pages only).
     pub leftmost: Pid,
+    /// Inclusive lower bound of this page's key space (`None` = unbounded, i.e.
+    /// the leftmost page of its level). Set when a split creates the page and
+    /// preserved by consolidation; the merge SMO routes toward it to find the
+    /// victim's parent entry and left sibling.
+    pub low: Option<Box<[u8]>>,
     /// Exclusive upper bound of this page's key space (`None` = unbounded).
     pub high: Option<Box<[u8]>>,
     /// Right sibling PID at the time the base was built ([`NO_PID`] = none).
@@ -54,17 +59,9 @@ impl BasePage {
             keys: Vec::new(),
             vals: Vec::new(),
             leftmost: NO_PID,
+            low: None,
             high: None,
             right: NO_PID,
-        }
-    }
-
-    /// Index of the rightmost separator `<= key`, if any (inner pages).
-    fn route_idx(&self, key: &[u8]) -> Option<usize> {
-        match self.keys.binary_search_by(|k| k.as_ref().cmp(key)) {
-            Ok(i) => Some(i),
-            Err(0) => None,
-            Err(i) => Some(i - 1),
         }
     }
 }
@@ -105,6 +102,40 @@ pub enum DeltaKind {
         /// Separator key being installed.
         sep: Box<[u8]>,
         /// PID of the split-off child.
+        child: Pid,
+    },
+    /// Merge SMO step 1 — posted on the (empty) victim page. The page is
+    /// logically deleted: writers that observe it help complete the merge and
+    /// re-descend; lookups keep answering from the frozen chain below (the
+    /// page is empty, so `Missing` stays correct), and scans keep following
+    /// the right link.
+    RemoveNode {
+        /// Transient completion hint, like [`DeltaKind::Split::done`]: set once
+        /// a helper confirmed all three merge steps; re-derived after a crash.
+        done: AtomicBool,
+    },
+    /// Merge SMO step 2 — posted on the victim's live left sibling, extending
+    /// its key space over the victim's: the sibling's effective high key and
+    /// right link become the victim's. Never published over a chain that still
+    /// carries a split delta (consolidate first), so everything below a merge
+    /// delta is bounded by it.
+    Merge {
+        /// The victim's (frozen) exclusive high key — the new bound here.
+        high: Option<Box<[u8]>>,
+        /// The victim's (frozen) right sibling — the new right link here.
+        right: Pid,
+        /// PID of the removed page, for helpers and diagnostics.
+        victim: Pid,
+    },
+    /// Merge SMO step 3 — posted on the victim's parent: the routing entry
+    /// `(sep -> child)` no longer exists, so keys at or beyond `sep` fall back
+    /// to the preceding separator (the sibling that absorbed the victim).
+    IndexTermDelete {
+        /// Separator of the entry being deleted (the victim's low key).
+        sep: Box<[u8]>,
+        /// The removed child the entry routed to. Deletion is pair-exact: a
+        /// newer re-promotion of the same separator to a different child is
+        /// not affected.
         child: Pid,
     },
 }
@@ -158,6 +189,10 @@ pub enum Find {
 /// consulted (older records covering those keys were already copied right).
 pub fn leaf_lookup(head: *mut Delta, key: &[u8]) -> Find {
     let mut cur = head;
+    // Once a merge delta is passed, it owns the page's high/right boundary:
+    // the base's (narrower) bound below it must not redirect keys the merge
+    // adopted from the victim.
+    let mut merged = false;
     loop {
         let d = delta_ref(cur);
         match &d.kind {
@@ -166,8 +201,14 @@ pub fn leaf_lookup(head: *mut Delta, key: &[u8]) -> Find {
             DeltaKind::Split { sep, right, .. } if key >= sep.as_ref() => {
                 return Find::Right(*right)
             }
+            DeltaKind::Merge { high, right, .. } if !merged => {
+                if high.as_ref().is_some_and(|h| key >= h.as_ref()) {
+                    return Find::Right(*right);
+                }
+                merged = true;
+            }
             DeltaKind::Base(b) => {
-                if b.high.as_ref().is_some_and(|h| key >= h.as_ref()) {
+                if !merged && b.high.as_ref().is_some_and(|h| key >= h.as_ref()) {
                     return Find::Right(b.right);
                 }
                 return match b.keys.binary_search_by(|k| k.as_ref().cmp(key)) {
@@ -191,29 +232,65 @@ pub enum Route {
 }
 
 /// Route `key` through the inner chain snapshot at `head`: the child under the
-/// largest separator `<= key`, taking uncombined [`DeltaKind::IndexEntry`] records
-/// and split truncation into account.
+/// largest separator `<= key`, taking uncombined [`DeltaKind::IndexEntry`] records,
+/// [`DeltaKind::IndexTermDelete`] shadowing and split truncation into account.
 pub fn inner_route(head: *mut Delta, key: &[u8]) -> Route {
+    inner_route_impl(head, key, true)
+}
+
+/// Route toward the *predecessor region* of `key`: the child covering the
+/// largest keys strictly below `key`. Used by the merge SMO to find the live
+/// left sibling of a page whose low key is `key` — strict comparisons mean the
+/// victim's own separator never routes here.
+pub fn inner_route_before(head: *mut Delta, key: &[u8]) -> Route {
+    inner_route_impl(head, key, false)
+}
+
+fn inner_route_impl(head: *mut Delta, key: &[u8], inclusive: bool) -> Route {
+    // `sep` routes for `key` when sep <= key (inclusive) or sep < key (strict).
+    let routes = |sep: &[u8]| if inclusive { sep <= key } else { sep < key };
+    // The page covers `key` (resp. its predecessor) unless key >= high
+    // (resp. key > high: the predecessor of `high` still lives here).
+    let beyond = |h: &[u8]| if inclusive { key >= h } else { key > h };
     let mut best: Option<(&[u8], Pid)> = None;
+    // Pair-exact tombstones from index-term-delete deltas. Empty (never
+    // allocated) unless the chain carries a pending merge completion.
+    let mut deleted: Vec<(&[u8], Pid)> = Vec::new();
     let mut cur = head;
     loop {
         let d = delta_ref(cur);
         match &d.kind {
             DeltaKind::IndexEntry { sep, child }
-                if sep.as_ref() <= key && best.is_none_or(|(b, _)| sep.as_ref() > b) =>
+                if routes(sep)
+                    && best.is_none_or(|(b, _)| sep.as_ref() > b)
+                    && !deleted.contains(&(sep.as_ref(), *child)) =>
             {
                 best = Some((sep.as_ref(), *child));
             }
-            DeltaKind::Split { sep, right, .. } if key >= sep.as_ref() => {
-                return Route::Right(*right)
+            DeltaKind::IndexTermDelete { sep, child } => {
+                deleted.push((sep.as_ref(), *child));
             }
+            DeltaKind::Split { sep, right, .. } if beyond(sep) => return Route::Right(*right),
             DeltaKind::Base(b) => {
-                if b.high.as_ref().is_some_and(|h| key >= h.as_ref()) {
+                if b.high.as_ref().is_some_and(|h| beyond(h)) {
                     return Route::Right(b.right);
                 }
-                if let Some(i) = b.route_idx(key) {
-                    if best.is_none_or(|(bk, _)| b.keys[i].as_ref() > bk) {
-                        best = Some((b.keys[i].as_ref(), b.vals[i]));
+                let mut i = match b.keys.binary_search_by(|k| k.as_ref().cmp(key)) {
+                    Ok(i) if inclusive => Some(i),
+                    Ok(0) | Err(0) => None,
+                    Ok(i) | Err(i) => Some(i - 1),
+                };
+                // Step left over base entries shadowed by a term delete.
+                while let Some(ix) = i {
+                    if deleted.contains(&(b.keys[ix].as_ref(), b.vals[ix])) {
+                        i = ix.checked_sub(1);
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(ix) = i {
+                    if best.is_none_or(|(bk, _)| b.keys[ix].as_ref() > bk) {
+                        best = Some((b.keys[ix].as_ref(), b.vals[ix]));
                     }
                 }
                 return Route::Child(best.map_or(b.leftmost, |(_, c)| c));
@@ -232,6 +309,8 @@ pub fn inner_contains_sep(head: *mut Delta, sep: &[u8]) -> bool {
         let d = delta_ref(cur);
         match &d.kind {
             DeltaKind::IndexEntry { sep: s, .. } if s.as_ref() == sep => return true,
+            // A newer term delete shadows every older record for this separator.
+            DeltaKind::IndexTermDelete { sep: s, .. } if s.as_ref() == sep => return false,
             DeltaKind::Split { sep: s, .. } if sep >= s.as_ref() => return false,
             DeltaKind::Base(b) => {
                 if b.high.as_ref().is_some_and(|h| sep >= h.as_ref()) {
@@ -265,6 +344,109 @@ pub fn first_split(head: *mut Delta) -> Option<(&'static Delta, &'static [u8], P
     }
 }
 
+/// The newest structure-modification marker in a chain, for the helping
+/// mechanism: markers are published in completion order, so the newest one is
+/// the only SMO that can still be incomplete.
+pub enum SmoMarker {
+    /// A split delta: `(delta node, separator, right PID)`.
+    Split(&'static Delta, &'static [u8], Pid),
+    /// A remove-node delta on a merge victim (this page is logically deleted).
+    Removed(&'static Delta),
+    /// A merge delta on the adopting sibling: `(delta node, victim PID)`.
+    Merged(&'static Delta, Pid),
+}
+
+/// The newest SMO marker in the chain at `head`, if any.
+pub fn first_smo(head: *mut Delta) -> Option<SmoMarker> {
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        match &d.kind {
+            // SAFETY of the 'static launder: see `delta_ref` — nodes live until
+            // the tree is dropped, and callers only use the borrow while the
+            // tree is alive.
+            DeltaKind::Split { sep, right, .. } => {
+                return Some(SmoMarker::Split(d, sep.as_ref(), *right));
+            }
+            DeltaKind::RemoveNode { .. } => return Some(SmoMarker::Removed(d)),
+            DeltaKind::Merge { victim, .. } => return Some(SmoMarker::Merged(d, *victim)),
+            DeltaKind::Base(_) => return None,
+            _ => {}
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
+/// Whether the chain carries a remove-node delta (the page was, or is being,
+/// merged away). A removed page never takes new records, so the marker — once
+/// present — is permanent.
+pub fn chain_removed(head: *mut Delta) -> bool {
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        match &d.kind {
+            DeltaKind::RemoveNode { .. } => return true,
+            DeltaKind::Base(_) => return false,
+            _ => {}
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
+/// Whether the leaf chain at `head` holds at least one live record —
+/// allocation-free, unlike materializing a [`build_view`] or a scan. Each
+/// candidate key (insert deltas and base keys) is resolved through
+/// [`leaf_lookup`] on the same snapshot, so delete shadowing and split/merge
+/// truncation are honoured exactly.
+pub fn page_live(head: *mut Delta) -> bool {
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        match &d.kind {
+            DeltaKind::Insert { key, .. } => {
+                if matches!(leaf_lookup(head, key), Find::Val(_)) {
+                    return true;
+                }
+            }
+            DeltaKind::Base(b) => {
+                return b.keys.iter().any(|k| matches!(leaf_lookup(head, k), Find::Val(_)));
+            }
+            _ => {}
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
+/// The effective `(high, right)` boundary of the chain at `head`: the newest
+/// split or merge delta owns it, else the base. Clones the key (slow-path use:
+/// the merge SMO and diagnostics).
+pub fn effective_bounds(head: *mut Delta) -> (Option<Box<[u8]>>, Pid) {
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        match &d.kind {
+            DeltaKind::Split { sep, right, .. } => return (Some(sep.clone()), *right),
+            DeltaKind::Merge { high, right, .. } => return (high.clone(), *right),
+            DeltaKind::Base(b) => return (b.high.clone(), b.right),
+            _ => {}
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
+/// The page's inclusive low bound, from its base (stable for the page's
+/// lifetime: splits and merges never move a page's own low key).
+pub fn page_low(head: *mut Delta) -> Option<Box<[u8]>> {
+    let mut cur = head;
+    loop {
+        let d = delta_ref(cur);
+        if let DeltaKind::Base(b) = &d.kind {
+            return b.low.clone();
+        }
+        cur = d.next.load(Ordering::Acquire);
+    }
+}
+
 /// Number of records in the chain at `head`, including the base.
 pub fn chain_len(head: *mut Delta) -> usize {
     let mut n = 0;
@@ -293,6 +475,10 @@ pub struct PageView {
     pub chain_len: usize,
     /// The newest split delta's `(sep, right)` if the chain has one.
     pub pending_split: Option<(Box<[u8]>, Pid)>,
+    /// Whether the chain carries a remove-node delta (merge victim husk).
+    pub removed: bool,
+    /// The page's own inclusive low bound (from the base; never moves).
+    pub low: Option<Box<[u8]>>,
 }
 
 /// Build the consolidated view of the chain snapshot at `head`.
@@ -300,6 +486,9 @@ pub fn build_view(head: *mut Delta) -> PageView {
     // Newest-first overlay: the first record seen for a key wins; `None` = deleted.
     let mut overlay: BTreeMap<&[u8], Option<u64>> = BTreeMap::new();
     let mut pending_split: Option<(Box<[u8]>, Pid)> = None;
+    // Effective (high, right): the newest split *or* merge delta owns it.
+    let mut boundary: Option<(Option<Box<[u8]>>, Pid)> = None;
+    let mut removed = false;
     let mut n = 0usize;
     let mut cur = head;
     let base = loop {
@@ -315,19 +504,30 @@ pub fn build_view(head: *mut Delta) -> PageView {
             DeltaKind::IndexEntry { sep, child } => {
                 overlay.entry(sep.as_ref()).or_insert(Some(*child));
             }
+            DeltaKind::IndexTermDelete { sep, .. } => {
+                overlay.entry(sep.as_ref()).or_insert(None);
+            }
             DeltaKind::Split { sep, right, .. } => {
                 if pending_split.is_none() {
                     pending_split = Some((sep.clone(), *right));
                 }
+                if boundary.is_none() {
+                    boundary = Some((Some(sep.clone()), *right));
+                }
             }
+            DeltaKind::Merge { high, right, .. } => {
+                if boundary.is_none() {
+                    boundary = Some((high.clone(), *right));
+                }
+            }
+            DeltaKind::RemoveNode { .. } => removed = true,
             DeltaKind::Base(b) => break b,
         }
         cur = d.next.load(Ordering::Acquire);
     };
 
-    let (high, right) = match &pending_split {
-        // The newest split has the smallest separator and owns the truncation.
-        Some((sep, right)) => (Some(sep.clone()), *right),
+    let (high, right) = match boundary {
+        Some(b) => b,
         None => (base.high.clone(), base.right),
     };
     let below_high = |k: &[u8]| high.as_ref().is_none_or(|h| k < h.as_ref());
@@ -377,6 +577,8 @@ pub fn build_view(head: *mut Delta) -> PageView {
         right,
         chain_len: n,
         pending_split,
+        removed,
+        low: base.low.clone(),
     }
 }
 
@@ -482,6 +684,7 @@ mod tests {
             leftmost: NO_PID,
             high: high.map(bx),
             right,
+            low: None,
         };
         Delta::alloc(std::ptr::null_mut(), true, DeltaKind::Base(base))
     }
@@ -530,6 +733,7 @@ mod tests {
                 leftmost: 10,
                 high: None,
                 right: NO_PID,
+                low: None,
             }),
         );
         let ie = Delta::alloc(base, false, DeltaKind::IndexEntry { sep: bx(b"p"), child: 30 });

@@ -16,16 +16,25 @@
 //!   can never become durable before the state it was derived from.
 //!
 //! Crash sites sit after each ordered step; [`BwTree::recover`] replays incomplete
-//! split-delta installations (the same helper code) at restart. Node *merges* are
-//! not needed for correctness: a fully emptied page keeps answering lookups and
-//! routing scans through its right link, mirroring how the paper's other converted
-//! indexes leave empty structures in place.
+//! SMOs (the same helper code) at restart.
+//!
+//! Node *merges* follow the OpenBw-Tree three-step protocol, restricted to fully
+//! emptied leaves (the case delete-heavy load actually produces): publish a
+//! remove-node delta on the empty victim, publish a merge delta on the left
+//! sibling that widens its key space over the victim's, then publish an
+//! index-term-delete delta on the parent. Each step is one CAS; any thread that
+//! observes a remove-node or merge delta helps drive the remaining steps, and
+//! the same §4.4 flush-after-helping-load rule applies before a helper acts on
+//! a marker it did not create. Without merges, a delete-heavy workload
+//! accumulates unmergeable empty pages that every scan must still traverse.
 
 use crate::page::{
-    build_view, chain_len, delta_ref, first_split, inner_contains_sep, inner_route, leaf_lookup,
-    BasePage, Delta, DeltaKind, Find, MappingTable, PageView, Pid, Route, NO_PID,
+    build_view, chain_len, chain_removed, delta_ref, effective_bounds, first_smo, first_split,
+    inner_contains_sep, inner_route, inner_route_before, leaf_lookup, page_live, page_low,
+    BasePage, Delta, DeltaKind, Find, MappingTable, PageView, Pid, Route, SmoMarker, NO_PID,
 };
 use recipe::persist::PersistMode;
+use std::cell::Cell;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -50,8 +59,20 @@ pub struct BwTree<P: PersistMode> {
     /// Every public operation enters it; session handles additionally pin it
     /// around each call, keeping cursors safe across batches.
     epoch: recipe::epoch::Collector,
+    /// Completed merge SMOs (victim pages retired), cumulative.
+    merged_pages: AtomicU64,
     _policy: PhantomData<P>,
 }
+
+std::thread_local! {
+    /// Re-entrancy depth of the helping mechanism on this thread. Helping a
+    /// merge descends the tree, which helps more pages; the guard stops that
+    /// recursion from unbounded nesting (the outermost traversal retries and
+    /// finishes any SMO the bounded helper left behind).
+    static HELP_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+const MAX_HELP_DEPTH: u32 = 4;
 
 /// Free every node of a detached delta chain.
 ///
@@ -84,7 +105,11 @@ fn chain_bytes(head: *mut Delta) -> u64 {
                     + b.high.as_ref().map_or(0, |h| h.len())
             }
             DeltaKind::Insert { key, .. } | DeltaKind::Delete { key } => key.len(),
-            DeltaKind::Split { sep, .. } | DeltaKind::IndexEntry { sep, .. } => sep.len(),
+            DeltaKind::Split { sep, .. }
+            | DeltaKind::IndexEntry { sep, .. }
+            | DeltaKind::IndexTermDelete { sep, .. } => sep.len(),
+            DeltaKind::RemoveNode { .. } => 0,
+            DeltaKind::Merge { high, .. } => high.as_ref().map_or(0, |h| h.len()),
         };
         total += (std::mem::size_of::<Delta>() + payload) as u64;
         p = d.next.load(Ordering::Acquire);
@@ -123,6 +148,7 @@ impl<P: PersistMode> BwTree<P> {
             split_at,
             suffix,
             epoch: recipe::epoch::Collector::new(),
+            merged_pages: AtomicU64::new(0),
             _policy: PhantomData,
         };
         P::persist_obj(t.map.slot(1), false);
@@ -183,25 +209,91 @@ impl<P: PersistMode> BwTree<P> {
         }
     }
 
-    /// The Condition #2 helping mechanism: if the chain at `head` carries a split
-    /// delta whose parent entry is not yet confirmed, complete the SMO. Called by
-    /// readers and writers alike on every page they traverse.
+    /// The Condition #2 helping mechanism: if the chain at `head` carries an SMO
+    /// marker (split, remove-node or merge delta) whose remaining steps are not
+    /// yet confirmed, complete the SMO. Called by readers and writers alike on
+    /// every page they traverse. Depth-bounded: helping a merge re-descends the
+    /// tree, which helps more pages; past [`MAX_HELP_DEPTH`] the helper returns
+    /// and the outermost traversal finishes the SMO on its own retry.
     fn help_page(&self, pid: Pid, head: *mut Delta) {
-        let Some((delta, sep, right)) = first_split(head) else { return };
-        let DeltaKind::Split { done, .. } = &delta.kind else { unreachable!() };
-        if done.load(Ordering::Acquire) {
+        if HELP_DEPTH.with(|d| d.get()) >= MAX_HELP_DEPTH {
             return;
         }
-        // Flush + fence after the loads the helper participates in (§4.4): the
-        // split delta and the right page's mapping entry were written by another
-        // thread and may not be durable yet; the helper's parent store must not
-        // become durable before them.
-        P::persist_obj(delta as *const Delta, false);
-        P::persist_obj(self.map.slot(right), true);
-        P::crash_site("bwtree.help.split_flushed");
-        obs::event::emit("bwtree.smo", "help_split", pid, right);
-        self.complete_smo(pid, sep, right);
-        done.store(true, Ordering::Release);
+        match first_smo(head) {
+            None => {}
+            Some(SmoMarker::Split(delta, sep, right)) => {
+                let DeltaKind::Split { done, .. } = &delta.kind else { unreachable!() };
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                // A split whose right page was since merged away must not be
+                // re-completed: installing its parent entry would resurrect the
+                // dead PID. (The entry's deletion is idempotent regardless; see
+                // `leaf_write`'s removed-page path.)
+                let rhead = self.head(right);
+                if rhead.is_null() || chain_removed(rhead) {
+                    done.store(true, Ordering::Release);
+                    return;
+                }
+                // Flush + fence after the loads the helper participates in
+                // (§4.4): the split delta and the right page's mapping entry
+                // were written by another thread and may not be durable yet; the
+                // helper's parent store must not become durable before them.
+                P::persist_obj(delta as *const Delta, false);
+                P::persist_obj(self.map.slot(right), true);
+                P::crash_site("bwtree.help.split_flushed");
+                obs::event::emit("bwtree.smo", "help_split", pid, right);
+                self.with_help_depth(|t| t.complete_smo(pid, sep, right));
+                done.store(true, Ordering::Release);
+            }
+            Some(SmoMarker::Removed(delta)) => {
+                let DeltaKind::RemoveNode { done } = &delta.kind else { unreachable!() };
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                // Same helping-load rule: the remove-node delta and the victim's
+                // slot must be durable before any dependent merge/parent store.
+                P::persist_obj(delta as *const Delta, false);
+                P::persist_obj(self.map.slot(pid), true);
+                P::crash_site("bwtree.help.merge_flushed");
+                obs::event::emit("bwtree.smo", "help_merge", pid, 0);
+                self.with_help_depth(|t| t.complete_merge(pid));
+            }
+            Some(SmoMarker::Merged(delta, victim)) => {
+                // Step 2 is published on this page; the victim owns the done
+                // flag for the overall merge. Finish step 3 if it still needs it.
+                let vhead = self.head(victim);
+                if vhead.is_null() || !chain_removed(vhead) {
+                    return; // merge fully completed and victim already retired
+                }
+                if let Some(SmoMarker::Removed(rm)) = first_smo(vhead) {
+                    let DeltaKind::RemoveNode { done } = &rm.kind else { unreachable!() };
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    P::persist_obj(delta as *const Delta, false);
+                    P::persist_obj(self.map.slot(victim), true);
+                    P::crash_site("bwtree.help.merge_flushed");
+                    obs::event::emit("bwtree.smo", "help_merge", victim, pid);
+                    self.with_help_depth(|t| t.complete_merge(victim));
+                }
+            }
+        }
+    }
+
+    /// Run `f` with the thread's helping depth incremented. Unwind-safe: crash
+    /// sites panic out of SMO steps, and a leaked increment would permanently
+    /// disable helping (and thus recovery) on this thread.
+    fn with_help_depth<R>(&self, f: impl FnOnce(&Self) -> R) -> R {
+        struct DepthGuard;
+        impl Drop for DepthGuard {
+            fn drop(&mut self) {
+                HELP_DEPTH.with(|d| d.set(d.get() - 1));
+            }
+        }
+        HELP_DEPTH.with(|d| d.set(d.get() + 1));
+        let _g = DepthGuard;
+        f(self)
     }
 
     /// Complete the split SMO `(left, sep) -> right`: make the parent route `sep`
@@ -264,6 +356,12 @@ impl<P: PersistMode> BwTree<P> {
             if inner_contains_sep(head, sep) {
                 return Some(());
             }
+            // The right page may have been merged away since the split delta was
+            // observed; re-installing its entry would resurrect a dead PID.
+            let rhead = self.head(right);
+            if rhead.is_null() || chain_removed(rhead) {
+                return Some(());
+            }
             if let Route::Right(_) = inner_route(head, sep) {
                 return None;
             }
@@ -289,6 +387,7 @@ impl<P: PersistMode> BwTree<P> {
             leftmost: left,
             high: None,
             right: NO_PID,
+            low: None,
         };
         let delta = Delta::alloc(std::ptr::null_mut(), false, DeltaKind::Base(base));
         P::persist_obj(delta, true);
@@ -305,9 +404,207 @@ impl<P: PersistMode> BwTree<P> {
             obs::event::emit("bwtree.smo", "root_split", left, right);
             true
         } else {
-            // Lost the race: the page under `new_root` stays unreachable and is
-            // reclaimed when the tree is dropped (allocator GC assumption).
+            // Lost the race: nothing routes to `new_root` (the CAS that would
+            // have exposed it failed), so unpublish and free it immediately.
+            let orphan = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            P::mark_dirty_obj(slot);
+            P::persist_obj(slot, true);
+            // SAFETY: the page was freshly allocated and never became reachable.
+            unsafe { free_chain(orphan) };
             false
+        }
+    }
+
+    /// Publish a remove-node delta on `pid` if it is an empty, non-leftmost,
+    /// non-root leaf with no pending split — step 1 of the merge SMO — then
+    /// drive the remaining steps. The CAS succeeding proves the emptiness check
+    /// still holds (any interleaved write would have moved the head).
+    fn maybe_merge(&self, pid: Pid) {
+        if pid == self.root.load(Ordering::Acquire) {
+            return;
+        }
+        let head = self.head(pid);
+        let d = delta_ref(head);
+        if !d.leaf || chain_removed(head) || first_split(head).is_some() {
+            return;
+        }
+        let Some(low) = page_low(head) else {
+            return; // leftmost leaf: no left sibling under any parent
+        };
+        if !self.parent_entry_routes(&low, pid) {
+            // Only entry-routed pages are mergeable: a parent's *leftmost*
+            // pointer has no index term for step 3 to delete.
+            return;
+        }
+        if page_live(head) {
+            return;
+        }
+        let rm = Delta::alloc(head, true, DeltaKind::RemoveNode { done: AtomicBool::new(false) });
+        P::persist_obj(rm, true);
+        if self.publish(pid, head, rm) {
+            P::crash_site("bwtree.merge.remove_published");
+            obs::event::emit("bwtree.smo", "remove_published", pid, 0);
+            // The removing thread is the merge's first helper.
+            self.help_page(pid, self.head(pid));
+        }
+    }
+
+    /// Complete the merge SMO for the removed page `victim`: adopt its key
+    /// space into the left sibling (step 2), delete the parent's index term
+    /// (step 3), then retire the husk through the epoch domain. Idempotent;
+    /// runs from the remover, from helpers and from [`BwTree::recover`].
+    fn complete_merge(&self, victim: Pid) {
+        let vhead = self.head(victim);
+        if vhead.is_null() {
+            return;
+        }
+        let Some(SmoMarker::Removed(rm)) = first_smo(vhead) else { return };
+        let DeltaKind::RemoveNode { done } = &rm.kind else { unreachable!() };
+        if done.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(vlow) = page_low(vhead) else {
+            // Defensive: `maybe_merge` never removes a leftmost page.
+            done.store(true, Ordering::Release);
+            return;
+        };
+        let (vhigh, vright) = effective_bounds(vhead);
+
+        // Step 2: make the left sibling adopt [vlow, vhigh). Bounded retries:
+        // on persistent interference (deep helping recursion, racing merges)
+        // the SMO is left for a later traversal or `recover` to finish.
+        let mut adopted = false;
+        for _ in 0..16 {
+            let left = self.descend_to_left_of(&vlow);
+            if left == victim {
+                return; // defensive: strict routing cannot land on the victim
+            }
+            let lhead = self.head(left);
+            if chain_removed(lhead) {
+                // The would-be adopter is itself a merge victim: finish its
+                // merge first; the re-descent then lands on *its* adopter.
+                self.help_page(left, lhead);
+                continue;
+            }
+            let (lhigh, _) = effective_bounds(lhead);
+            if lhigh.as_ref().is_none_or(|h| h.as_ref() > vlow.as_ref()) {
+                adopted = true; // bounds already widened past the victim's low
+                break;
+            }
+            if first_split(lhead).is_some() {
+                // Never stack a merge delta over a split delta: the split is
+                // the in-progress marker helpers look for. Complete it and
+                // consolidate it into the base, then retry.
+                self.help_page(left, lhead);
+                self.consolidate(left, true);
+                continue;
+            }
+            let merge = Delta::alloc(
+                lhead,
+                true,
+                DeltaKind::Merge { high: vhigh.clone(), right: vright, victim },
+            );
+            P::persist_obj(merge, true);
+            if self.publish(left, lhead, merge) {
+                P::crash_site("bwtree.merge.merge_published");
+                obs::event::emit("bwtree.smo", "merge_published", left, victim);
+                adopted = true;
+                break;
+            }
+        }
+        if !adopted {
+            return;
+        }
+
+        // Step 3: delete the parent's (vlow -> victim) index term.
+        self.remove_index_entry(&vlow, victim);
+
+        // Exactly one completer retires the husk (the done-flag CAS winner).
+        if done.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            self.merged_pages.fetch_add(1, Ordering::AcqRel);
+            obs::event::emit("bwtree.smo", "merge", victim, vright);
+            if self.parent_routes_to(&vlow, victim) {
+                // Pathological promotion race: a concurrent inner split made
+                // the victim a parent's *leftmost* child, which no index-term
+                // delete can unroute. Leak the husk instead of retiring it —
+                // traversals that land on it redirect to the left adopter.
+                return;
+            }
+            let slot_addr =
+                self.map.slot(victim) as *const std::sync::atomic::AtomicPtr<Delta> as usize;
+            let bytes = chain_bytes(vhead);
+            // Deferred to epoch quiescence: a reader that obtained the victim's
+            // PID from a pre-merge snapshot is pinned in an epoch no later than
+            // this one, so the slot cannot go null under it.
+            self.epoch.defer_free(bytes, move || {
+                // SAFETY: mapping-table segments outlive every deferred free
+                // (`Drop` flushes the epoch domain before freeing segments),
+                // and at quiescence no thread can still hold the stale PID.
+                let slot = unsafe { &*(slot_addr as *const std::sync::atomic::AtomicPtr<Delta>) };
+                let head = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+                // SAFETY: the husk became unreachable at step 3 and the chain
+                // was frozen by the remove-node delta.
+                unsafe { free_chain(head) };
+            });
+        }
+    }
+
+    /// Descend to the live leaf covering the key space immediately *before*
+    /// `key` — strict routing never enters the page whose low bound is `key`
+    /// itself, which is exactly the merge victim the caller wants to avoid.
+    fn descend_to_left_of(&self, key: &[u8]) -> Pid {
+        let mut pid = self.root.load(Ordering::Acquire);
+        loop {
+            let head = self.head(pid);
+            self.help_page(pid, head);
+            if delta_ref(head).leaf {
+                return pid;
+            }
+            match inner_route_before(head, key) {
+                Route::Right(r) => pid = r,
+                Route::Child(c) => {
+                    debug_assert_ne!(c, NO_PID, "inner page routed to no child");
+                    pid = c;
+                }
+            }
+        }
+    }
+
+    /// Delete the index term `(sep -> child)` from whichever parent still
+    /// routes it. Idempotent: returns once no parent does.
+    fn remove_index_entry(&self, sep: &[u8], child: Pid) {
+        'retry: loop {
+            let mut pid = self.root.load(Ordering::Acquire);
+            loop {
+                let head = self.head(pid);
+                if delta_ref(head).leaf {
+                    return; // nothing routes `sep` to `child` anymore
+                }
+                match inner_route(head, sep) {
+                    Route::Right(r) => pid = r,
+                    Route::Child(c) if c == child => {
+                        if !inner_contains_sep(head, sep) {
+                            // Routed via the leftmost pointer: no index term to
+                            // delete (see `complete_merge`'s leak fallback).
+                            return;
+                        }
+                        let delta = Delta::alloc(
+                            head,
+                            false,
+                            DeltaKind::IndexTermDelete { sep: sep.into(), child },
+                        );
+                        P::persist_obj(delta, true);
+                        if self.publish(pid, head, delta) {
+                            P::crash_site("bwtree.merge.parent_updated");
+                            obs::event::emit("bwtree.smo", "parent_updated", pid, child);
+                            self.try_consolidate(pid);
+                            return;
+                        }
+                        continue 'retry;
+                    }
+                    Route::Child(c) => pid = c,
+                }
+            }
         }
     }
 
@@ -315,8 +612,20 @@ impl<P: PersistMode> BwTree<P> {
     /// consolidated page is too large. Best-effort: a lost CAS is simply abandoned
     /// (some later traversal will retry).
     fn try_consolidate(&self, pid: Pid) {
+        self.consolidate(pid, false);
+    }
+
+    /// [`BwTree::try_consolidate`] body; with `force`, consolidates regardless of
+    /// chain length (the merge SMO uses this to fold a completed split delta into
+    /// the base before stacking a merge delta on the chain).
+    fn consolidate(&self, pid: Pid, force: bool) {
         let head = self.head(pid);
-        if chain_len(head) <= self.consolidate_after {
+        if !force && chain_len(head) <= self.consolidate_after {
+            return;
+        }
+        if chain_removed(head) {
+            // A merge victim's chain is frozen: consolidating it would drop the
+            // remove-node marker helpers and recovery look for.
             return;
         }
         // Never absorb a split delta whose SMO might still be incomplete: the delta
@@ -334,7 +643,9 @@ impl<P: PersistMode> BwTree<P> {
             leftmost: view.leftmost,
             high: view.high.clone(),
             right: view.right,
+            low: view.low.clone(),
         };
+        let emptied = view.leaf && view.entries.is_empty();
         let delta = Delta::alloc(std::ptr::null_mut(), view.leaf, DeltaKind::Base(base));
         P::persist_obj(delta, true);
         if self.publish(pid, head, delta) {
@@ -348,6 +659,10 @@ impl<P: PersistMode> BwTree<P> {
             // free runs only at epoch quiescence.
             self.epoch
                 .defer_free(chain_bytes(head), move || unsafe { free_chain(addr as *mut Delta) });
+            if emptied {
+                // Consolidation just proved the leaf empty: trigger the merge.
+                self.maybe_merge(pid);
+            }
         }
     }
 
@@ -356,7 +671,22 @@ impl<P: PersistMode> BwTree<P> {
     fn split_page(&self, pid: Pid, head: *mut Delta, view: &PageView) {
         let n = view.entries.len();
         debug_assert!(n >= 2);
-        let m = n / 2;
+        let mut m = n / 2;
+        if !view.leaf {
+            // Never promote an entry whose child is a merge victim: promotion
+            // would make the husk a leftmost child, which the merge SMO's
+            // index-term delete cannot unroute.
+            let live = |i: usize| {
+                let h = self.head(view.entries[i].1);
+                !h.is_null() && !chain_removed(h)
+            };
+            if !live(m) {
+                match (1..n).filter(|&i| live(i)).min_by_key(|&i| i.abs_diff(m)) {
+                    Some(i) => m = i,
+                    None => return, // nothing promotable; retry after the merges
+                }
+            }
+        }
         let sep: Box<[u8]> = view.entries[m].0.clone();
 
         // Step 1: build and install the right page under a fresh PID. Until the
@@ -370,6 +700,7 @@ impl<P: PersistMode> BwTree<P> {
                 leftmost: NO_PID,
                 high: view.high.clone(),
                 right: view.right,
+                low: Some(sep.clone()),
             }
         } else {
             // Promote entries[m]: its child becomes the right page's leftmost.
@@ -380,6 +711,7 @@ impl<P: PersistMode> BwTree<P> {
                 leftmost: view.entries[m].1,
                 high: view.high.clone(),
                 right: view.right,
+                low: Some(sep.clone()),
             }
         };
         let right_delta =
@@ -401,7 +733,15 @@ impl<P: PersistMode> BwTree<P> {
         );
         P::persist_obj(split, true);
         if !self.publish(pid, head, split) {
-            return; // chain moved on; the right page leaks until Drop
+            // Chain moved on: unpublish the orphaned right page (nothing ever
+            // routed to it — the split delta that would have exposed it was
+            // never installed) and free it immediately.
+            let orphan = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            P::mark_dirty_obj(slot);
+            P::persist_obj(slot, true);
+            // SAFETY: freshly allocated and never reachable.
+            unsafe { free_chain(orphan) };
+            return;
         }
         P::crash_site("bwtree.split.delta_published");
         obs::event::emit("bwtree.smo", "split", pid, right);
@@ -442,12 +782,30 @@ impl<P: PersistMode> BwTree<P> {
         let mut pid = self.descend_to_leaf(key);
         loop {
             pm::stats::record_node_visit();
-            match leaf_lookup(self.head(pid), key) {
+            let head = self.head(pid);
+            if let Some(left) = self.redirect_from_husk(pid, head) {
+                pid = left;
+                continue;
+            }
+            match leaf_lookup(head, key) {
                 Find::Val(v) => return Some(v),
                 Find::Missing => return None,
                 Find::Right(r) => pid = r,
             }
         }
+    }
+
+    /// If `head` is a merge victim's frozen husk, help the merge to completion
+    /// and return the left adopter's PID (whose widened bounds now cover the
+    /// victim's key space); `None` for live pages. Keeps every traversal off
+    /// husks, including one leaked by the promotion race (`complete_merge`).
+    fn redirect_from_husk(&self, pid: Pid, head: *mut Delta) -> Option<Pid> {
+        if head.is_null() || !chain_removed(head) {
+            return None;
+        }
+        self.help_page(pid, head);
+        let low = page_low(head)?;
+        Some(self.descend_to_left_of(&low))
     }
 
     /// Insert `key -> value`. Returns `true` if the key was newly inserted, `false`
@@ -483,6 +841,17 @@ impl<P: PersistMode> BwTree<P> {
         loop {
             pm::stats::record_node_visit();
             let head = self.head(pid);
+            if let Some(left) = self.redirect_from_husk(pid, head) {
+                // Merge victim: never publish on a frozen husk. The helper has
+                // driven the merge; clear any stale (resurrected) parent entry
+                // still routing here, then continue at the left adopter, whose
+                // widened bounds now cover this key.
+                if let Some(low) = page_low(head) {
+                    self.remove_index_entry(&low, pid);
+                }
+                pid = left;
+                continue;
+            }
             let existed = match leaf_lookup(head, key) {
                 Find::Right(r) => {
                     pid = r;
@@ -504,6 +873,10 @@ impl<P: PersistMode> BwTree<P> {
             if self.publish(pid, head, delta) {
                 P::crash_site(site);
                 self.try_consolidate(pid);
+                if value.is_none() && !page_live(self.head(pid)) {
+                    // This delete may have emptied the leaf: trigger the merge.
+                    self.maybe_merge(pid);
+                }
                 return Some(!existed);
             }
         }
@@ -528,9 +901,20 @@ impl<P: PersistMode> BwTree<P> {
         let count = out.len().saturating_add(count);
         let base = out.len();
         let mut pid = self.descend_to_leaf(start);
+        // The start descent may land on a merge victim's husk; redirect to the
+        // left adopter so records in the adopted range are not skipped. (Husks
+        // entered mid-scan via stale right links are harmlessly empty.)
+        let head = self.head(pid);
+        if let Some(left) = self.redirect_from_husk(pid, head) {
+            pid = left;
+        }
         while pid != NO_PID && out.len() < count {
             pm::stats::record_node_visit();
-            let view = build_view(self.head(pid));
+            let head = self.head(pid);
+            if head.is_null() {
+                break; // stale right link into a retired husk's slot
+            }
+            let view = build_view(head);
             let from = view.entries.partition_point(|(k, _)| k.as_ref() < start);
             for (k, v) in &view.entries[from..] {
                 if out.len() >= count {
@@ -567,9 +951,10 @@ impl<P: PersistMode> BwTree<P> {
         }
     }
 
-    /// Diagnostic: split deltas whose separator the parent level does not route
-    /// yet — in-progress (or crash-torn) SMOs. Zero on a quiescent consistent
-    /// tree; [`BwTree::recover`] restores it to zero. Single-threaded use only.
+    /// Diagnostic: in-progress (or crash-torn) SMOs — split deltas whose
+    /// separator the parent level does not route yet, plus removed pages whose
+    /// parent entry still routes to them. Zero on a quiescent consistent tree;
+    /// [`BwTree::recover`] restores it to zero. Single-threaded use only.
     #[must_use]
     pub fn incomplete_smos(&self) -> usize {
         let _epoch = self.epoch.enter();
@@ -580,13 +965,70 @@ impl<P: PersistMode> BwTree<P> {
             if head.is_null() {
                 continue;
             }
-            if let Some((_, sep, right)) = first_split(head) {
-                if !self.routed_from_parent(sep, right) {
-                    n += 1;
+            match first_smo(head) {
+                Some(SmoMarker::Split(_, sep, right)) => {
+                    // A split whose right page was merged away is moot (its
+                    // parent entry must stay absent), not incomplete.
+                    let rhead = self.head(right);
+                    if !rhead.is_null()
+                        && !chain_removed(rhead)
+                        && !self.routed_from_parent(sep, right)
+                    {
+                        n += 1;
+                    }
                 }
+                Some(SmoMarker::Removed(_)) => {
+                    // Merge incomplete while a parent still routes into the husk.
+                    if let Some(low) = page_low(head) {
+                        if self.parent_routes_to(&low, pid) {
+                            n += 1;
+                        }
+                    }
+                }
+                Some(SmoMarker::Merged(..)) | None => {}
             }
         }
         n
+    }
+
+    /// Whether `child`'s immediate parent routes `sep` to it through a proper
+    /// index term (not the leftmost pointer) — the merge-eligibility check:
+    /// step 3 can only unroute what an index-term delete can delete.
+    fn parent_entry_routes(&self, sep: &[u8], child: Pid) -> bool {
+        let mut pid = self.root.load(Ordering::Acquire);
+        loop {
+            if pid == child {
+                return false;
+            }
+            let head = self.head(pid);
+            if head.is_null() || delta_ref(head).leaf {
+                return false;
+            }
+            match inner_route(head, sep) {
+                Route::Right(r) => pid = r,
+                Route::Child(c) if c == child => return inner_contains_sep(head, sep),
+                Route::Child(c) => pid = c,
+            }
+        }
+    }
+
+    /// Whether routing `sep` from the root reaches `child` through a parent
+    /// index term (the merge SMO's step 3 deletes exactly that term).
+    fn parent_routes_to(&self, sep: &[u8], child: Pid) -> bool {
+        let mut pid = self.root.load(Ordering::Acquire);
+        loop {
+            if pid == child {
+                return true;
+            }
+            let head = self.head(pid);
+            if head.is_null() || delta_ref(head).leaf {
+                return false;
+            }
+            match inner_route(head, sep) {
+                Route::Right(r) => pid = r,
+                Route::Child(c) => pid = c,
+            }
+        }
     }
 
     /// Whether routing `sep` from the root reaches `right` through parent links
@@ -616,10 +1058,77 @@ impl<P: PersistMode> BwTree<P> {
         self.scan(&[], usize::MAX).len()
     }
 
-    /// Whether the tree holds no keys.
+    /// Whether the tree holds no keys: an allocation-free mapping-table walk
+    /// (every live leaf checked with [`page_live`]), not a scan.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.scan(&[], 1).is_empty()
+        let _epoch = self.epoch.enter();
+        let max = self.next_pid.load(Ordering::Acquire);
+        for pid in 1..max {
+            let head = self.head(pid);
+            if head.is_null() {
+                continue;
+            }
+            if !delta_ref(head).leaf || chain_removed(head) {
+                continue;
+            }
+            if page_live(head) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Live (non-removed) leaf pages currently holding zero records — the
+    /// merge trigger's backlog. Shrinks as merges retire emptied pages.
+    /// Single-threaded use only (diagnostics and tests).
+    #[must_use]
+    pub fn empty_leaf_pages(&self) -> u64 {
+        let _epoch = self.epoch.enter();
+        let max = self.next_pid.load(Ordering::Acquire);
+        let mut n = 0;
+        for pid in 1..max {
+            let head = self.head(pid);
+            if head.is_null() {
+                continue;
+            }
+            if !delta_ref(head).leaf || chain_removed(head) {
+                continue;
+            }
+            // The leftmost leaf is never merged; it still counts here only if
+            // it is not the sole leaf left (an empty tree is one empty page).
+            if !page_live(head) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Completed merge SMOs (victim pages retired), cumulative.
+    #[must_use]
+    pub fn merged_pages(&self) -> u64 {
+        self.merged_pages.load(Ordering::Acquire)
+    }
+
+    /// Maintenance sweep: walk the mapping table, help any in-flight SMO and
+    /// trigger a merge for every mergeable empty leaf. Returns the number of
+    /// merges completed by the sweep. Safe to run concurrently with other
+    /// operations; session handles call it from `exec_settle`.
+    pub fn merge_empty_pages(&self) -> u64 {
+        let _epoch = self.epoch.enter();
+        let before = self.merged_pages.load(Ordering::Acquire);
+        let max = self.next_pid.load(Ordering::Acquire);
+        for pid in 1..max {
+            let head = self.head(pid);
+            if head.is_null() {
+                continue;
+            }
+            self.help_page(pid, head);
+            if delta_ref(head).leaf {
+                self.maybe_merge(pid);
+            }
+        }
+        self.merged_pages.load(Ordering::Acquire) - before
     }
 
     /// Display name under this persistence policy (plus the config suffix).

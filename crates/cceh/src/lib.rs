@@ -276,6 +276,7 @@ impl<P: PersistMode> Cceh<P> {
                 P::persist_obj(&self.dir, true);
                 P::crash_site("cceh.doubling.committed");
             }
+            obs::event::emit("cceh.resize", "dir_doubled", dir.global_depth, new_dir.global_depth);
             new_dir
         } else {
             dir
@@ -315,6 +316,7 @@ impl<P: PersistMode> Cceh<P> {
         }
         P::fence();
         P::crash_site("cceh.split.directory_updated");
+        obs::event::emit("cceh.resize", "segment_split", local_depth, new_depth);
     }
 
     fn remove_internal(&self, k: u64) -> bool {
@@ -457,6 +459,29 @@ mod tests {
 
     fn k(x: u64) -> [u8; 8] {
         u64_key(x)
+    }
+
+    #[test]
+    fn splits_and_doublings_emit_resize_events() {
+        let was = obs::event::set_enabled(true);
+        let t: PCceh = Cceh::new();
+        for i in 0..20_000u64 {
+            assert!(t.insert(&k(i), i));
+        }
+        let dump = obs::event::drain();
+        obs::event::set_enabled(was);
+        let splits =
+            dump.events.iter().filter(|e| e.kind == "cceh.resize" && e.detail == "segment_split");
+        let doublings =
+            dump.events.iter().filter(|e| e.kind == "cceh.resize" && e.detail == "dir_doubled");
+        assert!(splits.clone().count() > 0, "20k inserts must split segments");
+        assert!(doublings.clone().count() > 0, "20k inserts must double the directory");
+        for ev in splits {
+            assert_eq!(ev.b, ev.a + 1, "split adds one local-depth bit");
+        }
+        for ev in doublings {
+            assert_eq!(ev.b, ev.a + 1, "doubling adds one global-depth bit");
+        }
     }
 
     #[test]

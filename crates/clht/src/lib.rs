@@ -340,6 +340,12 @@ impl<P: PersistMode> Clht<P> {
         P::mark_dirty_obj(&self.table);
         P::persist_obj(&self.table, true);
         P::crash_site("clht.rehash.committed");
+        obs::event::emit(
+            "clht.resize",
+            "rehash_committed",
+            old_t.num_buckets() as u64,
+            new_ref.num_buckets() as u64,
+        );
 
         drop(guards);
         // The old table is intentionally leaked: non-blocking readers may still hold
@@ -487,6 +493,23 @@ mod tests {
         assert_eq!(m.get(b"a-very-long-string-key"), None);
         // all-0xFF 8-byte key maps to the reserved sentinel
         assert!(!m.insert(&[0xFF; 8], 1));
+    }
+
+    #[test]
+    fn rehash_emits_resize_event() {
+        let was = obs::event::set_enabled(true);
+        let m: DramClht = Clht::with_capacity(8);
+        for i in 0..5_000u64 {
+            assert!(m.insert(&k(i), i));
+        }
+        let dump = obs::event::drain();
+        obs::event::set_enabled(was);
+        let resizes: Vec<_> = dump.events.iter().filter(|e| e.kind == "clht.resize").collect();
+        assert!(!resizes.is_empty(), "growing 8 -> 5000 keys must rehash at least once");
+        for ev in resizes {
+            assert_eq!(ev.detail, "rehash_committed");
+            assert_eq!(ev.b, ev.a * 2, "each rehash doubles the table");
+        }
     }
 
     #[test]

@@ -162,18 +162,34 @@ pub enum MixedOp {
 /// Deterministic mixed-operation generator: ~72% inserts (a slice of them
 /// re-inserting previously removed keys, to exercise slot recycling), ~14%
 /// updates of live keys, ~14% removes. Entirely a function of the seed.
+///
+/// Half the removes are *clustered*: an advancing cursor takes the smallest
+/// live id at or above it (wrapping to the global minimum), so deletions sweep
+/// contiguous key ranges and fully empty index pages — the load shape that
+/// makes merge/rebalance SMO sites reachable. Re-inserts are FIFO (oldest
+/// removed id first), so they land behind the cursor and refill already-swept
+/// regions, exercising writes into pages that adopted a merged range. The
+/// branch probabilities are unchanged, keeping every other index's site
+/// coverage intact.
 pub struct MixedGen {
     rng: u64,
     next_id: u64,
     live: Vec<u64>,
-    removed: Vec<u64>,
+    removed: std::collections::VecDeque<u64>,
+    cluster: u64,
 }
 
 impl MixedGen {
     /// Create a generator for the given seed.
     #[must_use]
     pub fn new(seed: u64) -> MixedGen {
-        MixedGen { rng: seed | 1, next_id: 0, live: Vec::new(), removed: Vec::new() }
+        MixedGen {
+            rng: seed | 1,
+            next_id: 0,
+            live: Vec::new(),
+            removed: std::collections::VecDeque::new(),
+            cluster: 0,
+        }
     }
 
     fn rand(&mut self) -> u64 {
@@ -193,7 +209,7 @@ impl MixedGen {
         let dice = r % 100;
         if dice < 72 || self.live.len() < 8 {
             let id = if dice % 6 == 0 && !self.removed.is_empty() {
-                self.removed.pop().unwrap()
+                self.removed.pop_front().unwrap()
             } else {
                 self.next_id += 1;
                 self.next_id
@@ -204,9 +220,31 @@ impl MixedGen {
             let id = self.live[(r >> 8) as usize % self.live.len()];
             MixedOp::Update(id, Self::value(id, i))
         } else {
-            let idx = (r >> 8) as usize % self.live.len();
+            let idx = if r & 1 == 0 {
+                // Clustered remove: smallest live id at or above the cursor,
+                // wrapping to the global minimum when the sweep runs off the top.
+                let at_or_above = self
+                    .live
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &id)| id >= self.cluster)
+                    .min_by_key(|&(_, &id)| id)
+                    .map(|(i, _)| i);
+                let i = at_or_above.unwrap_or_else(|| {
+                    self.live
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &id)| id)
+                        .map(|(i, _)| i)
+                        .expect("live is non-empty in the remove branch")
+                });
+                self.cluster = self.live[i] + 1;
+                i
+            } else {
+                (r >> 8) as usize % self.live.len()
+            };
             let id = self.live.swap_remove(idx);
-            self.removed.push(id);
+            self.removed.push_back(id);
             MixedOp::Remove(id)
         }
     }

@@ -296,6 +296,114 @@ fn bwtree_split_crash_then_recover_at_every_step() {
     }
 }
 
+/// Cut the P-BwTree merge SMO at each of its ordered atomic steps — remove-node
+/// published, helper flush, merge delta published, parent index term deleted —
+/// and `recover()` must finish the merge, lose no acknowledged operation, keep
+/// scans ordered, and leave the merged key range writable.
+#[test]
+fn bwtree_merge_crash_then_recover_at_every_step() {
+    let _exclusive = exclusive();
+    pm::crash::install_quiet_hook();
+    for site in [
+        "bwtree.merge.remove_published",
+        "bwtree.help.merge_flushed",
+        "bwtree.merge.merge_published",
+        "bwtree.merge.parent_updated",
+    ] {
+        let t = bwtree::PBwTree::new();
+        for i in 0..400u64 {
+            t.insert(&u64_key(i), i + 1);
+        }
+        // Empty leaves from a middle range upward; the delete that empties a
+        // leaf triggers the merge inline, so the armed site fires mid-remove.
+        pm::crash::arm_at_site(site, 1);
+        let mut acked = Vec::new();
+        let mut fired = false;
+        for i in 100..400u64 {
+            let r = pm::crash::catch_crash(std::panic::AssertUnwindSafe(|| {
+                assert!(t.remove(&u64_key(i)), "remove {i}");
+            }));
+            match r {
+                Ok(()) => acked.push(i),
+                Err(s) => {
+                    assert_eq!(s, site);
+                    fired = true;
+                    break;
+                }
+            }
+        }
+        pm::crash::disarm();
+        assert!(fired, "{site}: merge crash never fired");
+
+        t.recover();
+        assert_eq!(t.incomplete_smos(), 0, "{site}: recovery left the merge torn");
+        // Acknowledged removes stay removed; untouched keys stay readable.
+        for &i in &acked {
+            assert_eq!(t.get(&u64_key(i)), None, "{site}: key {i} resurrected");
+        }
+        for i in 0..100u64 {
+            assert_eq!(t.get(&u64_key(i)), Some(i + 1), "{site}: key {i} lost");
+        }
+        let scanned = t.scan(&[], 1_000);
+        assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0), "{site}: scan disorder");
+        // The merged (adopted) key range accepts writes again.
+        for &i in acked.iter().take(50) {
+            assert!(t.insert(&u64_key(i), i * 3), "{site}: unusable after recover");
+            assert_eq!(t.get(&u64_key(i)), Some(i * 3));
+        }
+    }
+}
+
+/// Condition #2 for merges: a crash tears the merge mid-protocol, and a plain
+/// *reader* that lands on the removed husk completes the remaining steps — with
+/// every helper store flushed and fenced — no `recover()` call involved.
+#[test]
+fn bwtree_reader_helps_complete_torn_merge() {
+    let _exclusive = exclusive();
+    pm::crash::install_quiet_hook();
+    let t = bwtree::PBwTree::new();
+    for i in 0..400u64 {
+        t.insert(&u64_key(i), i + 1);
+    }
+    pm::crash::arm_at_site("bwtree.merge.remove_published", 1);
+    let mut fired = false;
+    let mut crashed_at_key = 0;
+    for i in 100..400u64 {
+        let r = pm::crash::catch_crash(std::panic::AssertUnwindSafe(|| {
+            t.remove(&u64_key(i));
+        }));
+        if let Err(site) = r {
+            assert_eq!(site, "bwtree.merge.remove_published");
+            fired = true;
+            crashed_at_key = i;
+            break;
+        }
+    }
+    pm::crash::disarm();
+    assert!(fired, "merge crash never fired");
+    assert_eq!(t.incomplete_smos(), 1, "crash must leave the merge torn");
+
+    // No recover(): a reader descending into the removed page's key range
+    // observes the remove-node delta and must drive steps 2 and 3, durably.
+    pm::tracker::enable();
+    assert_eq!(t.get(&u64_key(crashed_at_key)), None, "torn remove is unacknowledged-or-gone");
+    let durability = pm::tracker::check(true);
+    assert!(durability.is_durable(), "helper stores left unflushed/unfenced: {durability:?}");
+    pm::tracker::disable();
+    assert_eq!(t.incomplete_smos(), 0, "the reader must have completed the merge");
+    assert!(t.merged_pages() > 0, "the torn merge must have completed, not been abandoned");
+
+    // Fully consistent and writable afterwards.
+    for i in 0..100u64 {
+        assert_eq!(t.get(&u64_key(i)), Some(i + 1), "key {i} lost");
+    }
+    let scanned = t.scan(&[], 1_000);
+    assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0), "scan disorder");
+    for i in 100..=crashed_at_key {
+        assert!(t.insert(&u64_key(i), i * 7), "unusable after help");
+    }
+}
+
 /// Torn-delta-chain stress: many crash/recover rounds against the *same*
 /// P-BwTree, each cutting a mixed insert/update/remove burst at a
 /// pseudo-random site. Accumulated torn-and-recovered state must never lose an

@@ -320,6 +320,14 @@ impl<P: PersistMode> Hot<P> {
                                         continue 'restart;
                                     }
                                 }
+                            } else {
+                                // Every key under this compound was removed: appending
+                                // here would plant a key nothing witnesses the husk's
+                                // implied prefix for. Retire the husk instead.
+                                if self.replace_empty_subtree(&path, word, key, value) {
+                                    return true;
+                                }
+                                continue 'restart;
                             }
                             match self.append_entry(c, ext, key, value, path.last().copied()) {
                                 Append::Inserted => return true,
@@ -348,6 +356,19 @@ impl<P: PersistMode> Hot<P> {
                                 continue 'restart;
                             }
                         }
+                    } else {
+                        // Every key under this node was removed. Filling the slot
+                        // would be wrong even though it is empty: nothing witnesses
+                        // the prefix bits the husk's position implies (the branch
+                        // check above has no `rep` to compare against), so an alien
+                        // key planted here poisons every later `min_key`
+                        // representative drawn from an enclosing subtree — a
+                        // subsequent branch insertion placed by such a rep misroutes
+                        // every surviving sibling. Retire the husk instead.
+                        if self.replace_empty_subtree(&path, word, key, value) {
+                            return true;
+                        }
+                        continue 'restart;
                     }
                     // Empty slot: the key belongs here. Commit = one atomic slot store.
                     let _g = node.lock.lock();
@@ -582,6 +603,181 @@ impl<P: PersistMode> Hot<P> {
             }
         }
         true
+    }
+
+    /// Retire an all-empty subtree (a "husk" left behind by removes), committing a
+    /// fresh leaf for `key` in its place.
+    ///
+    /// A husk's position still implies a key prefix (Patricia skipping stores the
+    /// bits between its parent's window and its own nowhere else), but with every
+    /// key removed nothing witnesses it. Planting `key` inside would make it the
+    /// subtree's [`Hot::min_key`] — and a later branch insertion taking that alien
+    /// key as an enclosing subtree's representative computes a placement index
+    /// that misroutes every surviving sibling. So instead the husk is frozen
+    /// (every node marked obsolete, which blocks all slot commits — they
+    /// revalidate the flag under the node lock) and its topmost all-empty
+    /// ancestor is atomically replaced by the new leaf: the subtree's key set
+    /// becomes exactly `{key}`, and every representative drawn from it is the
+    /// key itself.
+    fn replace_empty_subtree(&self, path: &[Step], husk: usize, key: &[u8], value: u64) -> bool {
+        // Ascend to the topmost ancestor whose whole subtree is empty; replacing
+        // any lower node would leave the new leaf alien to the still-empty
+        // levels above it.
+        let mut top = husk;
+        let mut boundary = path.len();
+        while boundary > 0 {
+            let above = match path[boundary - 1] {
+                Step::Node(n, _) => n as usize,
+                Step::Cpd(c, _, _) => (c as usize) | 0b10,
+            };
+            if self.min_key(above).is_some() {
+                break;
+            }
+            top = above;
+            boundary -= 1;
+        }
+
+        // The parent's subtree (when there is one) still holds live keys
+        // witnessing its implied prefix, and the new leaf would join them. If
+        // `key` diverges from that witness *above* the parent's window, the key
+        // is alien to the whole region — the husk's slot only looked right
+        // because Patricia skipping never compared the diverging bits — and the
+        // insert needs a branch above instead (the exact check the non-empty
+        // slot path applies with its own subtree's representative).
+        if boundary > 0 {
+            let parent_word = match path[boundary - 1] {
+                Step::Node(n, _) => n as usize,
+                Step::Cpd(c, _, _) => (c as usize) | 0b10,
+            };
+            if let Some(rep) = self.min_key(parent_word) {
+                if let Some(diff) = first_diff_bit(key, &rep) {
+                    if diff < path[boundary - 1].window_start() {
+                        return self.insert_branch_above(path, &rep, diff, key, value);
+                    }
+                }
+            } else {
+                // The parent emptied out since the ascent looked: retry.
+                return false;
+            }
+        }
+
+        // Freeze top-down. Marking under the node's lock serializes with any
+        // in-flight slot commit; re-walking children *after* the mark catches a
+        // commit that won the lock first (then the subtree is no longer empty
+        // and the attempt unwinds).
+        let mut frozen: Vec<usize> = Vec::new();
+        if !self.freeze_empty(top, &mut frozen) {
+            Self::unfreeze(&frozen);
+            return false;
+        }
+
+        // Commit: one atomic pointer swap in the parent slot (or the root),
+        // same shape as every other insert commit.
+        let parent = if boundary == 0 { None } else { Some(path[boundary - 1]) };
+        let leaf = alloc_leaf::<P>(key, value);
+        P::crash_site("hot.insert.leaf_persisted");
+        let committed = match parent {
+            None => {
+                let _g = self.root_lock.lock();
+                if self.root.load(Ordering::Acquire) != top {
+                    false
+                } else {
+                    self.root.store(leaf, Ordering::Release);
+                    P::mark_dirty_obj(&self.root);
+                    P::persist_obj(&self.root, true);
+                    true
+                }
+            }
+            Some(Step::Node(pnode, pidx)) => {
+                // SAFETY: never freed.
+                let p = unsafe { &*pnode };
+                let _g = p.lock.lock();
+                if p.obsolete.load(Ordering::Acquire)
+                    || p.children[pidx].load(Ordering::Acquire) != top
+                {
+                    false
+                } else {
+                    p.children[pidx].store(leaf, Ordering::Release);
+                    P::mark_dirty_obj(&p.children[pidx]);
+                    P::persist_obj(&p.children[pidx], true);
+                    true
+                }
+            }
+            Some(Step::Cpd(pcpd, slot, _)) => {
+                // SAFETY: never freed.
+                let c = unsafe { &*pcpd };
+                let _g = c.lock.lock();
+                if c.obsolete.load(Ordering::Acquire)
+                    || c.children[slot].load(Ordering::Acquire) != top
+                {
+                    false
+                } else {
+                    c.children[slot].store(leaf, Ordering::Release);
+                    P::mark_dirty_obj(&c.children[slot]);
+                    P::persist_obj(&c.children[slot], true);
+                    true
+                }
+            }
+        };
+        if !committed {
+            Self::unfreeze(&frozen);
+            return false;
+        }
+        P::crash_site("hot.insert.slot_committed");
+        // The husk stays obsolete and unreachable (nodes are never freed).
+        true
+    }
+
+    /// Mark every node of `word`'s subtree obsolete, verifying emptiness as it
+    /// goes. Returns `false` if a leaf is found anywhere or a node is already
+    /// obsolete (a racing rebuild owns it); the caller unwinds via
+    /// [`Hot::unfreeze`].
+    fn freeze_empty(&self, word: usize, frozen: &mut Vec<usize>) -> bool {
+        if word == 0 {
+            return true;
+        }
+        if is_leaf(word) {
+            return false;
+        }
+        if is_compound(word) {
+            // SAFETY: never freed.
+            let c = unsafe { &*compound_of(word) };
+            {
+                let _g = c.lock.lock();
+                if c.obsolete.swap(true, Ordering::AcqRel) {
+                    return false;
+                }
+            }
+            frozen.push(word);
+            let count = (c.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+            return c.children[..count]
+                .iter()
+                .all(|s| self.freeze_empty(s.load(Ordering::Acquire), frozen));
+        }
+        // SAFETY: never freed.
+        let node = unsafe { &*(word as *const Node) };
+        {
+            let _g = node.lock.lock();
+            if node.obsolete.swap(true, Ordering::AcqRel) {
+                return false;
+            }
+        }
+        frozen.push(word);
+        node.children.iter().all(|s| self.freeze_empty(s.load(Ordering::Acquire), frozen))
+    }
+
+    /// Roll back a failed freeze: clear the obsolete marks so blocked writers
+    /// (spinning in re-descend) can proceed.
+    fn unfreeze(frozen: &[usize]) {
+        for &word in frozen {
+            if is_compound(word) {
+                // SAFETY: never freed.
+                unsafe { &*compound_of(word) }.obsolete.store(false, Ordering::Release);
+            } else {
+                // SAFETY: never freed.
+                unsafe { &*(word as *const Node) }.obsolete.store(false, Ordering::Release);
+            }
+        }
     }
 
     /// Attempt to replace plain node `target` (held in `parent`'s slot, or the
@@ -1662,5 +1858,50 @@ mod tests {
             assert_eq!(t.get(&u64_key(i)), Some(i), "get {i} after recover");
         }
         assert!(t.insert(&u64_key(99_999), 1), "writes work after recover");
+    }
+
+    /// Regression: a remove sweep that empties a whole subtree leaves a husk
+    /// whose position implies a key prefix nothing witnesses any more. An
+    /// insert of a far-away key used to *fill* a slot inside the husk (its
+    /// window bits matched — Patricia skipping never compared the diverging
+    /// bits), planting an alien key that later `min_key` representatives and
+    /// branch placements trusted; a subsequent nearby insert then committed a
+    /// branch whose placement index misrouted surviving siblings, losing
+    /// acknowledged keys. Surfaced by the crash sweep's clustered-remove mixed
+    /// load (P-HOT sampled states, `crash_table`).
+    #[test]
+    fn insert_into_removed_out_husk_keeps_all_keys_reachable() {
+        let t: Hot<Pmem> = Hot::new();
+        // Dense cluster, then a contiguous remove sweep that fully empties the
+        // node covering 0x244..=0x247.
+        for i in 0x240u64..0x250 {
+            t.insert(&u64_key(i), i);
+        }
+        for i in 0x244u64..0x248 {
+            assert!(t.remove(&u64_key(i)));
+        }
+        // Far-away keys diverging at bit 44: the first routes straight into
+        // the husk's empty slot (low byte 0x46 matches its window), the rest
+        // trigger min_key-guided branch builds around it.
+        let mut alien = vec![0xf4246u64];
+        let mut k = 0xf4249u64;
+        while k <= 0xf4282 {
+            alien.push(k);
+            k += 3;
+        }
+        for &b in &alien {
+            t.insert(&u64_key(b), b);
+            // Every acknowledged key stays reachable after every step.
+            for i in (0x240u64..0x244).chain(0x248..0x250) {
+                assert_eq!(t.get(&u64_key(i)), Some(i), "survivor {i:#x} lost at {b:#x}");
+            }
+        }
+        for &b in &alien {
+            assert_eq!(t.get(&u64_key(b)), Some(b), "new key {b:#x} unreadable");
+        }
+        // Scan still sees exactly the live set, in order.
+        let scanned = t.scan(&[], 4_096);
+        assert_eq!(scanned.len(), 12 + alien.len(), "scan count");
+        assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0), "scan order");
     }
 }

@@ -363,6 +363,12 @@ impl<P: PersistMode> LevelHash<P> {
         P::mark_dirty_obj(&self.levels);
         P::persist_obj(&self.levels, true);
         P::crash_site("level.resize.committed");
+        obs::event::emit(
+            "levelhash.resize",
+            "generation_committed",
+            new_l.top.len() as u64 / 2,
+            new_l.top.len() as u64,
+        );
     }
 
     /// Atomic conditional update: write the new value under the owning bucket's
@@ -521,6 +527,23 @@ mod tests {
         assert!(t.remove(&k(1)));
         assert_eq!(t.get(&k(1)), None);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn resize_emits_generation_event() {
+        let was = obs::event::set_enabled(true);
+        let t: PLevelHash = LevelHash::with_capacity(64);
+        for i in 0..2_000u64 {
+            assert!(t.insert(&k(i), i));
+        }
+        let dump = obs::event::drain();
+        obs::event::set_enabled(was);
+        let resizes: Vec<_> = dump.events.iter().filter(|e| e.kind == "levelhash.resize").collect();
+        assert!(!resizes.is_empty(), "2k inserts into 64 slots must resize");
+        for ev in resizes {
+            assert_eq!(ev.detail, "generation_committed");
+            assert_eq!(ev.b, ev.a * 2, "each generation doubles the top level");
+        }
     }
 
     #[test]

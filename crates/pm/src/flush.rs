@@ -15,6 +15,65 @@
 //! call with any pointer value.
 
 use crate::{latency, line_of, stats, tracker, CACHE_LINE};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Nesting depth of active [`FenceCoalesce`] guards on this thread.
+    static COALESCE_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Whether a fence was requested (and elided) inside the current region.
+    static FENCE_PENDING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Process-wide count of fences elided by coalescing regions.
+static ELIDED_FENCES: AtomicU64 = AtomicU64::new(0);
+
+/// Total fences elided by [`coalesce_fences`] regions since process start.
+///
+/// The batching evidence for the service layer: at the same op count, a batched
+/// shard worker shows this counter climbing while `stats` fence counts stay flat.
+#[must_use]
+pub fn elided_fences() -> u64 {
+    ELIDED_FENCES.load(Ordering::Relaxed)
+}
+
+/// RAII guard for a fence-coalescing region; see [`coalesce_fences`].
+#[must_use = "fences are only coalesced while the guard is alive"]
+pub struct FenceCoalesce {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a fence-coalescing region on the calling thread.
+///
+/// While the returned guard is alive, [`sfence`] calls on this thread are
+/// *elided*: they only mark the region dirty (and bump [`elided_fences`]).
+/// When the outermost guard drops, a single real fence is issued iff any fence
+/// was requested inside the region. This is the group-commit primitive the
+/// service shard workers use to amortize one fence epoch across a whole
+/// request batch: per-op `clwb`s still dedup per line via [`latency`], and the
+/// batch's single closing fence makes them all durable at once.
+///
+/// Regions nest; only the outermost drop fences. If the thread unwinds (a
+/// simulated crash site fired mid-batch), the pending fence is *dropped*, not
+/// issued — a real power failure would lose posted-but-unfenced write-backs,
+/// and the durability [`crate::tracker`] must observe exactly that.
+pub fn coalesce_fences() -> FenceCoalesce {
+    COALESCE_DEPTH.with(|d| d.set(d.get() + 1));
+    FenceCoalesce { _not_send: std::marker::PhantomData }
+}
+
+impl Drop for FenceCoalesce {
+    fn drop(&mut self) {
+        let depth = COALESCE_DEPTH.with(|d| {
+            let v = d.get() - 1;
+            d.set(v);
+            v
+        });
+        if depth == 0 && FENCE_PENDING.with(|p| p.replace(false)) && !std::thread::panicking() {
+            sfence();
+        }
+    }
+}
 
 /// Write back (flush) the cache line containing `addr`.
 ///
@@ -37,6 +96,11 @@ pub fn clwb(addr: *const u8) {
 /// thread's flush-coalescing epoch in the [`latency`] model.
 #[inline]
 pub fn sfence() {
+    if COALESCE_DEPTH.with(Cell::get) > 0 {
+        FENCE_PENDING.with(|p| p.set(true));
+        ELIDED_FENCES.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
     stats::count_fence();
     tracker::on_fence();
     latency::on_fence();
@@ -121,6 +185,66 @@ mod tests {
         let d = stats::snapshot_local().since(&before);
         assert_eq!(d.clwb, 3);
         assert_eq!(d.fence, 0);
+    }
+
+    #[test]
+    fn coalesced_region_issues_one_fence() {
+        let x = 0u8;
+        let before = stats::snapshot_local();
+        let elided_before = elided_fences();
+        {
+            let _g = coalesce_fences();
+            for _ in 0..8 {
+                persist_range(&x, 1, true);
+            }
+            let mid = stats::snapshot_local().since(&before);
+            assert_eq!(mid.fence, 0, "fences inside the region must be elided");
+        }
+        let d = stats::snapshot_local().since(&before);
+        assert_eq!(d.fence, 1, "outermost drop issues exactly one fence");
+        // Global counter; other test threads may also elide concurrently.
+        assert!(elided_fences() - elided_before >= 8);
+    }
+
+    #[test]
+    fn nested_regions_fence_once_at_outermost_drop() {
+        let x = 0u8;
+        let before = stats::snapshot_local();
+        {
+            let _outer = coalesce_fences();
+            {
+                let _inner = coalesce_fences();
+                sfence();
+                persist_range(&x, 1, true);
+            }
+            // Inner drop must not fence while the outer region is alive.
+            assert_eq!(stats::snapshot_local().since(&before).fence, 0);
+        }
+        assert_eq!(stats::snapshot_local().since(&before).fence, 1);
+    }
+
+    #[test]
+    fn clean_region_drops_without_fencing() {
+        let before = stats::snapshot_local();
+        {
+            let _g = coalesce_fences();
+        }
+        assert_eq!(stats::snapshot_local().since(&before).fence, 0);
+    }
+
+    #[test]
+    fn unwinding_region_drops_pending_fence() {
+        let before = stats::snapshot_local();
+        let _ = std::panic::catch_unwind(|| {
+            let _g = coalesce_fences();
+            sfence();
+            std::panic::panic_any("simulated crash");
+        });
+        let d = stats::snapshot_local().since(&before);
+        assert_eq!(d.fence, 0, "a crash mid-batch must not retroactively fence");
+        // The thread-local depth must be restored so later fences are real.
+        sfence();
+        assert_eq!(stats::snapshot_local().since(&before).fence, 1);
     }
 
     #[test]

@@ -274,7 +274,7 @@ impl Session {
         &self.inner.slots[self.idx]
     }
 
-    fn pin_raw(&mut self) {
+    pub(crate) fn pin_raw(&mut self) {
         if self.depth == 0 {
             loop {
                 let e = self.inner.epoch.load(Ordering::Relaxed);
@@ -290,7 +290,7 @@ impl Session {
         self.depth += 1;
     }
 
-    fn unpin_raw(&mut self) {
+    pub(crate) fn unpin_raw(&mut self) {
         debug_assert!(self.depth > 0, "unbalanced epoch unpin");
         self.depth -= 1;
         if self.depth == 0 {

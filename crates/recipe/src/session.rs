@@ -397,6 +397,35 @@ impl<'a, I: Index + ?Sized> Handle<'a, I> {
         self.scan_batch = entries.max(1);
     }
 
+    /// Open a **group-commit batch** over this handle.
+    ///
+    /// While the returned [`Batch`] is alive:
+    ///
+    /// * the epoch session stays pinned **once** — per-operation pins inside
+    ///   the batch degrade to a depth increment instead of the announce-fence
+    ///   cycle ([`epoch`]), amortizing one pin across the whole batch;
+    /// * the thread is inside a [`pm::flush::coalesce_fences`] region — every
+    ///   per-operation `sfence` is elided and a **single** fence closes the
+    ///   batch when it drops, so per-line `clwb`s dedup across the entire
+    ///   batch's fence epoch ([`pm::latency`]).
+    ///
+    /// The durability contract weakens from per-op to per-batch: an operation
+    /// is durable only once the batch closes (its single fence retires every
+    /// write-back posted inside it). Callers implementing group commit must
+    /// therefore acknowledge a batch's operations only after dropping the
+    /// batch — exactly what the service shard workers do. Results returned
+    /// mid-batch are *visible* (the in-DRAM structures are fully updated) but
+    /// not yet durable.
+    ///
+    /// The batch dereferences to the handle, so all operations are available
+    /// unchanged.
+    pub fn batch<'h>(&'h mut self) -> Batch<'h, 'a, I> {
+        if let Some(s) = self.session.as_mut() {
+            s.pin_raw();
+        }
+        Batch { fence: Some(pm::flush::coalesce_fences()), handle: self }
+    }
+
     /// This session's accumulated counters.
     #[must_use]
     pub fn stats(&self) -> HandleStats {
@@ -418,6 +447,41 @@ impl<'a, I: Index + ?Sized> Handle<'a, I> {
     #[must_use]
     pub fn index_name(&self) -> String {
         self.index.index_name()
+    }
+}
+
+/// A group-commit batch over a [`Handle`], from [`Handle::batch`].
+///
+/// Holds one epoch pin and one fence-coalescing region for its whole lifetime;
+/// see [`Handle::batch`] for the amortization and durability contract. Derefs
+/// to the handle.
+pub struct Batch<'h, 'a, I: Index + ?Sized = dyn Index + 'a> {
+    handle: &'h mut Handle<'a, I>,
+    /// `Option` so Drop can release the fence region *before* unpinning: the
+    /// batch's closing fence must land while reclamation is still held off.
+    fence: Option<pm::flush::FenceCoalesce>,
+}
+
+impl<'a, I: Index + ?Sized> std::ops::Deref for Batch<'_, 'a, I> {
+    type Target = Handle<'a, I>;
+    fn deref(&self) -> &Handle<'a, I> {
+        self.handle
+    }
+}
+
+impl<'a, I: Index + ?Sized> std::ops::DerefMut for Batch<'_, 'a, I> {
+    fn deref_mut(&mut self) -> &mut Handle<'a, I> {
+        self.handle
+    }
+}
+
+impl<I: Index + ?Sized> Drop for Batch<'_, '_, I> {
+    fn drop(&mut self) {
+        // Issue the batch's closing fence first, then release the epoch pin.
+        self.fence = None;
+        if let Some(s) = self.handle.session.as_mut() {
+            s.unpin_raw();
+        }
     }
 }
 
@@ -823,6 +887,41 @@ mod tests {
         drop(sc);
         m.epoch.flush();
         assert_eq!(freed.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn batch_holds_one_pin_and_one_fence_epoch() {
+        let m = Model::new();
+        let mut h = m.handle();
+        let freed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let fence_before = pm::stats::snapshot_local();
+        {
+            let mut b = h.batch();
+            for i in 0..50u64 {
+                b.insert(&k(i), i).unwrap();
+            }
+            // Garbage retired mid-batch must survive until the batch closes:
+            // the batch's single pin covers every op.
+            let f = Arc::clone(&freed);
+            m.epoch.defer_free(8, move || {
+                f.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+            m.epoch.flush();
+            assert_eq!(freed.load(std::sync::atomic::Ordering::Relaxed), 0, "batch pin protects");
+            // Fences inside the batch are elided into the closing fence.
+            pm::flush::sfence();
+            pm::flush::sfence();
+            assert_eq!(pm::stats::snapshot_local().since(&fence_before).fence, 0);
+        }
+        assert_eq!(
+            pm::stats::snapshot_local().since(&fence_before).fence,
+            1,
+            "one closing fence per batch"
+        );
+        m.epoch.flush();
+        assert_eq!(freed.load(std::sync::atomic::Ordering::Relaxed), 1, "unpinned after drop");
+        assert_eq!(h.get(&k(7)), Some(7));
+        assert_eq!(h.stats().inserts, 50);
     }
 
     /// Deterministic witness of the documented default-`exec_update`

@@ -1,0 +1,112 @@
+//! A sharded session-store service over the RECIPE indexes.
+//!
+//! This crate turns the per-thread [`recipe::session::Handle`] API into a
+//! small *service*: a fixed pool of shard worker threads (thread-per-core
+//! style), each owning one index shard plus a pinned session handle, fed
+//! through bounded queues by a consistent-hash [`router`].
+//!
+//! The design points, in the order they matter:
+//!
+//! * **Batched group commit** ([`shard`]): a worker drains up to
+//!   `max_batch` queued requests and executes them under one
+//!   [`recipe::session::Batch`] — a single epoch pin and a single closing
+//!   fence for the whole batch. Per-line `clwb`s dedup across the batch's one
+//!   fence epoch ([`pm::latency`]), so the *charged* PM cost per operation
+//!   drops as batches grow. Requests are acknowledged only after the batch's
+//!   closing fence: durability is per-batch (group commit), visibility is
+//!   immediate.
+//! * **Admission control** ([`Service::call`] / [`Service::cast`]): each
+//!   shard queue is bounded. A full queue sheds the request with a typed
+//!   [`ShedReason::QueueFull`] — never a panic, never an unbounded queue. An
+//!   index refusing an entry ([`recipe::session::OpError::CapacityExceeded`],
+//!   e.g. a CCEH probe-window overflow) surfaces as
+//!   [`ShedReason::IndexCapacity`] on the same path.
+//! * **Consistent-hash routing** ([`router::Router`]): keys map to shards
+//!   through a virtual-node hash ring, so adding a shard moves `~1/n` of the
+//!   keyspace instead of reshuffling everything.
+//! * **Observability**: every shard registers `service.shard{i}.*` counters
+//!   and an exact latency histogram (`service.shard{i}.latency_ns`,
+//!   enqueue-to-commit) in the [`obs`] registry, so one
+//!   `recipe-obs-metrics/v1` snapshot carries the full service state. The
+//!   [`loadgen`] module reads p50/p90/p99/p999 back from those histograms.
+//!
+//! [`Service::call`]: service::Service::call
+//! [`Service::cast`]: service::Service::cast
+
+pub mod loadgen;
+pub mod router;
+pub mod service;
+pub mod shard;
+
+pub use loadgen::{run_closed_loop, run_open_loop, LoadReport, LoadgenConfig, ShardLatency};
+pub use router::Router;
+pub use service::{Service, ServiceConfig};
+pub use shard::{ShardStats, DEFAULT_MAX_BATCH, DEFAULT_QUEUE_CAP};
+
+use recipe::session::{OpError, OpResult};
+
+/// A request against the service: one point operation on one key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Upsert `key -> value`.
+    Insert(Vec<u8>, u64),
+    /// Conditional update of an existing key.
+    Update(Vec<u8>, u64),
+    /// Point lookup.
+    Get(Vec<u8>),
+    /// Remove the key.
+    Remove(Vec<u8>),
+}
+
+impl Op {
+    /// The key this operation routes on.
+    #[must_use]
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Op::Insert(k, _) | Op::Update(k, _) | Op::Get(k) | Op::Remove(k) => k,
+        }
+    }
+}
+
+/// Why a request was refused instead of executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The target shard's bounded queue was full (admission control).
+    QueueFull,
+    /// The shard's index refused the entry
+    /// ([`OpError::CapacityExceeded`]).
+    IndexCapacity,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "shard queue full"),
+            ShedReason::IndexCapacity => write!(f, "index capacity exceeded"),
+        }
+    }
+}
+
+/// The typed outcome of a serviced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// A mutation completed (and its batch's fence retired): the payload is
+    /// the typed outcome ([`OpResult::Inserted`] / `Updated` / `Removed`).
+    Done(OpResult),
+    /// A lookup completed; `None` means the key is absent.
+    Value(Option<u64>),
+    /// The operation executed and failed index-side with a non-capacity
+    /// error (e.g. [`OpError::NotFound`] for a conditional update).
+    Error(OpError),
+    /// The request was refused; see [`ShedReason`]. Shed mutations were never
+    /// applied.
+    Shed(ShedReason),
+}
+
+impl Reply {
+    /// Whether the request was shed rather than executed.
+    #[must_use]
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Reply::Shed(_))
+    }
+}

@@ -1,0 +1,263 @@
+//! Closed- and open-loop load generation against a [`Service`], with skewed
+//! key choice and exact latency reporting.
+//!
+//! Keys are drawn from a [`ycsb::zipf::ZipfGen`] — Zipfian skew with optional
+//! hot-key churn — so the router and admission control face the realistic
+//! case: a few hot keys hammering one shard while the rest idle. The
+//! closed-loop driver measures end-to-end (enqueue-to-commit) latency through
+//! the per-shard `service.shard{i}.latency_ns` histograms and reports exact
+//! p50/p90/p99/p999 per shard; the open-loop driver fires casts as fast as
+//! the submission path accepts them, which under a small queue bound is an
+//! overload test: the interesting output is the typed shed accounting.
+//!
+//! Both drivers also report the *charged* simulated-PM cost per executed
+//! operation ([`pm::latency`]) and the number of fences elided by batching
+//! ([`pm::flush::elided_fences`]) — the direct evidence that group commit
+//! amortizes durability cost: at the same offered load, a larger `max_batch`
+//! yields fewer charged fence-nanoseconds per op.
+
+use crate::service::Service;
+use crate::shard::ShardStats;
+use crate::{Op, Reply};
+use recipe::key::u64_key;
+use ycsb::zipf::ZipfGen;
+
+/// Load-generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Keyspace size (items the Zipfian draws from).
+    pub keys: u64,
+    /// Total operations to offer.
+    pub ops: u64,
+    /// Zipfian skew exponent in `(0, 1)`; [`ycsb::zipf::DEFAULT_THETA`] = 0.99.
+    pub theta: f64,
+    /// Rotate the hot set every this many samples per thread (0 = static).
+    pub churn: u64,
+    /// Percent of operations that are lookups.
+    pub read_pct: u8,
+    /// Percent of operations that are removes (rest are upserts).
+    pub remove_pct: u8,
+    /// Closed-loop driver threads ([`run_open_loop`] ignores this).
+    pub threads: usize,
+    /// Determinism root; every key/op choice is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            keys: 10_000,
+            ops: 50_000,
+            theta: ycsb::zipf::DEFAULT_THETA,
+            churn: 0,
+            read_pct: 50,
+            remove_pct: 10,
+            threads: 2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Exact latency quantiles for one shard, in nanoseconds, read back from its
+/// `service.shard{i}.latency_ns` histogram. Histograms are cumulative per
+/// process; quantiles cover everything recorded under that name so far.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardLatency {
+    /// Shard id.
+    pub shard: usize,
+    /// Samples in the histogram.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// What a load run did and what it cost.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations offered to the service.
+    pub offered: u64,
+    /// Operations executed and committed.
+    pub completed: u64,
+    /// Operations shed at admission (queue full).
+    pub shed_queue_full: u64,
+    /// Operations shed by index capacity.
+    pub shed_index_capacity: u64,
+    /// Index-level typed errors (e.g. remove of an absent key). These
+    /// *executed*; they are a workload property, not a service failure.
+    pub errors: u64,
+    /// Group-commit batches across all shards.
+    pub batches: u64,
+    /// Per-shard latency quantiles, indexed by shard.
+    pub latency: Vec<ShardLatency>,
+    /// Simulated-PM nanoseconds charged during the run (all threads).
+    pub charged_ns: u64,
+    /// Fences elided by batching during the run.
+    pub elided_fences: u64,
+    /// Final per-shard stats snapshots.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl LoadReport {
+    /// Mean charged simulated-PM nanoseconds per executed operation — the
+    /// batching-amortization figure of merit.
+    #[must_use]
+    pub fn charged_ns_per_op(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.charged_ns as f64 / self.completed as f64
+        }
+    }
+
+    /// Mean jobs per group-commit batch across shards.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "offered {} completed {} shed(queue) {} shed(capacity) {} errors {}",
+            self.offered,
+            self.completed,
+            self.shed_queue_full,
+            self.shed_index_capacity,
+            self.errors
+        )?;
+        writeln!(
+            f,
+            "batches {} (mean {:.1} ops) charged {:.0} ns/op, {} fences elided",
+            self.batches,
+            self.mean_batch(),
+            self.charged_ns_per_op(),
+            self.elided_fences
+        )?;
+        for l in &self.latency {
+            writeln!(
+                f,
+                "shard {}: n={} p50={}ns p90={}ns p99={}ns p999={}ns",
+                l.shard, l.count, l.p50, l.p90, l.p99, l.p999
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The op for global sample number `i` of a run (pure function of the seed).
+fn op_at(cfg: &LoadgenConfig, zipf: &ZipfGen, i: u64) -> Op {
+    let key = u64_key(zipf.item_at(i)).to_vec();
+    let roll = pm::mix64(cfg.seed ^ 0x09F5 ^ i) % 100;
+    if roll < u64::from(cfg.read_pct) {
+        Op::Get(key)
+    } else if roll < u64::from(cfg.read_pct) + u64::from(cfg.remove_pct) {
+        Op::Remove(key)
+    } else {
+        Op::Insert(key, i)
+    }
+}
+
+fn gather(svc: &Service, offered: u64, errors: u64, t0: ChargeMark) -> LoadReport {
+    svc.drain();
+    let per_shard = svc.stats();
+    let latency = (0..per_shard.len())
+        .map(|s| {
+            let h = obs::histogram(&format!("service.shard{s}.latency_ns")).snapshot();
+            ShardLatency {
+                shard: s,
+                count: h.count(),
+                p50: h.quantile(0.50),
+                p90: h.quantile(0.90),
+                p99: h.quantile(0.99),
+                p999: h.quantile(0.999),
+            }
+        })
+        .collect();
+    LoadReport {
+        offered,
+        completed: per_shard.iter().map(|s| s.completed).sum(),
+        shed_queue_full: per_shard.iter().map(|s| s.shed_queue_full).sum(),
+        shed_index_capacity: per_shard.iter().map(|s| s.shed_index_capacity).sum(),
+        errors,
+        batches: per_shard.iter().map(|s| s.batches).sum(),
+        latency,
+        charged_ns: pm::latency::charged().total().saturating_sub(t0.charged_ns),
+        elided_fences: pm::flush::elided_fences().saturating_sub(t0.elided),
+        per_shard,
+    }
+}
+
+/// Start-of-run marks for the cost counters (both are process-cumulative).
+#[derive(Clone, Copy)]
+struct ChargeMark {
+    charged_ns: u64,
+    elided: u64,
+}
+
+impl ChargeMark {
+    fn now() -> ChargeMark {
+        ChargeMark {
+            charged_ns: pm::latency::charged().total(),
+            elided: pm::flush::elided_fences(),
+        }
+    }
+}
+
+/// Closed-loop run: `cfg.threads` drivers issue [`Service::call`]s
+/// back-to-back (each waits for its group commit before the next op).
+/// Deterministic per thread: thread `t` plays samples `t, t+T, t+2T, ...` of
+/// the seed's op stream.
+#[must_use]
+pub fn run_closed_loop(svc: &Service, cfg: &LoadgenConfig) -> LoadReport {
+    let mark = ChargeMark::now();
+    let threads = cfg.threads.max(1);
+    let errors: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cfg = *cfg;
+                scope.spawn(move || {
+                    let zipf = ZipfGen::new(cfg.keys, cfg.theta, cfg.seed).churn_every(cfg.churn);
+                    let mut errors = 0u64;
+                    let mut i = t as u64;
+                    while i < cfg.ops {
+                        if matches!(svc.call(op_at(&cfg, &zipf, i)), Reply::Error(_)) {
+                            errors += 1;
+                        }
+                        i += threads as u64;
+                    }
+                    errors
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("driver thread")).sum()
+    });
+    gather(svc, cfg.ops, errors, mark)
+}
+
+/// Open-loop run: one submitter fires [`Service::cast`]s as fast as the
+/// submission path accepts them, never waiting for commits. With a bounded
+/// queue and an offered load above a shard's drain rate this *is* the
+/// overload experiment: excess requests shed with typed reasons instead of
+/// queueing without bound. Returns after all admitted casts have executed.
+#[must_use]
+pub fn run_open_loop(svc: &Service, cfg: &LoadgenConfig) -> LoadReport {
+    let mark = ChargeMark::now();
+    let zipf = ZipfGen::new(cfg.keys, cfg.theta, cfg.seed).churn_every(cfg.churn);
+    for i in 0..cfg.ops {
+        // Sheds are counted by the shard; nothing to do with the result here.
+        let _ = svc.cast(op_at(cfg, &zipf, i));
+    }
+    gather(svc, cfg.ops, 0, mark)
+}

@@ -1,0 +1,121 @@
+//! Consistent-hash request routing.
+//!
+//! Keys map to shards through a hash ring with virtual nodes: each shard
+//! claims `vnodes` pseudo-random points on a 64-bit ring, and a key routes to
+//! the first shard point clockwise from the key's hash. Growing the service
+//! from `n` to `n+1` shards therefore remaps only `~1/(n+1)` of the keyspace
+//! — the property that makes shard counts a tuning knob instead of a
+//! migration event. Both the ring points and the key hash come from
+//! [`pm::mix64`], so placement is deterministic across runs and processes.
+
+use pm::mix64;
+
+/// Default virtual nodes per shard. 64 points per shard keeps the ring's
+/// load imbalance within a few percent for small shard counts.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A consistent-hash ring over `shards` shards. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// `(ring_position, shard)` sorted by position.
+    ring: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Router {
+    /// Build a ring with [`DEFAULT_VNODES`] virtual nodes per shard.
+    ///
+    /// # Panics
+    /// If `shards == 0`.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self::with_vnodes(shards, DEFAULT_VNODES)
+    }
+
+    /// Build a ring with an explicit virtual-node count per shard.
+    ///
+    /// # Panics
+    /// If `shards == 0` or `vnodes == 0`.
+    #[must_use]
+    pub fn with_vnodes(shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "router over zero shards");
+        assert!(vnodes > 0, "at least one virtual node per shard");
+        let mut ring = Vec::with_capacity(shards * vnodes);
+        for s in 0..shards {
+            for v in 0..vnodes {
+                ring.push((mix64(0x51A2_D000 ^ ((s as u64) << 20) ^ v as u64), s));
+            }
+        }
+        ring.sort_unstable();
+        ring.dedup_by_key(|&mut (p, _)| p);
+        Router { ring, shards }
+    }
+
+    /// Number of shards behind this router.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Hash a key onto the ring (FNV-1a folded through [`mix64`]).
+    #[must_use]
+    pub fn key_point(key: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        mix64(h)
+    }
+
+    /// The shard responsible for `key`: first ring point at or after the
+    /// key's hash, wrapping to the start.
+    #[must_use]
+    pub fn route(&self, key: &[u8]) -> usize {
+        let p = Self::key_point(key);
+        let i = self.ring.partition_point(|&(pos, _)| pos < p);
+        self.ring[if i == self.ring.len() { 0 } else { i }].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> impl Iterator<Item = [u8; 8]> {
+        (0..n).map(recipe::key::u64_key)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let r1 = Router::new(4);
+        let r2 = Router::new(4);
+        for k in keys(10_000) {
+            let s = r1.route(&k);
+            assert!(s < 4);
+            assert_eq!(s, r2.route(&k));
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let r = Router::new(8);
+        let mut counts = [0u64; 8];
+        for k in keys(80_000) {
+            counts[r.route(&k)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            // Perfect balance is 10_000; virtual nodes keep shards within ~2x.
+            assert!((4_000..=20_000).contains(&c), "shard {s} got {c} of 80k keys");
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_a_minority_of_keys() {
+        let before = Router::new(7);
+        let after = Router::new(8);
+        let moved = keys(50_000).filter(|k| before.route(k) != after.route(k)).count();
+        // Consistent hashing moves ~1/8 of the keys; modulo hashing would move ~7/8.
+        assert!(moved < 50_000 / 4, "{moved} of 50k keys moved on grow (expected ~1/8)");
+        assert!(moved > 0, "growing the ring must move something");
+    }
+}

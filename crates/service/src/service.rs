@@ -1,0 +1,289 @@
+//! The service front: routing, admission, closed- and open-loop submission.
+
+use crate::router::Router;
+use crate::shard::{Shard, ShardStats, Ticket, DEFAULT_MAX_BATCH, DEFAULT_QUEUE_CAP};
+use crate::{Op, Reply, ShedReason};
+use recipe::session::Index;
+use std::sync::Arc;
+
+/// Service sizing knobs. Every field has an environment override so bench
+/// binaries and CI can tune a run without recompiling (see the README's
+/// "Service" section):
+///
+/// | field       | env var                    | default |
+/// |-------------|----------------------------|---------|
+/// | `shards`    | `RECIPE_SERVICE_SHARDS`    | 2       |
+/// | `queue_cap` | `RECIPE_SERVICE_QUEUE_CAP` | 1024    |
+/// | `max_batch` | `RECIPE_SERVICE_BATCH`     | 32      |
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Shard worker threads (each owns one index shard).
+    pub shards: usize,
+    /// Bounded queue depth per shard; beyond it requests shed.
+    pub queue_cap: usize,
+    /// Maximum requests drained into one group-commit batch. `1` disables
+    /// batching (one pin + one fence per request).
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { shards: 2, queue_cap: DEFAULT_QUEUE_CAP, max_batch: DEFAULT_MAX_BATCH }
+    }
+}
+
+impl ServiceConfig {
+    /// Defaults overridden by the `RECIPE_SERVICE_*` environment variables.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
+        let d = ServiceConfig::default();
+        ServiceConfig {
+            shards: get("RECIPE_SERVICE_SHARDS").filter(|&n| n > 0).unwrap_or(d.shards),
+            queue_cap: get("RECIPE_SERVICE_QUEUE_CAP").filter(|&n| n > 0).unwrap_or(d.queue_cap),
+            max_batch: get("RECIPE_SERVICE_BATCH").filter(|&n| n > 0).unwrap_or(d.max_batch),
+        }
+    }
+}
+
+/// A running sharded session-store service. See the crate docs for the
+/// architecture; construct with [`Service::start`], stop with
+/// [`Service::shutdown`] (or drop).
+pub struct Service {
+    router: Router,
+    shards: Vec<Shard>,
+    cfg: ServiceConfig,
+}
+
+impl Service {
+    /// Start `cfg.shards` workers, shard `i` owning `make_shard(i)`'s index.
+    /// Each shard is an *independent* index instance: the keyspace is
+    /// partitioned by the router, so cross-shard operations do not exist and
+    /// shards never contend with each other.
+    pub fn start(cfg: ServiceConfig, make_shard: impl Fn(usize) -> Arc<dyn Index>) -> Service {
+        assert!(cfg.shards > 0, "service needs at least one shard");
+        let shards = (0..cfg.shards)
+            .map(|i| Shard::spawn(i, make_shard(i), cfg.queue_cap, cfg.max_batch))
+            .collect();
+        Service { router: Router::new(cfg.shards), shards, cfg }
+    }
+
+    /// The configuration this service was started with.
+    #[must_use]
+    pub fn config(&self) -> ServiceConfig {
+        self.cfg
+    }
+
+    /// The shard `key` routes to (exposed for tests and load reporting).
+    #[must_use]
+    pub fn route(&self, key: &[u8]) -> usize {
+        self.router.route(key)
+    }
+
+    /// Closed-loop request: route, enqueue, wait for the group commit, return
+    /// the typed reply. A full queue returns [`Reply::Shed`] immediately —
+    /// admission control never blocks the caller behind an overloaded shard.
+    #[must_use]
+    pub fn call(&self, op: Op) -> Reply {
+        let shard = &self.shards[self.router.route(op.key())];
+        let ticket = Ticket::new();
+        match shard.submit(op, Some(Arc::clone(&ticket))) {
+            Ok(()) => ticket.wait(),
+            Err(reason) => Reply::Shed(reason),
+        }
+    }
+
+    /// Open-loop request: route and enqueue without waiting. Returns whether
+    /// the request was admitted; its effects become durable with its batch.
+    /// Index-side capacity sheds are visible in [`Service::stats`] (the
+    /// caller, by construction, is not listening).
+    pub fn cast(&self, op: Op) -> Result<(), ShedReason> {
+        self.shards[self.router.route(op.key())].submit(op, None)
+    }
+
+    /// Block until every shard queue is empty and every worker idle. With
+    /// concurrent submitters this is a momentary truth, not a fence; use it
+    /// after open-loop runs to bound "all casts executed".
+    pub fn drain(&self) {
+        for s in &self.shards {
+            s.drain();
+        }
+    }
+
+    /// Per-shard accounting snapshots, indexed by shard id.
+    #[must_use]
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(Shard::stats).collect()
+    }
+
+    /// Execute every queued request, stop the workers, and return the final
+    /// per-shard stats.
+    pub fn shutdown(mut self) -> Vec<ShardStats> {
+        for s in &mut self.shards {
+            s.shutdown();
+        }
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe::key::u64_key;
+    use recipe::session::{Capabilities, OpError, OpResult};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Minimal shard index; refuses inserts beyond `cap` with
+    /// `CapacityExceeded` so shed paths are deterministic.
+    struct CappedMap {
+        map: Mutex<std::collections::BTreeMap<Vec<u8>, u64>>,
+        cap: usize,
+    }
+
+    impl CappedMap {
+        fn shared(cap: usize) -> Arc<dyn Index> {
+            Arc::new(CappedMap { map: Mutex::new(Default::default()), cap })
+        }
+    }
+
+    impl Index for CappedMap {
+        fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+            let mut m = self.map.lock().unwrap();
+            if !m.contains_key(key) && m.len() >= self.cap {
+                return Err(OpError::CapacityExceeded);
+            }
+            match m.insert(key.to_vec(), value) {
+                None => Ok(OpResult::Inserted),
+                Some(_) => Ok(OpResult::Updated),
+            }
+        }
+        fn exec_get(&self, key: &[u8]) -> Option<u64> {
+            self.map.lock().unwrap().get(key).copied()
+        }
+        fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+            match self.map.lock().unwrap().remove(key) {
+                Some(_) => Ok(OpResult::Removed),
+                None => Err(OpError::NotFound),
+            }
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::hash_index(false)
+        }
+        fn index_name(&self) -> String {
+            "capped-map".into()
+        }
+    }
+
+    #[test]
+    fn calls_route_execute_and_type_their_replies() {
+        let svc = Service::start(ServiceConfig { shards: 3, ..ServiceConfig::default() }, |_| {
+            CappedMap::shared(usize::MAX)
+        });
+        for i in 0..300u64 {
+            assert_eq!(
+                svc.call(Op::Insert(u64_key(i).to_vec(), i)),
+                Reply::Done(OpResult::Inserted)
+            );
+        }
+        for i in 0..300u64 {
+            assert_eq!(svc.call(Op::Get(u64_key(i).to_vec())), Reply::Value(Some(i)));
+        }
+        assert_eq!(svc.call(Op::Get(u64_key(999).to_vec())), Reply::Value(None));
+        assert_eq!(svc.call(Op::Remove(u64_key(5).to_vec())), Reply::Done(OpResult::Removed));
+        assert_eq!(svc.call(Op::Remove(u64_key(5).to_vec())), Reply::Error(OpError::NotFound));
+        let stats = svc.shutdown();
+        let total: u64 = stats.iter().map(|s| s.completed).sum();
+        assert_eq!(total, 603);
+        assert!(stats.iter().all(|s| s.shed_queue_full == 0 && s.shed_index_capacity == 0));
+        // Every shard saw some of the 300-key load (router balance sanity).
+        assert!(stats.iter().all(|s| s.enqueued > 0));
+    }
+
+    #[test]
+    fn index_capacity_surfaces_as_typed_shed() {
+        let svc = Service::start(ServiceConfig { shards: 1, ..ServiceConfig::default() }, |_| {
+            CappedMap::shared(10)
+        });
+        let mut shed = 0;
+        for i in 0..50u64 {
+            match svc.call(Op::Insert(u64_key(i).to_vec(), i)) {
+                Reply::Done(OpResult::Inserted) => {}
+                Reply::Shed(ShedReason::IndexCapacity) => shed += 1,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(shed, 40, "10 fit, 40 shed");
+        let stats = svc.shutdown();
+        assert_eq!(stats[0].shed_index_capacity, 40);
+        assert_eq!(stats[0].completed, 10);
+    }
+
+    /// A queue capped at 1 with a worker wedged behind a slow first op must
+    /// shed excess open-loop casts rather than queue them unboundedly.
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        struct SlowOnce {
+            inner: Arc<dyn Index>,
+            gate: AtomicU64,
+        }
+        impl Index for SlowOnce {
+            fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+                if self.gate.fetch_add(1, Ordering::Relaxed) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                self.inner.exec_insert(key, value)
+            }
+            fn exec_get(&self, key: &[u8]) -> Option<u64> {
+                self.inner.exec_get(key)
+            }
+            fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+                self.inner.exec_remove(key)
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities::hash_index(false)
+            }
+            fn index_name(&self) -> String {
+                "slow-once".into()
+            }
+        }
+        let svc = Service::start(ServiceConfig { shards: 1, queue_cap: 4, max_batch: 4 }, |_| {
+            Arc::new(SlowOnce { inner: CappedMap::shared(usize::MAX), gate: AtomicU64::new(0) })
+        });
+        // First cast wedges the worker for 100ms; then flood far past the cap.
+        let mut admitted = 0u64;
+        let mut shed = 0u64;
+        for i in 0..200u64 {
+            match svc.cast(Op::Insert(u64_key(i).to_vec(), i)) {
+                Ok(()) => admitted += 1,
+                Err(ShedReason::QueueFull) => shed += 1,
+                Err(r) => panic!("unexpected shed {r:?}"),
+            }
+        }
+        assert!(shed > 0, "queue_cap=4 must shed under a 200-op flood");
+        svc.drain();
+        let stats = svc.shutdown();
+        assert_eq!(stats[0].completed, admitted, "every admitted cast executes");
+        assert_eq!(stats[0].shed_queue_full, shed);
+        assert_eq!(admitted + shed, 200);
+    }
+
+    #[test]
+    fn batched_execution_reports_batch_sizes() {
+        let svc =
+            Service::start(ServiceConfig { shards: 1, queue_cap: 4096, max_batch: 64 }, |_| {
+                CappedMap::shared(usize::MAX)
+            });
+        for i in 0..2_000u64 {
+            svc.cast(Op::Insert(u64_key(i).to_vec(), i)).unwrap();
+        }
+        svc.drain();
+        let stats = svc.shutdown();
+        assert_eq!(stats[0].completed, 2_000);
+        assert!(
+            stats[0].mean_batch() > 1.5,
+            "an open-loop flood must batch (mean {})",
+            stats[0].mean_batch()
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Shard worker: one thread, one index shard, one pinned session, batched
+//! group commit.
+//!
+//! Each worker owns an `Arc<dyn Index>` shard and a bounded request queue.
+//! The loop drains up to `max_batch` queued jobs and executes them inside a
+//! single [`recipe::session::Handle::batch`]: one epoch pin and one closing
+//! fence amortized over the whole batch (see the crate docs for the cost
+//! model). Tickets are completed only *after* the batch guard drops — i.e.
+//! after the batch's fence — so a closed-loop caller that has its reply in
+//! hand holds a durably committed operation (group commit).
+//!
+//! The queue uses `std::sync::{Mutex, Condvar}` (the vendored `parking_lot`
+//! stand-in has no condvar). Admission control happens at enqueue time under
+//! the queue lock: a full queue sheds immediately with
+//! [`ShedReason::QueueFull`], keeping worst-case memory per shard bounded at
+//! `queue_cap` jobs.
+
+use crate::{Op, Reply, ShedReason};
+use recipe::session::{Handle, Index, IndexExt, OpError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Default bound on queued jobs per shard.
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+/// Default maximum jobs drained into one group-commit batch.
+pub const DEFAULT_MAX_BATCH: usize = 32;
+
+/// A waitable completion slot for a closed-loop request.
+pub(crate) struct Ticket {
+    slot: Mutex<Option<Reply>>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    pub(crate) fn new() -> Arc<Ticket> {
+        Arc::new(Ticket { slot: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    pub(crate) fn complete(&self, r: Reply) {
+        *self.slot.lock().unwrap() = Some(r);
+        self.cv.notify_one();
+    }
+
+    pub(crate) fn wait(&self) -> Reply {
+        let mut g = self.slot.lock().unwrap();
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// One queued request plus its completion plumbing.
+struct Job {
+    op: Op,
+    enqueued: Instant,
+    /// `None` for open-loop (fire-and-forget) submissions.
+    ticket: Option<Arc<Ticket>>,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+    /// The worker is between draining a batch and completing it; `drain`
+    /// must not report idle while this is set.
+    busy: bool,
+}
+
+struct Queue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    cap: usize,
+}
+
+/// Cumulative per-shard accounting, mirrored into `obs` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests admitted to the queue.
+    pub enqueued: u64,
+    /// Requests executed and committed.
+    pub completed: u64,
+    /// Requests refused at admission ([`ShedReason::QueueFull`]).
+    pub shed_queue_full: u64,
+    /// Requests refused by the index ([`ShedReason::IndexCapacity`]).
+    pub shed_index_capacity: u64,
+    /// Group-commit batches executed.
+    pub batches: u64,
+}
+
+impl ShardStats {
+    /// Mean jobs per batch, the batching factor actually achieved.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, o: &ShardStats) {
+        self.enqueued += o.enqueued;
+        self.completed += o.completed;
+        self.shed_queue_full += o.shed_queue_full;
+        self.shed_index_capacity += o.shed_index_capacity;
+        self.batches += o.batches;
+    }
+}
+
+/// Handle to a running shard worker: the submission side plus its join handle.
+pub(crate) struct Shard {
+    queue: Arc<Queue>,
+    stats: Arc<AtomicStats>,
+    m_enqueued: obs::Counter,
+    m_shed_queue_full: obs::Counter,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    enqueued: AtomicU64,
+    completed: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_index_capacity: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_index_capacity: self.shed_index_capacity.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Execute one op on the shard's (batched) handle and map the outcome.
+fn exec<I: Index + ?Sized>(h: &mut Handle<'_, I>, op: &Op) -> Reply {
+    let mapped = |r: Result<recipe::session::OpResult, OpError>| match r {
+        Ok(res) => Reply::Done(res),
+        Err(OpError::CapacityExceeded) => Reply::Shed(ShedReason::IndexCapacity),
+        Err(e) => Reply::Error(e),
+    };
+    match op {
+        Op::Insert(k, v) => mapped(h.insert(k, *v)),
+        Op::Update(k, v) => mapped(h.update(k, *v)),
+        Op::Get(k) => Reply::Value(h.get(k)),
+        Op::Remove(k) => mapped(h.remove(k)),
+    }
+}
+
+impl Shard {
+    /// Spawn the worker thread for shard `id` over its own `index` shard.
+    pub(crate) fn spawn(
+        id: usize,
+        index: Arc<dyn Index>,
+        queue_cap: usize,
+        max_batch: usize,
+    ) -> Shard {
+        let queue = Arc::new(Queue {
+            inner: Mutex::new(QueueInner { jobs: VecDeque::new(), closed: false, busy: false }),
+            cv: Condvar::new(),
+            cap: queue_cap.max(1),
+        });
+        let stats = Arc::new(AtomicStats::default());
+        let q = Arc::clone(&queue);
+        let st = Arc::clone(&stats);
+        let max_batch = max_batch.max(1);
+        let join = std::thread::Builder::new()
+            .name(format!("shard-{id}"))
+            .spawn(move || worker_loop(id, &index, &q, &st, max_batch))
+            .expect("spawn shard worker");
+        Shard {
+            queue,
+            stats,
+            m_enqueued: obs::counter(&format!("service.shard{id}.enqueued")),
+            m_shed_queue_full: obs::counter(&format!("service.shard{id}.shed.queue_full")),
+            join: Some(join),
+        }
+    }
+
+    /// Enqueue a job, or shed if the queue is at capacity. `ticket` is `None`
+    /// for open-loop submissions.
+    pub(crate) fn submit(&self, op: Op, ticket: Option<Arc<Ticket>>) -> Result<(), ShedReason> {
+        let mut g = self.queue.inner.lock().unwrap();
+        if g.jobs.len() >= self.queue.cap {
+            drop(g);
+            self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            self.m_shed_queue_full.inc();
+            return Err(ShedReason::QueueFull);
+        }
+        g.jobs.push_back(Job { op, enqueued: Instant::now(), ticket });
+        drop(g);
+        self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.m_enqueued.inc();
+        self.queue.cv.notify_all();
+        Ok(())
+    }
+
+    /// Block until the queue is empty and the worker is idle.
+    pub(crate) fn drain(&self) {
+        let mut g = self.queue.inner.lock().unwrap();
+        while !g.jobs.is_empty() || g.busy {
+            g = self.queue.cv.wait(g).unwrap();
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ShardStats {
+        self.stats.snapshot()
+    }
+
+    /// Close the queue and join the worker. Queued jobs are still executed.
+    pub(crate) fn shutdown(&mut self) {
+        self.queue.inner.lock().unwrap().closed = true;
+        self.queue.cv.notify_all();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    id: usize,
+    index: &Arc<dyn Index>,
+    queue: &Queue,
+    stats: &AtomicStats,
+    max_batch: usize,
+) {
+    // obs handles are cheap clones of registry entries; resolve once.
+    let m_completed = obs::counter(&format!("service.shard{id}.completed"));
+    let m_batches = obs::counter(&format!("service.shard{id}.batches"));
+    let m_shed_cap = obs::counter(&format!("service.shard{id}.shed.index_capacity"));
+    let m_lat = obs::histogram(&format!("service.shard{id}.latency_ns"));
+    let m_depth = obs::gauge(&format!("service.shard{id}.queue_depth"));
+    let mut handle = index.handle();
+    let mut batch_jobs: Vec<Job> = Vec::with_capacity(max_batch);
+    let mut replies: Vec<Reply> = Vec::with_capacity(max_batch);
+    loop {
+        {
+            let mut g = queue.inner.lock().unwrap();
+            while g.jobs.is_empty() && !g.closed {
+                g = queue.cv.wait(g).unwrap();
+            }
+            if g.jobs.is_empty() && g.closed {
+                return;
+            }
+            let n = g.jobs.len().min(max_batch);
+            batch_jobs.extend(g.jobs.drain(..n));
+            g.busy = true;
+            m_depth.set(g.jobs.len() as f64);
+        }
+        {
+            // One pin + one closing fence for the whole batch; replies become
+            // durable when this guard drops.
+            let mut b = handle.batch();
+            replies.extend(batch_jobs.iter().map(|job| exec(&mut b, &job.op)));
+        }
+        let batch_size = batch_jobs.len() as u64;
+        let mut shed_cap = 0u64;
+        for (job, reply) in batch_jobs.drain(..).zip(replies.drain(..)) {
+            shed_cap += u64::from(reply == Reply::Shed(ShedReason::IndexCapacity));
+            m_lat.record(u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            if let Some(t) = job.ticket {
+                t.complete(reply);
+            }
+        }
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.shed_index_capacity.fetch_add(shed_cap, Ordering::Relaxed);
+        stats.completed.fetch_add(batch_size - shed_cap, Ordering::Relaxed);
+        m_batches.inc();
+        m_completed.add(batch_size - shed_cap);
+        m_shed_cap.add(shed_cap);
+        let mut g = queue.inner.lock().unwrap();
+        g.busy = false;
+        queue.cv.notify_all();
+    }
+}

@@ -12,6 +12,7 @@
 pub mod driver;
 pub mod shard;
 pub mod workload;
+pub mod zipf;
 
 pub use driver::{execute, run_spec, PhaseResult, RunResult};
 pub use shard::{peak_resident_ops, reset_peak_resident_ops, run_spec_sharded, DEFAULT_CHUNK_OPS};

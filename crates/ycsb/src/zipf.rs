@@ -1,0 +1,179 @@
+//! Zipfian key sampling with hot-key churn, for the service load generator.
+//!
+//! YCSB's skewed workloads draw keys from a Zipfian distribution: rank `r`
+//! (1-based) is sampled with probability proportional to `1 / r^theta`. This
+//! module implements the standard Gray et al. rejection-free method used by
+//! the YCSB reference generator (`zeta(n)`-normalized inverse transform), in a
+//! deterministic, allocation-free form driven by [`pm::mix64`] — every sample
+//! is a pure function of `(seed, sequence number)`, so shard loadgens across
+//! threads and reruns reproduce the exact same key stream.
+//!
+//! **Hot-key churn**: a static Zipfian pins the same few keys hot forever,
+//! which under-exercises routing and admission control (one shard saturates,
+//! the rest idle, and caches never invalidate). [`ZipfGen::churn_every`]
+//! rotates which *items* occupy the hot ranks: every `period` samples, the
+//! rank-to-item mapping shifts by a deterministic offset, moving the hot set
+//! to a different region of the keyspace while preserving the skew profile.
+
+use pm::mix64;
+
+/// Default skew exponent, matching the YCSB reference generator.
+pub const DEFAULT_THETA: f64 = 0.99;
+
+/// Deterministic Zipfian rank sampler over `[0, n)` with optional hot-set
+/// churn. See the module docs for the method and the churn rationale.
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    seed: u64,
+    /// Precomputed generalized harmonic number `zeta(n, theta)`.
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    /// Rotate the rank-to-item mapping every this many samples (0 = never).
+    churn_period: u64,
+}
+
+impl ZipfGen {
+    /// Build a sampler over `n` items with skew `theta` (`0 < theta < 1`;
+    /// [`DEFAULT_THETA`] reproduces YCSB). `zeta(n)` is computed once in
+    /// `O(n)` — construct per run, not per sample.
+    ///
+    /// # Panics
+    /// If `n == 0` or `theta` is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "zipf over an empty keyspace");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfGen { n, theta, seed, zetan, alpha, eta, churn_period: 0 }
+    }
+
+    /// Enable hot-set churn: every `period` samples the rank-to-item mapping
+    /// rotates to a new deterministic offset. `0` disables churn.
+    #[must_use]
+    pub fn churn_every(mut self, period: u64) -> Self {
+        self.churn_period = period;
+        self
+    }
+
+    /// Number of items in the keyspace.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The Zipfian *rank* (0 = hottest) for sample number `i`. Pure function
+    /// of `(seed, i)`.
+    #[must_use]
+    pub fn rank_at(&self, i: u64) -> u64 {
+        // 53-bit uniform in [0, 1).
+        let u = (mix64(self.seed ^ 0x05EE_D21F_u64 ^ i) >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+
+    /// The *item* (0-based index into the keyspace) for sample number `i`:
+    /// the Zipfian rank scattered through the keyspace, with the hot set
+    /// rotated by the churn epoch. Pure function of `(seed, i)`.
+    #[must_use]
+    pub fn item_at(&self, i: u64) -> u64 {
+        let rank = self.rank_at(i);
+        let epoch = match self.churn_period {
+            0 => 0,
+            p => i / p,
+        };
+        // A per-epoch offset moves the hot ranks to a different keyspace
+        // region; the scramble multiplier (a large odd constant) spreads
+        // adjacent ranks so "hot" does not mean "contiguous", matching YCSB's
+        // hashed item mapping.
+        let offset = mix64(self.seed ^ 0xC0_FFEE ^ epoch) % self.n;
+        (rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.n + offset) % self.n
+    }
+}
+
+/// Generalized harmonic number `sum_{k=1..n} 1/k^theta`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = ZipfGen::new(10_000, DEFAULT_THETA, 42).churn_every(1_000);
+        let b = ZipfGen::new(10_000, DEFAULT_THETA, 42).churn_every(1_000);
+        for i in 0..5_000 {
+            assert_eq!(a.item_at(i), b.item_at(i));
+        }
+        let c = ZipfGen::new(10_000, DEFAULT_THETA, 43);
+        assert!((0..5_000).any(|i| a.item_at(i) != c.item_at(i)), "seed must matter");
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_few_ranks() {
+        let g = ZipfGen::new(100_000, DEFAULT_THETA, 7);
+        let samples = 200_000u64;
+        let hot = (0..samples).filter(|&i| g.rank_at(i) < 100).count() as f64;
+        // At theta=0.99 over 100k items, the top 100 ranks carry roughly half
+        // the mass; uniform would give 0.1%.
+        let frac = hot / samples as f64;
+        assert!(frac > 0.35, "zipf skew too weak: top-100 fraction {frac}");
+        assert!(frac < 0.75, "zipf skew implausibly strong: {frac}");
+    }
+
+    #[test]
+    fn ranks_cover_the_tail_too() {
+        let g = ZipfGen::new(1_000, 0.5, 11);
+        let mut max_rank = 0;
+        for i in 0..50_000 {
+            let r = g.rank_at(i);
+            assert!(r < 1_000);
+            max_rank = max_rank.max(r);
+        }
+        assert!(max_rank > 900, "low skew must still reach the tail, got {max_rank}");
+    }
+
+    #[test]
+    fn churn_rotates_the_hot_set() {
+        let g = ZipfGen::new(10_000, DEFAULT_THETA, 3).churn_every(10_000);
+        let hottest = |epoch: u64| {
+            let mut counts = std::collections::HashMap::new();
+            for i in epoch * 10_000..(epoch + 1) * 10_000 {
+                *counts.entry(g.item_at(i)).or_insert(0u64) += 1;
+            }
+            let (&item, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+            item
+        };
+        assert_ne!(hottest(0), hottest(1), "churn must move the hottest key");
+        // Without churn the hottest item is stable across the same windows.
+        let s = ZipfGen::new(10_000, DEFAULT_THETA, 3);
+        let hottest_s = |epoch: u64| {
+            let mut counts = std::collections::HashMap::new();
+            for i in epoch * 10_000..(epoch + 1) * 10_000 {
+                *counts.entry(s.item_at(i)).or_insert(0u64) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        assert_eq!(hottest_s(0), hottest_s(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty keyspace")]
+    fn zero_keyspace_panics() {
+        let _ = ZipfGen::new(0, 0.5, 0);
+    }
+}
