@@ -23,9 +23,11 @@ fn delete_heavy_soak_merges_pages_and_drops_no_events() {
     let shards = 2;
     let trees: Vec<Arc<bwtree::PBwTree>> =
         (0..shards).map(|_| Arc::new(bwtree::PBwTree::new())).collect();
-    let svc = Service::start(ServiceConfig { shards, queue_cap: 4096, max_batch: 32 }, |i| {
-        trees[i].clone() as Arc<dyn recipe::session::Index>
-    });
+    let shard_trees = trees.clone();
+    let svc = Service::start(
+        ServiceConfig { shards, queue_cap: 4096, max_batch: 32, ..ServiceConfig::default() },
+        move |i| shard_trees[i].clone() as Arc<dyn recipe::session::Index>,
+    );
 
     // Seed the keyspace, then soak delete-heavy in chunks, draining the event
     // ring between chunks so a full run fits without overwriting (ring cap

@@ -200,6 +200,39 @@ impl Hist {
         self.max
     }
 
+    /// The observations recorded since `earlier` was captured: per-bucket
+    /// saturating subtraction, for turning a pair of cumulative snapshots of
+    /// the same histogram into a run-local (or streaming-delta) view.
+    /// `earlier` must be a previous state of the same histogram; buckets and
+    /// `sum` subtract exactly, while `min`/`max` are re-derived from the
+    /// surviving buckets (bucket-representative precision, the same bound as
+    /// [`Hist::quantile`]).
+    #[must_use]
+    pub fn diff(&self, earlier: &Hist) -> Hist {
+        let mut out = Hist::new();
+        for (i, (dst, (&now, &was))) in
+            out.counts.iter_mut().zip(self.counts.iter().zip(earlier.counts.iter())).enumerate()
+        {
+            *dst = now.saturating_sub(was);
+            if *dst != 0 {
+                out.count += *dst;
+                out.min = out.min.min(bucket_lower(i));
+                out.max = out.max.max(bucket_value(i));
+            }
+        }
+        if out.count != 0 {
+            out.sum = self.sum.saturating_sub(earlier.sum);
+            // The exact extremes survive a diff when the endpoint buckets did.
+            if bucket_index(self.max) == bucket_index(out.max) {
+                out.max = self.max;
+            }
+            if self.min >= out.min && bucket_index(self.min) == bucket_index(out.min) {
+                out.min = self.min;
+            }
+        }
+        out
+    }
+
     /// Non-empty buckets as `(bucket_index, count)` pairs, ascending — the
     /// sparse form used by the registry's JSON export.
     pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
@@ -327,6 +360,34 @@ mod tests {
             }
         });
         assert_eq!(*shared.lock(), whole);
+    }
+
+    #[test]
+    fn diff_recovers_the_increment() {
+        let mut h = Hist::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let mark = h.clone();
+        for v in [5u64, 500, 500, 9_000] {
+            h.record(v);
+        }
+        let d = h.diff(&mark);
+        assert_eq!(d.count(), 4);
+        assert_eq!(d.sum(), 5 + 500 + 500 + 9_000);
+        assert_eq!(d.min(), 5, "new minimum is exact (it survives in h.min)");
+        let mut expect = Hist::new();
+        for v in [5u64, 500, 500, 9_000] {
+            expect.record(v);
+        }
+        assert_eq!(d.nonzero_buckets(), expect.nonzero_buckets());
+        // Quantiles of the diff match the increment to bucket precision.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(bucket_index(d.quantile(q)), bucket_index(expect.quantile(q)));
+        }
+        // Diffing identical states is empty; diffing from empty is identity.
+        assert!(h.diff(&h.clone()).is_empty());
+        assert_eq!(h.diff(&Hist::new()), h);
     }
 
     #[test]

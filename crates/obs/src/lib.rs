@@ -1,6 +1,6 @@
 //! Unified observability for the RECIPE workspace.
 //!
-//! Three pieces, one crate, zero external dependencies beyond `parking_lot`:
+//! Four pieces, one crate, zero external dependencies beyond `parking_lot`:
 //!
 //! * [`hist`] — mergeable log-bucketed HDR-style histograms ([`Hist`]) with
 //!   bounded relative quantile error. The YCSB drivers keep one per thread
@@ -11,6 +11,10 @@
 //!   exports self-describing JSON (`recipe-obs-metrics/v1`) or CSV. The `pm`
 //!   substrate registers a collector for its probe/flush/charged counters;
 //!   the bench layer pushes per-cell latency histograms and epoch gauges.
+//! * [`stream`] — a [`SnapshotStream`] capturing periodic schema-valid
+//!   snapshots *during* a run (wall-interval or op-count triggered), so
+//!   transitional regimes — a live shard migration, an overload onset — show
+//!   up as a timeline instead of vanishing into end-of-run totals.
 //! * [`event`] — an opt-in structured event ring (per-thread bounded
 //!   buffers, global sequencing) tracing SMO steps, epoch advances, and
 //!   crash-site hits; the crash harness dumps the timeline of a failing
@@ -46,9 +50,11 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod registry;
+pub mod stream;
 
 pub use hist::Hist;
 pub use registry::{
     counter, gauge, histogram, register_collector, snapshot, Counter, Gauge, Histogram, Sample,
     Snapshot, Value, SCHEMA,
 };
+pub use stream::{SnapshotStream, StreamConfig, StreamedSnapshot};

@@ -1,0 +1,225 @@
+//! Streaming snapshot export: periodic `recipe-obs-metrics/v1` snapshots
+//! captured *while a run is in flight*.
+//!
+//! [`snapshot`]/[`Snapshot::to_json`] export end-of-run state; they cannot
+//! show a migration's phases or an overload's onset. A [`SnapshotStream`]
+//! fills that gap: it captures full registry snapshots on a wall-clock
+//! interval (a background ticker thread), on an operation-count trigger
+//! ([`SnapshotStream::record_ops`], for drivers that prefer deterministic
+//! op-spaced points), or both. Each capture is a complete, schema-valid
+//! snapshot — the same `recipe-obs-metrics/v1` JSON as the end-of-run export
+//! — stamped with a sequence number and the stream-relative capture time, so
+//! consumers (the service's `loadgen` timeline, `service_smoke`'s CI gate)
+//! can difference consecutive points into per-phase rates.
+//!
+//! ```
+//! let stream = obs::SnapshotStream::start(obs::StreamConfig::every_ops(100));
+//! obs::counter("doc.stream.ops").add(250);
+//! stream.record_ops(250);
+//! let points = stream.stop(); // always captures one final point
+//! assert_eq!(points.len(), 3, "two op-triggered + one final");
+//! assert!(points.windows(2).all(|w| w[0].seq < w[1].seq));
+//! ```
+
+use crate::registry::{snapshot, Snapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// When a [`SnapshotStream`] captures. Both triggers may be active at once;
+/// each capture is independent (no coalescing).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Capture every `interval` of wall time on a background thread.
+    /// `None` disables the ticker.
+    pub interval: Option<Duration>,
+    /// Capture every `every_ops` operations reported through
+    /// [`SnapshotStream::record_ops`]. `0` disables the op trigger.
+    pub every_ops: u64,
+}
+
+impl StreamConfig {
+    /// Wall-clock capture every `ms` milliseconds.
+    #[must_use]
+    pub fn every_millis(ms: u64) -> StreamConfig {
+        StreamConfig { interval: Some(Duration::from_millis(ms.max(1))), every_ops: 0 }
+    }
+
+    /// Deterministic capture every `n` reported operations.
+    #[must_use]
+    pub fn every_ops(n: u64) -> StreamConfig {
+        StreamConfig { interval: None, every_ops: n }
+    }
+}
+
+/// One captured point of a [`SnapshotStream`].
+#[derive(Clone, Debug)]
+pub struct StreamedSnapshot {
+    /// Capture sequence number, starting at 0, strictly increasing.
+    pub seq: u64,
+    /// Milliseconds since the stream started.
+    pub at_ms: u64,
+    /// The full registry snapshot at capture time.
+    pub snapshot: Snapshot,
+}
+
+struct Shared {
+    /// Captured points, appended under lock (captures are rare and already
+    /// pay a full registry walk; contention here is irrelevant).
+    out: Mutex<Vec<StreamedSnapshot>>,
+    /// `stop` flag + condvar so [`SnapshotStream::stop`] interrupts the
+    /// ticker's sleep immediately instead of waiting out the interval.
+    stopped: Mutex<bool>,
+    cv: Condvar,
+    seq: AtomicU64,
+    ops: AtomicU64,
+    every_ops: u64,
+    started: Instant,
+}
+
+impl Shared {
+    fn capture(&self) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let at_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let snap = snapshot();
+        self.out.lock().unwrap().push(StreamedSnapshot { seq, at_ms, snapshot: snap });
+    }
+}
+
+/// A running snapshot stream; see the module docs. Create with
+/// [`SnapshotStream::start`], finish with [`SnapshotStream::stop`] (which
+/// always captures one final point, so even a degenerate run yields a
+/// timeline endpoint).
+pub struct SnapshotStream {
+    shared: Arc<Shared>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SnapshotStream {
+    /// Start capturing per `cfg`. The wall-clock ticker (if configured)
+    /// captures its first point one interval *after* start — the start-of-run
+    /// state is the baseline consumers diff against.
+    #[must_use]
+    pub fn start(cfg: StreamConfig) -> SnapshotStream {
+        let shared = Arc::new(Shared {
+            out: Mutex::new(Vec::new()),
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            every_ops: cfg.every_ops,
+            started: Instant::now(),
+        });
+        let ticker = cfg.interval.map(|interval| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("obs-snapshot-stream".into())
+                .spawn(move || {
+                    let mut g = sh.stopped.lock().unwrap();
+                    loop {
+                        let (guard, timeout) = sh.cv.wait_timeout(g, interval).unwrap();
+                        g = guard;
+                        if *g {
+                            return;
+                        }
+                        if timeout.timed_out() {
+                            drop(g);
+                            sh.capture();
+                            g = sh.stopped.lock().unwrap();
+                        }
+                    }
+                })
+                .expect("spawn snapshot-stream ticker")
+        });
+        SnapshotStream { shared, ticker }
+    }
+
+    /// Report `n` operations toward the op-count trigger: a capture fires
+    /// each time the cumulative count crosses a multiple of the configured
+    /// `every_ops`. A no-op when the op trigger is disabled. Callers may
+    /// report from any thread; a crossing is attributed to exactly one
+    /// caller, so concurrent reporters never double-capture a boundary.
+    pub fn record_ops(&self, n: u64) {
+        if self.shared.every_ops == 0 || n == 0 {
+            return;
+        }
+        let before = self.shared.ops.fetch_add(n, Ordering::Relaxed);
+        let crossings = (before + n) / self.shared.every_ops - before / self.shared.every_ops;
+        for _ in 0..crossings {
+            self.shared.capture();
+        }
+    }
+
+    /// Points captured so far (the stream keeps running).
+    #[must_use]
+    pub fn points(&self) -> usize {
+        self.shared.out.lock().unwrap().len()
+    }
+
+    /// Stop the stream: halt the ticker, capture one final point, and return
+    /// every captured point in sequence order.
+    #[must_use]
+    pub fn stop(self) -> Vec<StreamedSnapshot> {
+        *self.shared.stopped.lock().unwrap() = true;
+        self.shared.cv.notify_all();
+        if let Some(t) = self.ticker {
+            let _ = t.join();
+        }
+        self.shared.capture();
+        let mut points = std::mem::take(&mut *self.shared.out.lock().unwrap());
+        points.sort_by_key(|p| p.seq);
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_trigger_is_deterministic() {
+        let s = SnapshotStream::start(StreamConfig::every_ops(100));
+        s.record_ops(0); // no-op
+        s.record_ops(99); // 99: no crossing
+        assert_eq!(s.points(), 0);
+        s.record_ops(1); // 100: crossing
+        assert_eq!(s.points(), 1);
+        s.record_ops(250); // 350: crosses 200 and 300
+        assert_eq!(s.points(), 3);
+        let points = s.stop(); // + final
+        assert_eq!(points.len(), 4);
+        assert!(points.windows(2).all(|w| w[0].seq + 1 == w[1].seq), "dense sequence");
+    }
+
+    #[test]
+    fn interval_trigger_streams_schema_valid_snapshots() {
+        let c = crate::counter("t.stream.ops");
+        let s = SnapshotStream::start(StreamConfig::every_millis(5));
+        // Monotone source the snapshots must observe in monotone order.
+        let t0 = Instant::now();
+        while s.points() < 3 && t0.elapsed() < Duration::from_secs(5) {
+            c.inc();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let points = s.stop();
+        assert!(points.len() >= 4, "3 ticks + final, got {}", points.len());
+        assert!(points.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let mut prev = 0;
+        for p in &points {
+            // Every point is a full, schema-valid export.
+            let doc = crate::json::parse(&p.snapshot.to_json()).expect("valid JSON");
+            assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(crate::SCHEMA));
+            let v = p.snapshot.counter_value("t.stream.ops").expect("counter present");
+            assert!(v >= prev, "counter went backwards across snapshots");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn stop_always_yields_a_final_point() {
+        let s = SnapshotStream::start(StreamConfig::every_ops(1_000_000));
+        let points = s.stop();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].seq, 0);
+    }
+}

@@ -1,4 +1,4 @@
-//! Consistent-hash request routing.
+//! Consistent-hash request routing, with first-class elastic resize.
 //!
 //! Keys map to shards through a hash ring with virtual nodes: each shard
 //! claims `vnodes` pseudo-random points on a 64-bit ring, and a key routes to
@@ -7,6 +7,20 @@
 //! — the property that makes shard counts a tuning knob instead of a
 //! migration event. Both the ring points and the key hash come from
 //! [`pm::mix64`], so placement is deterministic across runs and processes.
+//!
+//! Resizing is a first-class API, not a re-derivation exercise:
+//!
+//! * [`Router::fork`] produces the ring for a new shard count (grow or
+//!   shrink) **plus the exact moved-vnode delta** — the list of
+//!   [`MovedRange`]s whose ownership changes. The live-migration driver
+//!   ([`crate::migrate`]) consumes this delta directly: it is the precise
+//!   set of hash intervals whose keys must be handed off, nothing more.
+//! * [`Router::split_shard`] relieves one hot shard: it reassigns every
+//!   other one of the source shard's virtual nodes to a brand-new shard, so
+//!   ~half of the *source's* keyspace (and none of anyone else's) moves.
+//!   This is what [`Service::split`] drives.
+//!
+//! [`Service::split`]: crate::service::Service::split
 
 use pm::mix64;
 
@@ -14,12 +28,46 @@ use pm::mix64;
 /// load imbalance within a few percent for small shard counts.
 pub const DEFAULT_VNODES: usize = 64;
 
+/// One hash-ring interval whose owner changes across a resize: every key
+/// whose [`Router::key_point`] falls in `lo..=hi` routed to `from` under the
+/// old ring and routes to `to` under the new one. Produced by
+/// [`Router::fork`] / [`Router::split_shard`]; consumed by the migration
+/// driver as the exact definition of "the moved keyspace".
+///
+/// Ranges are inclusive on both ends and never wrap: an arc crossing the
+/// ring origin is reported as two ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovedRange {
+    /// First ring position in the range (inclusive).
+    pub lo: u64,
+    /// Last ring position in the range (inclusive).
+    pub hi: u64,
+    /// Shard that owned the range before the resize.
+    pub from: usize,
+    /// Shard that owns the range after the resize.
+    pub to: usize,
+}
+
+impl MovedRange {
+    /// Whether ring position `p` falls inside this range.
+    #[must_use]
+    pub fn contains(&self, p: u64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+}
+
 /// A consistent-hash ring over `shards` shards. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Router {
     /// `(ring_position, shard)` sorted by position.
     ring: Vec<(u64, usize)>,
     shards: usize,
+    vnodes: usize,
+}
+
+/// The deterministic ring point for virtual node `v` of shard `s`.
+fn ring_point(s: usize, v: usize) -> u64 {
+    mix64(0x51A2_D000 ^ ((s as u64) << 20) ^ v as u64)
 }
 
 impl Router {
@@ -43,12 +91,12 @@ impl Router {
         let mut ring = Vec::with_capacity(shards * vnodes);
         for s in 0..shards {
             for v in 0..vnodes {
-                ring.push((mix64(0x51A2_D000 ^ ((s as u64) << 20) ^ v as u64), s));
+                ring.push((ring_point(s, v), s));
             }
         }
         ring.sort_unstable();
         ring.dedup_by_key(|&mut (p, _)| p);
-        Router { ring, shards }
+        Router { ring, shards, vnodes }
     }
 
     /// Number of shards behind this router.
@@ -67,14 +115,130 @@ impl Router {
         mix64(h)
     }
 
-    /// The shard responsible for `key`: first ring point at or after the
-    /// key's hash, wrapping to the start.
+    /// The shard owning ring position `p`: first ring point at or after `p`,
+    /// wrapping to the start.
     #[must_use]
-    pub fn route(&self, key: &[u8]) -> usize {
-        let p = Self::key_point(key);
+    pub fn route_point(&self, p: u64) -> usize {
         let i = self.ring.partition_point(|&(pos, _)| pos < p);
         self.ring[if i == self.ring.len() { 0 } else { i }].1
     }
+
+    /// The shard responsible for `key`.
+    #[must_use]
+    pub fn route(&self, key: &[u8]) -> usize {
+        self.route_point(Self::key_point(key))
+    }
+
+    /// The new ring for `n_new` shards — grow **or** shrink — plus the exact
+    /// delta of hash ranges whose owner changes.
+    ///
+    /// Growing keeps every existing virtual node in place and adds the new
+    /// shards' points, so only `~(n_new - n) / n_new` of the keyspace moves
+    /// (each moved range lands on a new shard). Shrinking removes the dropped
+    /// shards' points, so `~(n - n_new) / n` moves (each moved range comes
+    /// *from* a removed shard). The delta is what a migration driver hands
+    /// off — no re-derivation, no key sampling.
+    ///
+    /// # Panics
+    /// If `n_new == 0` or `n_new == self.shards()`.
+    #[must_use]
+    pub fn fork(&self, n_new: usize) -> (Router, Vec<MovedRange>) {
+        assert!(n_new > 0, "fork to zero shards");
+        assert!(n_new != self.shards, "fork to the same shard count");
+        let mut ring: Vec<(u64, usize)> =
+            self.ring.iter().copied().filter(|&(_, s)| s < n_new).collect();
+        for s in self.shards..n_new {
+            for v in 0..self.vnodes {
+                ring.push((ring_point(s, v), s));
+            }
+        }
+        ring.sort_unstable();
+        ring.dedup_by_key(|&mut (p, _)| p);
+        let new = Router { ring, shards: n_new, vnodes: self.vnodes };
+        let delta = Self::delta(self, &new);
+        (new, delta)
+    }
+
+    /// Split one shard: reassign every other one of `src`'s virtual nodes to
+    /// a brand-new shard (id [`Router::shards`] before the call), so ~half of
+    /// the *source's* keyspace moves and every [`MovedRange`] in the returned
+    /// delta has `from == src`. No other shard's placement changes — this is
+    /// the targeted "relieve the hot shard" resize the live-migration driver
+    /// executes.
+    ///
+    /// # Panics
+    /// If `src` is out of range or owns fewer than two ring points.
+    #[must_use]
+    pub fn split_shard(&self, src: usize) -> (Router, Vec<MovedRange>) {
+        assert!(src < self.shards, "split of unknown shard {src}");
+        let dest = self.shards;
+        let mut ring = self.ring.clone();
+        let mut nth = 0usize;
+        for e in &mut ring {
+            if e.1 == src {
+                // Every other point of the source moves to the new shard.
+                if nth % 2 == 1 {
+                    e.1 = dest;
+                }
+                nth += 1;
+            }
+        }
+        assert!(nth >= 2, "shard {src} owns {nth} ring points; nothing to split");
+        let new = Router { ring, shards: self.shards + 1, vnodes: self.vnodes };
+        let delta = Self::delta(self, &new);
+        debug_assert!(delta.iter().all(|r| r.from == src && r.to == dest));
+        (new, delta)
+    }
+
+    /// Exact ownership diff between two rings, as maximal non-wrapping
+    /// inclusive ranges. The union of both rings' points partitions the ring
+    /// into arcs on which both routings are constant; arcs whose owners
+    /// differ are emitted (coalescing adjacent arcs with the same
+    /// `from -> to`).
+    #[must_use]
+    pub fn delta(old: &Router, new: &Router) -> Vec<MovedRange> {
+        let mut points: Vec<u64> =
+            old.ring.iter().chain(new.ring.iter()).map(|&(p, _)| p).collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut out: Vec<MovedRange> = Vec::new();
+        let mut push = |lo: u64, hi: u64, from: usize, to: usize| {
+            if let Some(last) = out.last_mut() {
+                if last.from == from && last.to == to && last.hi.wrapping_add(1) == lo {
+                    last.hi = hi;
+                    return;
+                }
+            }
+            out.push(MovedRange { lo, hi, from, to });
+        };
+        // The wrap arc (last_point, first_point] — reported first (as its
+        // `[0, first]` half) so coalescing with the arc after `first` works.
+        let (first, last) = (points[0], *points.last().expect("non-empty rings"));
+        let (wf, wt) = (old.route_point(first), new.route_point(first));
+        if wf != wt {
+            push(0, first, wf, wt);
+        }
+        for w in points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (f, t) = (old.route_point(b), new.route_point(b));
+            if f != t {
+                push(a + 1, b, f, t);
+            }
+        }
+        if wf != wt && last < u64::MAX {
+            push(last + 1, u64::MAX, wf, wt);
+        }
+        out
+    }
+}
+
+/// Find the owner change for ring position `p` in a sorted-by-`lo` delta, if
+/// any. The ranges produced by [`Router::delta`] are disjoint and sorted, so
+/// this is a binary search.
+#[must_use]
+pub fn moved_owner(delta: &[MovedRange], p: u64) -> Option<&MovedRange> {
+    let i = delta.partition_point(|r| r.hi < p);
+    delta.get(i).filter(|r| r.contains(p))
 }
 
 #[cfg(test)]
@@ -117,5 +281,99 @@ mod tests {
         // Consistent hashing moves ~1/8 of the keys; modulo hashing would move ~7/8.
         assert!(moved < 50_000 / 4, "{moved} of 50k keys moved on grow (expected ~1/8)");
         assert!(moved > 0, "growing the ring must move something");
+    }
+
+    #[test]
+    fn fork_grow_matches_fresh_ring_and_delta_is_exact() {
+        let old = Router::new(7);
+        let (new, delta) = old.fork(8);
+        let fresh = Router::new(8);
+        for k in keys(50_000) {
+            // Grow-by-fork is indistinguishable from a fresh 8-shard ring.
+            assert_eq!(new.route(&k), fresh.route(&k));
+            // The delta is the complete and exact statement of what moved.
+            let p = Router::key_point(&k);
+            match moved_owner(&delta, p) {
+                Some(r) => {
+                    assert_eq!(old.route(&k), r.from, "delta's `from` must match old routing");
+                    assert_eq!(new.route(&k), r.to, "delta's `to` must match new routing");
+                    assert_eq!(r.to, 7, "grow moves keys only onto the new shard");
+                }
+                None => assert_eq!(old.route(&k), new.route(&k), "unmoved key changed owner"),
+            }
+        }
+    }
+
+    #[test]
+    fn fork_shrink_moves_a_minority_of_keys() {
+        let before = Router::new(8);
+        let (after, delta) = before.fork(7);
+        assert_eq!(after.shards(), 7);
+        let mut moved = 0usize;
+        for k in keys(50_000) {
+            let (a, b) = (before.route(&k), after.route(&k));
+            if a != b {
+                moved += 1;
+                assert_eq!(a, 7, "shrink moves keys only off the removed shard");
+                let r = moved_owner(&delta, Router::key_point(&k))
+                    .expect("every moved key lies in the delta");
+                assert_eq!((r.from, r.to), (a, b));
+            } else {
+                assert!(moved_owner(&delta, Router::key_point(&k)).is_none());
+            }
+            assert!(b < 7);
+        }
+        // The mirror of the grow assertion: dropping one of 8 shards moves
+        // ~1/8 of the keys, not a reshuffle.
+        assert!(moved < 50_000 / 4, "{moved} of 50k keys moved on shrink (expected ~1/8)");
+        assert!(moved > 0, "shrinking the ring must move something");
+    }
+
+    #[test]
+    fn split_shard_moves_about_half_of_the_source_only() {
+        let before = Router::new(4);
+        let (after, delta) = before.split_shard(2);
+        assert_eq!(after.shards(), 5);
+        assert!(!delta.is_empty());
+        assert!(delta.iter().all(|r| r.from == 2 && r.to == 4));
+        let (mut src_before, mut src_after, mut dest_after, mut moved) = (0u64, 0u64, 0u64, 0u64);
+        for k in keys(50_000) {
+            let (a, b) = (before.route(&k), after.route(&k));
+            src_before += u64::from(a == 2);
+            src_after += u64::from(b == 2);
+            dest_after += u64::from(b == 4);
+            if a != b {
+                moved += 1;
+                assert_eq!((a, b), (2, 4), "split must only move src -> dest");
+                assert!(moved_owner(&delta, Router::key_point(&k)).is_some());
+            }
+        }
+        assert_eq!(moved, dest_after, "everything on the new shard came from the source");
+        assert_eq!(src_before, src_after + dest_after);
+        // Every-other-vnode reassignment lands within [1/4, 3/4] of the source.
+        assert!(
+            dest_after > src_before / 4 && dest_after < src_before * 3 / 4,
+            "split moved {dest_after} of the source's {src_before} keys"
+        );
+    }
+
+    #[test]
+    fn delta_roundtrip_on_point_boundaries() {
+        let old = Router::with_vnodes(3, 8);
+        let (new, delta) = old.fork(4);
+        // Probe exactly at every range boundary: containment and ownership
+        // must agree with the two rings at the edges, not just interior.
+        for r in &delta {
+            for p in [r.lo, r.hi] {
+                assert_eq!(old.route_point(p), r.from);
+                assert_eq!(new.route_point(p), r.to);
+            }
+            if r.lo > 0 {
+                let p = r.lo - 1;
+                if moved_owner(&delta, p).is_none() {
+                    assert_eq!(old.route_point(p), new.route_point(p));
+                }
+            }
+        }
     }
 }

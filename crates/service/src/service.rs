@@ -1,8 +1,10 @@
-//! The service front: routing, admission, closed- and open-loop submission.
+//! The service front: routing, admission, closed- and open-loop submission,
+//! and the live-migration entry points.
 
+use crate::migrate::{MigrateError, MigrationPlan, MigrationReport};
 use crate::router::Router;
-use crate::shard::{Shard, ShardStats, Ticket, DEFAULT_MAX_BATCH, DEFAULT_QUEUE_CAP};
-use crate::{Op, Reply, ShedReason};
+use crate::shard::{Shard, ShardStats, Ticket};
+use crate::{Reply, ReplyBody, Request, ShedReason};
 use recipe::session::Index;
 use std::sync::Arc;
 
@@ -10,11 +12,12 @@ use std::sync::Arc;
 /// binaries and CI can tune a run without recompiling (see the README's
 /// "Service" section):
 ///
-/// | field       | env var                    | default |
-/// |-------------|----------------------------|---------|
-/// | `shards`    | `RECIPE_SERVICE_SHARDS`    | 2       |
-/// | `queue_cap` | `RECIPE_SERVICE_QUEUE_CAP` | 1024    |
-/// | `max_batch` | `RECIPE_SERVICE_BATCH`     | 32      |
+/// | field                 | env var                      | default |
+/// |-----------------------|------------------------------|---------|
+/// | `shards`              | `RECIPE_SERVICE_SHARDS`      | 2       |
+/// | `queue_cap`           | `RECIPE_SERVICE_QUEUE_CAP`   | 1024    |
+/// | `max_batch`           | `RECIPE_SERVICE_BATCH`       | 32      |
+/// | `default_deadline_ns` | `RECIPE_SERVICE_DEADLINE_NS` | 0 (off) |
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Shard worker threads (each owns one index shard).
@@ -24,11 +27,20 @@ pub struct ServiceConfig {
     /// Maximum requests drained into one group-commit batch. `1` disables
     /// batching (one pin + one fence per request).
     pub max_batch: usize,
+    /// Latency budget applied to requests that do not carry their own
+    /// [`crate::Deadline`], in nanoseconds of queue age. `0` disables the
+    /// default — undecorated requests then never deadline-shed.
+    pub default_deadline_ns: u64,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { shards: 2, queue_cap: DEFAULT_QUEUE_CAP, max_batch: DEFAULT_MAX_BATCH }
+        ServiceConfig {
+            shards: 2,
+            queue_cap: crate::shard::DEFAULT_QUEUE_CAP,
+            max_batch: crate::shard::DEFAULT_MAX_BATCH,
+            default_deadline_ns: 0,
+        }
     }
 }
 
@@ -42,30 +54,57 @@ impl ServiceConfig {
             shards: get("RECIPE_SERVICE_SHARDS").filter(|&n| n > 0).unwrap_or(d.shards),
             queue_cap: get("RECIPE_SERVICE_QUEUE_CAP").filter(|&n| n > 0).unwrap_or(d.queue_cap),
             max_batch: get("RECIPE_SERVICE_BATCH").filter(|&n| n > 0).unwrap_or(d.max_batch),
+            default_deadline_ns: std::env::var("RECIPE_SERVICE_DEADLINE_NS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(d.default_deadline_ns),
         }
     }
 }
 
+/// The mutable routing state: the ring and the workers it routes to, swapped
+/// atomically (under the write lock) at migration cutover.
+pub(crate) struct Topology {
+    pub(crate) router: Router,
+    pub(crate) shards: Vec<Arc<Shard>>,
+}
+
 /// A running sharded session-store service. See the crate docs for the
 /// architecture; construct with [`Service::start`], stop with
-/// [`Service::shutdown`] (or drop).
+/// [`Service::shutdown`] (or drop), resize live with [`Service::split`] /
+/// [`Service::grow`].
 pub struct Service {
-    router: Router,
-    shards: Vec<Shard>,
-    cfg: ServiceConfig,
+    /// Declared before `migration`: on drop, source shards shut down first
+    /// (flushing their forwards), and the destination — kept alive by the
+    /// plan — joins after.
+    pub(crate) topo: parking_lot::RwLock<Topology>,
+    pub(crate) migration: parking_lot::Mutex<Option<Arc<MigrationPlan>>>,
+    /// Shard-index factory, retained so a migration can spawn its
+    /// destination shard the same way `start` spawned the originals.
+    pub(crate) make_shard: Box<dyn Fn(usize) -> Arc<dyn Index> + Send + Sync>,
+    pub(crate) cfg: ServiceConfig,
 }
 
 impl Service {
     /// Start `cfg.shards` workers, shard `i` owning `make_shard(i)`'s index.
     /// Each shard is an *independent* index instance: the keyspace is
     /// partitioned by the router, so cross-shard operations do not exist and
-    /// shards never contend with each other.
-    pub fn start(cfg: ServiceConfig, make_shard: impl Fn(usize) -> Arc<dyn Index>) -> Service {
+    /// shards never contend with each other. The factory is retained — a
+    /// later [`Service::split`] calls it for the new shard's index.
+    pub fn start(
+        cfg: ServiceConfig,
+        make_shard: impl Fn(usize) -> Arc<dyn Index> + Send + Sync + 'static,
+    ) -> Service {
         assert!(cfg.shards > 0, "service needs at least one shard");
         let shards = (0..cfg.shards)
-            .map(|i| Shard::spawn(i, make_shard(i), cfg.queue_cap, cfg.max_batch))
+            .map(|i| Arc::new(Shard::spawn(i, make_shard(i), cfg.queue_cap, cfg.max_batch)))
             .collect();
-        Service { router: Router::new(cfg.shards), shards, cfg }
+        Service {
+            topo: parking_lot::RwLock::new(Topology { router: Router::new(cfg.shards), shards }),
+            migration: parking_lot::Mutex::new(None),
+            make_shard: Box::new(make_shard),
+            cfg,
+        }
     }
 
     /// The configuration this service was started with.
@@ -74,61 +113,125 @@ impl Service {
         self.cfg
     }
 
-    /// The shard `key` routes to (exposed for tests and load reporting).
+    /// Current number of shards (grows by one per completed migration).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.topo.read().shards.len()
+    }
+
+    /// The shard `key` routes to under the *current* ring (exposed for tests
+    /// and load reporting; moves forward at migration cutover).
     #[must_use]
     pub fn route(&self, key: &[u8]) -> usize {
-        self.router.route(key)
+        self.topo.read().router.route(key)
+    }
+
+    /// The effective latency budget for a request: its own deadline if it
+    /// carries one, else the config default (0 = none).
+    fn budget_ns(&self, req: &Request) -> Option<u64> {
+        req.deadline
+            .map(|d| d.budget_ns)
+            .or((self.cfg.default_deadline_ns > 0).then_some(self.cfg.default_deadline_ns))
     }
 
     /// Closed-loop request: route, enqueue, wait for the group commit, return
-    /// the typed reply. A full queue returns [`Reply::Shed`] immediately —
-    /// admission control never blocks the caller behind an overloaded shard.
+    /// the typed reply. Accepts a bare [`crate::Op`] or a full [`Request`]
+    /// envelope. A full queue returns a [`ReplyBody::Shed`] reply immediately
+    /// — admission control never blocks the caller behind an overloaded
+    /// shard. The routing read lock is held only across route+enqueue, never
+    /// across the wait, so a migration cutover can always make progress.
     #[must_use]
-    pub fn call(&self, op: Op) -> Reply {
-        let shard = &self.shards[self.router.route(op.key())];
+    pub fn call(&self, req: impl Into<Request>) -> Reply {
+        let req: Request = req.into();
+        let budget = self.budget_ns(&req);
         let ticket = Ticket::new();
-        match shard.submit(op, Some(Arc::clone(&ticket))) {
+        let (submitted, shard) = {
+            let topo = self.topo.read();
+            let shard = topo.router.route(req.key());
+            (topo.shards[shard].submit(req.op, budget, Some(Arc::clone(&ticket))), shard)
+        };
+        match submitted {
             Ok(()) => ticket.wait(),
-            Err(reason) => Reply::Shed(reason),
+            Err(reason) => Reply { body: ReplyBody::Shed(reason), shard, queue_age_ns: 0 },
         }
     }
 
     /// Open-loop request: route and enqueue without waiting. Returns whether
     /// the request was admitted; its effects become durable with its batch.
-    /// Index-side capacity sheds are visible in [`Service::stats`] (the
-    /// caller, by construction, is not listening).
-    pub fn cast(&self, op: Op) -> Result<(), ShedReason> {
-        self.shards[self.router.route(op.key())].submit(op, None)
+    /// Index-side capacity and deadline sheds are visible in
+    /// [`Service::stats`] (the caller, by construction, is not listening).
+    pub fn cast(&self, req: impl Into<Request>) -> Result<(), ShedReason> {
+        let req: Request = req.into();
+        let budget = self.budget_ns(&req);
+        let topo = self.topo.read();
+        topo.shards[topo.router.route(req.key())].submit(req.op, budget, None)
+    }
+
+    /// Split shard `src`'s keyspace onto a freshly spawned shard, live: load
+    /// keeps executing while the moved half drains over. Drives the whole
+    /// handoff on the calling thread and returns when the new topology is
+    /// fully cut over and the forwarding window retired. See
+    /// [`crate::migrate`] for the protocol and its crash-consistency
+    /// argument.
+    pub fn split(&self, src: usize) -> Result<MigrationReport, MigrateError> {
+        crate::migrate::split(self, src)
+    }
+
+    /// Grow the ring by one shard, pulling a ~`1/(n+1)` slice from every
+    /// existing shard (the router fork's exact delta) instead of halving one
+    /// source. Same protocol and guarantees as [`Service::split`].
+    pub fn grow(&self) -> Result<MigrationReport, MigrateError> {
+        crate::migrate::grow(self)
+    }
+
+    /// Resume a migration that was interrupted (e.g. by a simulated crash in
+    /// the driver): re-enters the drive loop from the persisted cursors.
+    /// Every step is idempotent, so resuming after *any* interruption point
+    /// converges to the same final topology. `None` if nothing is pending.
+    pub fn resume_split(&self) -> Option<MigrationReport> {
+        crate::migrate::resume(self)
     }
 
     /// Block until every shard queue is empty and every worker idle. With
     /// concurrent submitters this is a momentary truth, not a fence; use it
-    /// after open-loop runs to bound "all casts executed".
+    /// after open-loop runs to bound "all casts executed". Multi-pass: a
+    /// drained source that forwarded work to a migration destination sends
+    /// the loop around again until the whole topology is simultaneously idle.
     pub fn drain(&self) {
-        for s in &self.shards {
-            s.drain();
+        loop {
+            let shards: Vec<Arc<Shard>> = self.topo.read().shards.clone();
+            for s in &shards {
+                s.drain();
+            }
+            if shards.iter().all(|s| s.is_idle()) && self.topo.read().shards.len() == shards.len() {
+                return;
+            }
         }
     }
 
     /// Per-shard accounting snapshots, indexed by shard id.
     #[must_use]
     pub fn stats(&self) -> Vec<ShardStats> {
-        self.shards.iter().map(Shard::stats).collect()
+        self.topo.read().shards.iter().map(|s| s.stats()).collect()
     }
 
     /// Execute every queued request, stop the workers, and return the final
-    /// per-shard stats.
-    pub fn shutdown(mut self) -> Vec<ShardStats> {
-        for s in &mut self.shards {
+    /// per-shard stats. Shards shut down in increasing id order: migration
+    /// forwards only ever target a *newer* (higher-id) shard, so a source's
+    /// final flush always lands on a still-running destination.
+    pub fn shutdown(self) -> Vec<ShardStats> {
+        let shards: Vec<Arc<Shard>> = self.topo.read().shards.clone();
+        for s in &shards {
             s.shutdown();
         }
-        self.stats()
+        shards.iter().map(|s| s.stats()).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Deadline, Op};
     use recipe::key::u64_key;
     use recipe::session::{Capabilities, OpError, OpResult};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -167,8 +270,12 @@ mod tests {
                 None => Err(OpError::NotFound),
             }
         }
+        fn exec_scan_chunk(&self, start: &[u8], n: usize, out: &mut Vec<(Vec<u8>, u64)>) {
+            let m = self.map.lock().unwrap();
+            out.extend(m.range(start.to_vec()..).take(n).map(|(k, v)| (k.clone(), *v)));
+        }
         fn capabilities(&self) -> Capabilities {
-            Capabilities::hash_index(false)
+            Capabilities { scan: true, ..Capabilities::hash_index(false) }
         }
         fn index_name(&self) -> String {
             "capped-map".into()
@@ -183,15 +290,15 @@ mod tests {
         for i in 0..300u64 {
             assert_eq!(
                 svc.call(Op::Insert(u64_key(i).to_vec(), i)),
-                Reply::Done(OpResult::Inserted)
+                ReplyBody::Done(OpResult::Inserted)
             );
         }
         for i in 0..300u64 {
-            assert_eq!(svc.call(Op::Get(u64_key(i).to_vec())), Reply::Value(Some(i)));
+            assert_eq!(svc.call(Op::Get(u64_key(i).to_vec())), ReplyBody::Value(Some(i)));
         }
-        assert_eq!(svc.call(Op::Get(u64_key(999).to_vec())), Reply::Value(None));
-        assert_eq!(svc.call(Op::Remove(u64_key(5).to_vec())), Reply::Done(OpResult::Removed));
-        assert_eq!(svc.call(Op::Remove(u64_key(5).to_vec())), Reply::Error(OpError::NotFound));
+        assert_eq!(svc.call(Op::Get(u64_key(999).to_vec())), ReplyBody::Value(None));
+        assert_eq!(svc.call(Op::Remove(u64_key(5).to_vec())), ReplyBody::Done(OpResult::Removed));
+        assert_eq!(svc.call(Op::Remove(u64_key(5).to_vec())), ReplyBody::Error(OpError::NotFound));
         let stats = svc.shutdown();
         let total: u64 = stats.iter().map(|s| s.completed).sum();
         assert_eq!(total, 603);
@@ -201,15 +308,51 @@ mod tests {
     }
 
     #[test]
+    fn replies_carry_their_disposition() {
+        let svc = Service::start(ServiceConfig { shards: 4, ..ServiceConfig::default() }, |_| {
+            CappedMap::shared(usize::MAX)
+        });
+        for i in 0..64u64 {
+            let key = u64_key(i).to_vec();
+            let expect = svc.route(&key);
+            let r = svc.call(Op::Insert(key, i));
+            assert_eq!(r.shard, expect, "reply names the executing shard");
+            assert!(r.queue_age_ns > 0, "queue age is observed, not defaulted");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn envelopes_and_bare_ops_are_interchangeable() {
+        let svc = Service::start(ServiceConfig { shards: 2, ..ServiceConfig::default() }, |_| {
+            CappedMap::shared(usize::MAX)
+        });
+        // Bare op.
+        assert_eq!(
+            svc.call(Op::Insert(u64_key(1).to_vec(), 1)),
+            ReplyBody::Done(OpResult::Inserted)
+        );
+        // Envelope with a generous deadline: executes normally.
+        let req =
+            Request::new(Op::Get(u64_key(1).to_vec())).with_deadline(Deadline::from_millis(10_000));
+        assert_eq!(svc.call(req), ReplyBody::Value(Some(1)));
+        // Envelope via cast.
+        svc.cast(Request::new(Op::Insert(u64_key(2).to_vec(), 2))).unwrap();
+        svc.drain();
+        assert_eq!(svc.call(Op::Get(u64_key(2).to_vec())), ReplyBody::Value(Some(2)));
+        svc.shutdown();
+    }
+
+    #[test]
     fn index_capacity_surfaces_as_typed_shed() {
         let svc = Service::start(ServiceConfig { shards: 1, ..ServiceConfig::default() }, |_| {
             CappedMap::shared(10)
         });
         let mut shed = 0;
         for i in 0..50u64 {
-            match svc.call(Op::Insert(u64_key(i).to_vec(), i)) {
-                Reply::Done(OpResult::Inserted) => {}
-                Reply::Shed(ShedReason::IndexCapacity) => shed += 1,
+            match svc.call(Op::Insert(u64_key(i).to_vec(), i)).body {
+                ReplyBody::Done(OpResult::Inserted) => {}
+                ReplyBody::Shed(ShedReason::IndexCapacity) => shed += 1,
                 other => panic!("unexpected reply {other:?}"),
             }
         }
@@ -247,9 +390,12 @@ mod tests {
                 "slow-once".into()
             }
         }
-        let svc = Service::start(ServiceConfig { shards: 1, queue_cap: 4, max_batch: 4 }, |_| {
-            Arc::new(SlowOnce { inner: CappedMap::shared(usize::MAX), gate: AtomicU64::new(0) })
-        });
+        let svc = Service::start(
+            ServiceConfig { shards: 1, queue_cap: 4, max_batch: 4, ..ServiceConfig::default() },
+            |_| {
+                Arc::new(SlowOnce { inner: CappedMap::shared(usize::MAX), gate: AtomicU64::new(0) })
+            },
+        );
         // First cast wedges the worker for 100ms; then flood far past the cap.
         let mut admitted = 0u64;
         let mut shed = 0u64;
@@ -270,10 +416,10 @@ mod tests {
 
     #[test]
     fn batched_execution_reports_batch_sizes() {
-        let svc =
-            Service::start(ServiceConfig { shards: 1, queue_cap: 4096, max_batch: 64 }, |_| {
-                CappedMap::shared(usize::MAX)
-            });
+        let svc = Service::start(
+            ServiceConfig { shards: 1, queue_cap: 4096, max_batch: 64, ..ServiceConfig::default() },
+            |_| CappedMap::shared(usize::MAX),
+        );
         for i in 0..2_000u64 {
             svc.cast(Op::Insert(u64_key(i).to_vec(), i)).unwrap();
         }
@@ -285,5 +431,64 @@ mod tests {
             "an open-loop flood must batch (mean {})",
             stats[0].mean_batch()
         );
+    }
+
+    #[test]
+    fn split_on_a_quiet_service_moves_and_preserves_everything() {
+        let svc = Service::start(ServiceConfig { shards: 2, ..ServiceConfig::default() }, |_| {
+            CappedMap::shared(usize::MAX)
+        });
+        for i in 0..2_000u64 {
+            assert!(!svc.call(Op::Insert(u64_key(i).to_vec(), i)).is_shed());
+        }
+        let report = svc.split(0).expect("split starts");
+        assert_eq!(report.dest, 2);
+        assert_eq!(report.sources, vec![0]);
+        assert!(report.moved_entries > 0, "a split must move keys");
+        assert_eq!(svc.shard_count(), 3);
+        // Every key still reads back, and from the shard the new ring names.
+        for i in 0..2_000u64 {
+            let key = u64_key(i).to_vec();
+            let expect = svc.route(&key);
+            let r = svc.call(Op::Get(key));
+            assert_eq!(r, ReplyBody::Value(Some(i)), "key {i}");
+            assert_eq!(r.shard, expect, "key {i} answered by its ring owner");
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats[2].migrated_in, report.moved_entries);
+        assert!(svc_total(&stats) >= 4_000);
+    }
+
+    #[test]
+    fn split_requires_scan_capability() {
+        struct NoScan(Arc<dyn Index>);
+        impl Index for NoScan {
+            fn exec_insert(&self, key: &[u8], value: u64) -> Result<OpResult, OpError> {
+                self.0.exec_insert(key, value)
+            }
+            fn exec_get(&self, key: &[u8]) -> Option<u64> {
+                self.0.exec_get(key)
+            }
+            fn exec_remove(&self, key: &[u8]) -> Result<OpResult, OpError> {
+                self.0.exec_remove(key)
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities::hash_index(false) // scan: false
+            }
+            fn index_name(&self) -> String {
+                "no-scan".into()
+            }
+        }
+        let svc = Service::start(ServiceConfig::default(), |_| {
+            Arc::new(NoScan(CappedMap::shared(usize::MAX))) as Arc<dyn Index>
+        });
+        assert_eq!(svc.split(0).unwrap_err(), MigrateError::ScanUnsupported);
+        assert_eq!(svc.split(9).unwrap_err(), MigrateError::UnknownShard);
+        assert_eq!(svc.shard_count(), 2, "failed validation spawns nothing");
+        svc.shutdown();
+    }
+
+    fn svc_total(stats: &[ShardStats]) -> u64 {
+        stats.iter().map(|s| s.completed).sum()
     }
 }
