@@ -1,0 +1,106 @@
+//! Per-node linear models.
+//!
+//! A data node's model maps a fixed-width numeric *feature* of a key (eight key
+//! bytes at the node's feature offset, big-endian) to a predicted slot index in
+//! the node's gapped array. The model is trained by least squares over the
+//! entries' feature/rank pairs at build time and is **only a heuristic**: the
+//! search path compares full keys and galls outward from the prediction, so a
+//! poor model costs probes (visible in [`pm::stats::Mapping::ApexNode`]), never
+//! correctness.
+
+/// A linear model `rank ≈ slope·x + intercept`, stretched from rank space
+/// `[0, n)` to slot space `[0, cap)` of the gapped array it was trained for.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinearModel {
+    slope: f64,
+    intercept: f64,
+    /// `cap / n`: how far ranks are spread over the gapped array.
+    stretch: f64,
+    /// Number of slots in the gapped array this model predicts into.
+    cap: usize,
+}
+
+impl LinearModel {
+    /// Train by least squares over `(feature, rank)` pairs. `xs` must be given
+    /// in rank order (the caller's entries are sorted by key); `cap` is the
+    /// gapped-array capacity predictions are stretched over.
+    #[must_use]
+    pub fn train(xs: &[u64], cap: usize) -> LinearModel {
+        let n = xs.len();
+        if n == 0 || cap == 0 {
+            return LinearModel { slope: 0.0, intercept: 0.0, stretch: 1.0, cap: cap.max(1) };
+        }
+        let nf = n as f64;
+        let xbar = xs.iter().map(|&x| x as f64).sum::<f64>() / nf;
+        let ybar = (nf - 1.0) / 2.0;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (rank, &x) in xs.iter().enumerate() {
+            let dx = x as f64 - xbar;
+            sxx += dx * dx;
+            sxy += dx * (rank as f64 - ybar);
+        }
+        let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+        let intercept = ybar - slope * xbar;
+        LinearModel { slope, intercept, stretch: cap as f64 / nf, cap }
+    }
+
+    /// Predicted slot index for feature `x`, clamped into `[0, cap)`.
+    #[must_use]
+    pub fn predict(&self, x: u64) -> usize {
+        let max = (self.cap.max(1) - 1) as f64;
+        let p = (self.slope * x as f64 + self.intercept) * self.stretch;
+        // NaN (degenerate training data) clamps to slot 0 via the cast.
+        p.clamp(0.0, max) as usize
+    }
+
+    /// Capacity this model predicts into.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_on_uniform_keys() {
+        let xs: Vec<u64> = (0..100u64).map(|i| i * 10).collect();
+        let m = LinearModel::train(&xs, 150);
+        // A perfectly linear distribution should predict within one slot of the
+        // stretched rank everywhere.
+        for (rank, &x) in xs.iter().enumerate() {
+            let want = (rank as f64 * 1.5) as isize;
+            let got = m.predict(x) as isize;
+            assert!((got - want).abs() <= 1, "rank {rank}: predicted {got}, want ~{want}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_in_bounds() {
+        for xs in [vec![], vec![7u64], vec![5, 5, 5, 5]] {
+            let m = LinearModel::train(&xs, 10);
+            for x in [0u64, 5, u64::MAX] {
+                assert!(m.predict(x) < 10);
+            }
+        }
+        // Extreme features on a trained model saturate instead of panicking.
+        let m = LinearModel::train(&[1, 2, 3], 8);
+        assert!(m.predict(u64::MAX) < 8);
+        assert_eq!(m.predict(0), 0);
+    }
+
+    #[test]
+    fn predictions_are_monotone_for_increasing_features() {
+        let xs: Vec<u64> = (0..50u64).map(|i| i * i * 97).collect();
+        let m = LinearModel::train(&xs, 80);
+        let mut last = 0usize;
+        for &x in &xs {
+            let p = m.predict(x);
+            assert!(p >= last || p + 2 >= last, "prediction collapsed at {x}");
+            last = p;
+        }
+    }
+}

@@ -17,7 +17,7 @@
 //!   node is marked obsolete so writers that still hold its lock restart.
 
 use recipe::lock::VersionLock;
-use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, AtomicUsize, Ordering};
 
 /// Maximum number of prefix bytes stored inline in the header word.
 pub const MAX_PREFIX: usize = 7;
@@ -165,13 +165,18 @@ pub struct Node16 {
     children: [AtomicUsize; 16],
 }
 
-/// 48-way node: a 256-entry index maps key bytes to one of 48 child slots. The
-/// 64-byte alignment puts the header and the first stretch of the index on one line.
+/// 48-way node: a 256-entry index maps key bytes to one of 48 child slots
+/// (stored as slot + 1; 0 = empty). The index is packed into 32 `AtomicU64`
+/// byte-lane words (key byte `b` = lane `b % 8` of word `b / 8`) so a lookup is
+/// one word load + a lane extract and the `children()` scan runs 16 entries per
+/// vectorized nonzero-lane step ([`crate::search::occupied_slots`]) instead of
+/// 256 single-byte atomic loads. The 64-byte alignment puts the header and the
+/// first stretch of the index on one line.
 #[repr(C, align(64))]
 pub struct Node48 {
     /// Shared header.
     pub hdr: NodeHeader,
-    index: [AtomicU8; 256],
+    index: [AtomicU64; 32],
     children: [AtomicUsize; 48],
 }
 
@@ -219,9 +224,29 @@ impl Node48 {
     pub fn alloc(level: u32, prefix: &[u8]) -> usize {
         pm::alloc::pm_box(Node48 {
             hdr: NodeHeader::new(NodeTag::N48, level, prefix),
-            index: zeroed_array!(AtomicU8, 256),
+            index: zeroed_array!(AtomicU64, 32),
             children: zeroed_array!(AtomicUsize, 48),
         }) as usize
+    }
+
+    /// The slot reference (slot + 1; 0 = empty) for key byte `b`: one `Acquire`
+    /// word load + a lane extract.
+    #[inline]
+    fn slot_ref(&self, b: u8) -> u8 {
+        let w = self.index[b as usize / 8].load(Ordering::Acquire);
+        recipe::simd::get_lane8(w, b as usize % 8)
+    }
+
+    /// Store slot reference `v` for key byte `b` with one atomic word store (a
+    /// lane splice; the word is only written under the node lock, so the
+    /// read-modify-write cannot race another writer, and readers see the other
+    /// lanes unchanged). Persists the containing 8-byte word.
+    #[inline]
+    fn set_slot_ref(&self, b: u8, v: u8, persist: &dyn Fn(*const u8, usize, bool)) {
+        let wi = b as usize / 8;
+        let cur = self.index[wi].load(Ordering::Acquire);
+        self.index[wi].store(recipe::simd::set_lane8(cur, b as usize % 8, v), Ordering::Release);
+        persist(self.index[wi].as_ptr() as *const u8, 8, true);
     }
 }
 
@@ -320,7 +345,7 @@ impl NodeRef {
             NodeTag::N48 => {
                 pm::stats::record_probes(pm::stats::Mapping::ArtN48, 1);
                 let n = self.as_n48();
-                let idx = n.index[b as usize].load(Ordering::Acquire);
+                let idx = n.slot_ref(b);
                 if idx == 0 {
                     0
                 } else {
@@ -378,13 +403,20 @@ impl NodeRef {
                 Self::collect_packed(&n.keys, &n.children, &n.hdr, &mut out);
             }
             NodeTag::N48 => {
+                // Vectorized occupancy scan: 16 index entries per step instead of
+                // 256 single-byte loads; empty word pairs short-circuit entirely.
                 let n = self.as_n48();
-                for b in 0..256usize {
-                    let idx = n.index[b].load(Ordering::Acquire);
-                    if idx != 0 {
+                for pair in 0..16usize {
+                    let w0 = n.index[2 * pair].load(Ordering::Acquire);
+                    let w1 = n.index[2 * pair + 1].load(Ordering::Acquire);
+                    if w0 == 0 && w1 == 0 {
+                        continue;
+                    }
+                    for lane in crate::search::occupied_slots(w0, w1) {
+                        let idx = crate::search::key_at(w0, w1, lane);
                         let c = n.children[(idx - 1) as usize].load(Ordering::Acquire);
                         if c != 0 {
-                            out.push((b as u8, c));
+                            out.push(((pair * 16 + lane) as u8, c));
                         }
                     }
                 }
@@ -465,9 +497,8 @@ impl NodeRef {
                 let Some(slot) = slot else { return false };
                 n.children[slot].store(child, Ordering::Release);
                 persist(n.children[slot].as_ptr() as *const u8, 8, true);
-                // Commit: publish the slot in the byte index.
-                n.index[b as usize].store(slot as u8 + 1, Ordering::Release);
-                persist(n.index[b as usize].as_ptr() as *const u8, 1, true);
+                // Commit: publish the slot in the packed byte index.
+                n.set_slot_ref(b, slot as u8 + 1, persist);
                 self.hdr().count.fetch_add(1, Ordering::Release);
                 true
             }
@@ -541,7 +572,7 @@ impl NodeRef {
             }
             NodeTag::N48 => {
                 let n = self.as_n48();
-                let idx = n.index[b as usize].load(Ordering::Acquire);
+                let idx = n.slot_ref(b);
                 if idx == 0 {
                     return false;
                 }
@@ -595,12 +626,11 @@ impl NodeRef {
             }
             NodeTag::N48 => {
                 let n = self.as_n48();
-                let idx = n.index[b as usize].load(Ordering::Acquire);
+                let idx = n.slot_ref(b);
                 if idx == 0 {
                     return false;
                 }
-                n.index[b as usize].store(0, Ordering::Release);
-                persist(n.index[b as usize].as_ptr() as *const u8, 1, true);
+                n.set_slot_ref(b, 0, persist);
                 n.children[(idx - 1) as usize].store(0, Ordering::Release);
                 true
             }

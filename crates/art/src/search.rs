@@ -64,6 +64,36 @@ pub fn match_mask_scalar(w0: u64, w1: u64, count: usize, b: u8) -> u32 {
     m
 }
 
+/// Bitmask of the 16 byte lanes of `(w0, w1)` holding a live slot reference.
+///
+/// Node48 packs its 256-entry byte index (key byte → child slot + 1, 0 = empty)
+/// into `AtomicU64` words; iterating the node's children is a nonzero-lane scan
+/// over those words, vectorized through [`recipe::simd::nonzero_mask16`].
+#[inline]
+#[must_use]
+pub fn occupied_mask(w0: u64, w1: u64) -> u32 {
+    simd::nonzero_mask16(w0, w1)
+}
+
+/// Iterator over the lanes of [`occupied_mask`], ascending.
+#[inline]
+#[must_use]
+pub fn occupied_slots(w0: u64, w1: u64) -> SetBits {
+    SetBits(occupied_mask(w0, w1))
+}
+
+/// Scalar reference for [`occupied_mask`]: the per-lane nonzero loop.
+#[must_use]
+pub fn occupied_mask_scalar(w0: u64, w1: u64) -> u32 {
+    let mut m = 0u32;
+    for i in 0..16 {
+        if key_at(w0, w1, i) != 0 {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +142,23 @@ mod tests {
             let slots: Vec<usize> = match_slots(w0, w1, count, b).collect();
             let expect: Vec<usize> = (0..16).filter(|i| reference & (1 << i) != 0).collect();
             prop_assert_eq!(slots, expect);
+        }
+
+        /// The Node48 occupancy scan gets the same differential treatment: SWAR,
+        /// SIMD and the dispatched entry point agree with the scalar nonzero
+        /// loop, for sparse (Node48-shaped) and dense index words alike.
+        #[test]
+        fn occupied_matches_scalar_reference(
+            slots in proptest::collection::vec(0u8..=48, 0..=16),
+        ) {
+            let (w0, w1) = pack(&slots);
+            let reference = occupied_mask_scalar(w0, w1);
+            prop_assert_eq!(occupied_mask(w0, w1), reference);
+            prop_assert_eq!(recipe::simd::nonzero_mask16_swar(w0, w1), reference);
+            prop_assert_eq!(recipe::simd::nonzero_mask16_simd(w0, w1), reference);
+            let lanes: Vec<usize> = occupied_slots(w0, w1).collect();
+            let expect: Vec<usize> = (0..16).filter(|i| reference & (1 << i) != 0).collect();
+            prop_assert_eq!(lanes, expect);
         }
     }
 

@@ -28,6 +28,27 @@ fn main() {
         println!("  {}: {}", c.label(), c.conversion_action());
     }
 
+    // Every index the evaluation runs — the converted Table 1 entries plus the
+    // hand-crafted PM baselines (and the PM-native learned index).
+    let all = harness::registry::all_indexes();
+    println!("\n== Registry — all {} evaluated indexes ==", all.len());
+    println!(
+        "{:<20}{:<20}{:<9}{:<11}{:<14}{:<13}crash sites",
+        "PM index", "DRAM index", "kind", "converted", "linearizable", "concurrency"
+    );
+    for e in &all {
+        println!(
+            "{:<20}{:<20}{:<9}{:<11}{:<14}{:<13}{}",
+            e.name,
+            e.dram_name,
+            if e.kind == harness::registry::IndexKind::Ordered { "ordered" } else { "hash" },
+            e.converted,
+            e.caps.linearizable_update,
+            if e.single_writer { "single-wr" } else { "multi-wr" },
+            e.crash_sites.len()
+        );
+    }
+
     let rows: Vec<String> = catalog
         .iter()
         .map(|e| {
@@ -52,5 +73,29 @@ fn main() {
             &rows,
         ),
         "tables_1_2",
+    );
+
+    let registry_rows: Vec<String> = all
+        .iter()
+        .map(|e| {
+            format!(
+                "{},{},{},{},{},{},{}",
+                e.name,
+                e.dram_name,
+                if e.kind == harness::registry::IndexKind::Ordered { "ordered" } else { "hash" },
+                e.converted,
+                e.caps.linearizable_update,
+                !e.single_writer,
+                e.crash_sites.len()
+            )
+        })
+        .collect();
+    bench::csv::report(
+        bench::csv::write_rows(
+            "registry_entries",
+            "pm_index,dram_index,kind,converted,linearizable_update,multi_writer,crash_sites",
+            &registry_rows,
+        ),
+        "registry_entries",
     );
 }

@@ -179,6 +179,7 @@ pub fn all_indexes() -> Vec<IndexEntry> {
         entry!("P-CLHT", "CLHT", Hash, converted: true, single_writer: false, clht::Clht, clht::CRASH_SITES),
         bwtree_dc16(),
         entry!("FAST&FAIR", "FAST&FAIR(dram)", Ordered, converted: false, single_writer: false, fastfair::FastFair, fastfair::CRASH_SITES),
+        entry!("P-APEX", "APEX(dram)", Ordered, converted: false, single_writer: false, apex::Apex, apex::CRASH_SITES),
         entry!("WOART(global-lock)", "WOART(dram)", Ordered, converted: false, single_writer: true, woart::Woart, woart::CRASH_SITES),
         entry!("CCEH", "CCEH(dram)", Hash, converted: false, single_writer: false, cceh::Cceh, cceh::CRASH_SITES),
         entry!("Level-Hashing", "Level-Hashing(dram)", Hash, converted: false, single_writer: false, levelhash::LevelHash, levelhash::CRASH_SITES),
@@ -207,7 +208,7 @@ mod tests {
     #[test]
     fn registry_covers_both_kinds() {
         let all = all_indexes();
-        assert_eq!(all.len(), 10);
+        assert_eq!(all.len(), 11);
         assert!(all.iter().any(|e| e.kind == IndexKind::Ordered));
         assert!(all.iter().any(|e| e.kind == IndexKind::Hash));
         assert_eq!(ordered_indexes().len() + hash_indexes().len() + 1, all.len());
@@ -239,7 +240,11 @@ mod tests {
 
     #[test]
     fn crash_site_lists_are_distinct_and_crate_prefixed() {
-        for e in all_indexes() {
+        let all = all_indexes();
+        // Every one of the 11 entries must declare sites — an empty list would
+        // silently drop an index from the §5 exhaustive sweep.
+        assert_eq!(all.iter().filter(|e| !e.crash_sites.is_empty()).count(), all.len());
+        for e in all {
             assert!(!e.crash_sites.is_empty(), "{}: no crash sites declared", e.name);
             let set: std::collections::HashSet<_> = e.crash_sites.iter().collect();
             assert_eq!(set.len(), e.crash_sites.len(), "{}: duplicate site", e.name);

@@ -27,6 +27,7 @@
 use crate::bits::COMPOUND_BITS;
 use pm::stats::{record_probes, Mapping};
 use recipe::lock::VersionLock;
+use recipe::persist::PersistMode;
 use recipe::simd::{self, SetBits};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
@@ -36,8 +37,27 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 /// plain-node layers deep (32 x 32 slots), which is what takes hit lookups from
 /// three node visits to two.
 pub const COMPOUND_CAP: usize = 1024;
-/// `u64` words backing the `u16` lanes (4 lanes per word).
-const LANE_WORDS: usize = COMPOUND_CAP / 4;
+
+/// Capacity classes a compound can be allocated at. Most compounds hold a few
+/// dozen entries; sizing every one for [`COMPOUND_CAP`] made each node pay the
+/// full ~12 KiB footprint (and its widen-install flush bill). [`cap_class`]
+/// picks the smallest class with at least half its slots free for appends, and
+/// a full non-max compound is rebuilt at the next class (`regrow` in `trie.rs`)
+/// instead of falling back to plain nodes.
+pub const CAP_CLASSES: [usize; 3] = [64, 256, COMPOUND_CAP];
+
+/// The capacity class for a compound built from `n` entries: the smallest class
+/// keeping at least half the slots free for later appends (the largest class is
+/// used as-is once `n` outgrows the rest).
+#[must_use]
+pub fn cap_class(n: usize) -> usize {
+    for &c in &CAP_CLASSES {
+        if n <= c / 2 {
+            return c;
+        }
+    }
+    COMPOUND_CAP
+}
 /// Prefix mask covering the full window: a leaf entry stored at full depth.
 pub const FULL_MASK: u16 = ((1u32 << COMPOUND_BITS) - 1) as u16;
 
@@ -68,12 +88,16 @@ pub struct Compound {
     /// so lookups binary-search the sorted region by lane group and only scan the
     /// appended tail linearly.
     pub sorted: u32,
-    /// Partial keys, 4 `u16` lanes per word (slot `i` = lane `i % 4` of word `i / 4`).
-    pub pkeys: [AtomicU64; LANE_WORDS],
+    /// This node's capacity class (see [`cap_class`]); immutable after alloc.
+    cap: u32,
+    /// Partial keys, 4 `u16` lanes per word (slot `i` = lane `i % 4` of word
+    /// `i / 4`), `cap / 4` words.
+    pub pkeys: Box<[AtomicU64]>,
     /// Prefix masks, packed like `pkeys`.
-    pub masks: [AtomicU64; LANE_WORDS],
-    /// Tagged child words (leaf / node / compound), 0 = dead or unpublished.
-    pub children: [AtomicUsize; COMPOUND_CAP],
+    pub masks: Box<[AtomicU64]>,
+    /// Tagged child words (leaf / node / compound), 0 = dead or unpublished;
+    /// `cap` slots.
+    pub children: Box<[AtomicUsize]>,
 }
 
 impl Compound {
@@ -89,15 +113,17 @@ impl Compound {
                 debug_assert_ne!(a.0 & common, b.0 & common, "entries must be prefix-free");
             }
         }
+        let cap = cap_class(entries.len());
         let c = pm::alloc::pm_box(Compound {
             bit_pos,
             obsolete: AtomicBool::new(false),
             lock: VersionLock::new(),
             count: AtomicU32::new(entries.len() as u32),
             sorted: entries.len() as u32,
-            pkeys: std::array::from_fn(|_| AtomicU64::new(0)),
-            masks: std::array::from_fn(|_| AtomicU64::new(0)),
-            children: std::array::from_fn(|_| AtomicUsize::new(0)),
+            cap: cap as u32,
+            pkeys: (0..cap / 4).map(|_| AtomicU64::new(0)).collect(),
+            masks: (0..cap / 4).map(|_| AtomicU64::new(0)).collect(),
+            children: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
         });
         // SAFETY: freshly allocated, uniquely owned until published.
         let node = unsafe { &*c };
@@ -106,6 +132,40 @@ impl Compound {
             node.children[i].store(child, Ordering::Relaxed);
         }
         c
+    }
+
+    /// This node's capacity class in slots.
+    #[inline]
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap as usize
+    }
+
+    /// Total bytes this node occupies (header + lane words + child slots) —
+    /// the footprint the capacity classes exist to shrink.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Compound>()
+            + std::mem::size_of_val(&*self.pkeys)
+            + std::mem::size_of_val(&*self.masks)
+            + std::mem::size_of_val(&*self.children)
+    }
+
+    /// Flush the whole node — header and the out-of-line lane/child arrays —
+    /// marking the lines dirty first so the durability tracker sees exactly the
+    /// class-sized footprint, then fence.
+    pub fn persist_all<P: PersistMode>(&self) {
+        P::mark_dirty_obj(self);
+        P::persist_obj(self, false);
+        let (p, l) = (self.pkeys.as_ptr().cast::<u8>(), std::mem::size_of_val(&*self.pkeys));
+        P::mark_dirty(p, l);
+        P::persist_range(p, l, false);
+        let (p, l) = (self.masks.as_ptr().cast::<u8>(), std::mem::size_of_val(&*self.masks));
+        P::mark_dirty(p, l);
+        P::persist_range(p, l, false);
+        let (p, l) = (self.children.as_ptr().cast::<u8>(), std::mem::size_of_val(&*self.children));
+        P::mark_dirty(p, l);
+        P::persist_range(p, l, true);
     }
 
     /// Partial key stored at `slot`.
@@ -135,7 +195,7 @@ impl Compound {
     /// per lane actually examined (binary-search steps + compared lanes) under
     /// [`Mapping::HotCompound`].
     pub fn find_child(&self, ext: u16) -> Option<(usize, usize, u32)> {
-        let count = (self.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+        let count = (self.count.load(Ordering::Acquire) as usize).min(self.cap());
         let sorted = (self.sorted as usize).min(count);
         let mut probes = 0u64;
         let mut hit = None;
@@ -178,7 +238,7 @@ impl Compound {
             let w = base / 4;
             let p0 = self.pkeys[w].load(Ordering::Relaxed);
             let m0 = self.masks[w].load(Ordering::Relaxed);
-            let (p1, m1) = if w + 1 < LANE_WORDS {
+            let (p1, m1) = if w + 1 < self.pkeys.len() {
                 (
                     self.pkeys[w + 1].load(Ordering::Relaxed),
                     self.masks[w + 1].load(Ordering::Relaxed),
@@ -206,7 +266,7 @@ impl Compound {
 
     /// All live entries, sorted by partial key (ascending = key order).
     pub fn live_entries(&self) -> Vec<Entry> {
-        let count = (self.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+        let count = (self.count.load(Ordering::Acquire) as usize).min(self.cap());
         let mut out = Vec::with_capacity(count);
         for slot in 0..count {
             let child = self.children[slot].load(Ordering::Acquire);
@@ -227,7 +287,7 @@ impl Compound {
     /// (`None` = no lower bound), without allocating. Callers that must skip
     /// empty subtrees walk the entries in key order by advancing the bound.
     pub fn min_child_after(&self, after: Option<u16>) -> Option<(u16, usize)> {
-        let count = (self.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+        let count = (self.count.load(Ordering::Acquire) as usize).min(self.cap());
         let mut best: Option<(u16, usize)> = None;
         for slot in 0..count {
             let child = self.children[slot].load(Ordering::Acquire);
@@ -282,6 +342,51 @@ mod tests {
         assert_eq!(c.find_child(10), None);
         assert_eq!(c.min_child(), Some(0x21));
         assert_eq!(c.live_entries(), vec![(20, FULL_MASK, 0x21), (30, FULL_MASK, 0x31)]);
+    }
+
+    #[test]
+    fn capacity_classes_keep_append_headroom() {
+        assert_eq!(cap_class(0), 64);
+        assert_eq!(cap_class(32), 64);
+        assert_eq!(cap_class(33), 256);
+        assert_eq!(cap_class(128), 256);
+        assert_eq!(cap_class(129), COMPOUND_CAP);
+        assert_eq!(cap_class(COMPOUND_CAP), COMPOUND_CAP);
+        // Every class leaves at least half its slots free at its largest
+        // admitted entry count (except the max class, which cannot grow).
+        for &(n, c) in &[(32usize, 64usize), (128, 256)] {
+            assert!(n * 2 <= c);
+        }
+    }
+
+    #[test]
+    fn small_compounds_shed_the_fixed_footprint() {
+        let entries: Vec<Entry> = (0..10u16).map(|i| (i * 7, FULL_MASK, 0x11)).collect();
+        // SAFETY: never freed, test-local.
+        let small = unsafe { &*Compound::alloc(0, &entries) };
+        assert_eq!(small.cap(), 64);
+        // The counter-based evidence: a 10-entry compound occupies well under a
+        // tenth of the 12 KiB a max-class node pays.
+        let max_footprint =
+            std::mem::size_of::<Compound>() + COMPOUND_CAP * 8 + 2 * (COMPOUND_CAP / 4) * 8;
+        assert!(
+            small.footprint_bytes() * 10 < max_footprint,
+            "{} bytes is not a small footprint",
+            small.footprint_bytes()
+        );
+        // And flushing it dirties proportionally few cache lines.
+        let before = pm::stats::snapshot_local();
+        small.persist_all::<recipe::persist::Pmem>();
+        let d = pm::stats::snapshot_local().since(&before);
+        assert!(d.clwb < 32, "small-class persist flushed {} lines", d.clwb);
+        let big: Vec<Entry> = (0..200u16).map(|i| (i * 13, FULL_MASK, 0x11)).collect();
+        // SAFETY: never freed, test-local.
+        let big = unsafe { &*Compound::alloc(0, &big) };
+        assert_eq!(big.cap(), COMPOUND_CAP);
+        let before = pm::stats::snapshot_local();
+        big.persist_all::<recipe::persist::Pmem>();
+        let dbig = pm::stats::snapshot_local().since(&before);
+        assert!(dbig.clwb > d.clwb * 4, "class sizes must show up in flush counts");
     }
 
     #[test]

@@ -39,9 +39,10 @@ const FANOUT: usize = 1 << MAX_BITS;
 /// is pure overhead over the plain node it replaces.
 const MIN_WIDEN_ENTRIES: usize = 4;
 
-/// Attempt widening on every `WIDEN_PERIOD`-th branch insertion. A full compound
-/// is ~12 KiB (~190 cache lines at [`COMPOUND_CAP`] entries), so installs must be
-/// rare enough that flushing one amortizes to a few cache lines per insert.
+/// Attempt widening on every `WIDEN_PERIOD`-th branch insertion. A max-class
+/// compound is ~12 KiB (~190 cache lines at [`COMPOUND_CAP`] entries) — and even
+/// the smallest capacity class is several lines — so installs must be rare
+/// enough that flushing one amortizes to a few cache lines per insert.
 const WIDEN_PERIOD: usize = 64;
 
 /// Leaf: full key plus value.
@@ -428,7 +429,7 @@ impl<P: PersistMode> Hot<P> {
             // Replaced, or a concurrent writer published a matching entry: re-descend.
             return Append::Retry;
         }
-        let count = (c.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+        let count = (c.count.load(Ordering::Acquire) as usize).min(c.cap());
         // Published lanes are immutable, so a dead (removed) slot is only reusable
         // when its lanes already equal the entry being inserted.
         let reuse = (0..count).find(|&i| {
@@ -447,7 +448,7 @@ impl<P: PersistMode> Hot<P> {
                 P::crash_site("hot.insert.slot_committed");
                 Append::Inserted
             }
-            None if count < COMPOUND_CAP => {
+            None if count < c.cap() => {
                 // Slot `count` is unpublished: lanes and child can be written in any
                 // order; the `count` store is the single publishing atomic store.
                 c.set_lanes(count, ext, FULL_MASK);
@@ -466,8 +467,14 @@ impl<P: PersistMode> Hot<P> {
                 P::crash_site("hot.insert.slot_committed");
                 Append::Inserted
             }
+            None if c.cap() < COMPOUND_CAP => {
+                // Capacity class full: rebuild at the next class, then retry.
+                self.regrow(c, parent);
+                Append::Retry
+            }
             None => {
-                // Entry array full: rebuild as plain nodes, then retry the insert.
+                // Entry array full at the largest class: rebuild as plain nodes,
+                // then retry the insert.
                 self.unwiden(c, parent);
                 Append::Retry
             }
@@ -749,7 +756,7 @@ impl<P: PersistMode> Hot<P> {
                 }
             }
             frozen.push(word);
-            let count = (c.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+            let count = (c.count.load(Ordering::Acquire) as usize).min(c.cap());
             return c.children[..count]
                 .iter()
                 .all(|s| self.freeze_empty(s.load(Ordering::Acquire), frozen));
@@ -933,7 +940,8 @@ impl<P: PersistMode> Hot<P> {
         ctx.entries.sort_unstable_by_key(|e| e.0);
         let cptr = Compound::alloc(base, &ctx.entries);
         P::crash_site("hot.widen.built");
-        P::persist_obj(cptr, true);
+        // SAFETY: freshly allocated, uniquely owned until installed below.
+        unsafe { &*cptr }.persist_all::<P>();
         P::crash_site("hot.widen.flushed");
 
         // Install: one atomic parent-slot store, flush-then-publish.
@@ -1167,7 +1175,7 @@ impl<P: PersistMode> Hot<P> {
         }
         // SAFETY: never freed.
         let c: &'static Compound = unsafe { &*compound_of(word) };
-        let count = (c.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+        let count = (c.count.load(Ordering::Acquire) as usize).min(c.cap());
         for slot in 0..count {
             let child = c.children[slot].load(Ordering::Acquire);
             if child != 0 && !is_leaf(child) {
@@ -1175,6 +1183,64 @@ impl<P: PersistMode> Hot<P> {
                 self.widen_all_rec(child, Some(Step::Cpd(c, slot, depth)));
             }
         }
+    }
+
+    /// Rebuild a compound that filled a non-max capacity class at the next class
+    /// (built aside, flushed, installed with one parent-slot store — the same
+    /// protocol and crash sites as widening) and retire it. Caller holds `c.lock`.
+    fn regrow(&self, c: &Compound, parent: Option<Step>) {
+        let entries = c.live_entries();
+        if entries.is_empty() {
+            return;
+        }
+        let cptr = Compound::alloc(c.bit_pos, &entries);
+        P::crash_site("hot.widen.built");
+        // SAFETY: freshly allocated, uniquely owned until installed below.
+        unsafe { &*cptr }.persist_all::<P>();
+        P::crash_site("hot.widen.flushed");
+
+        let old = (c as *const Compound as usize) | 0b10;
+        let new = (cptr as usize) | 0b10;
+        match parent {
+            None => {
+                let _g = self.root_lock.lock();
+                if self.root.load(Ordering::Acquire) != old {
+                    return;
+                }
+                self.root.store(new, Ordering::Release);
+                P::mark_dirty_obj(&self.root);
+                P::persist_obj(&self.root, true);
+            }
+            Some(Step::Node(pnode, pidx)) => {
+                // SAFETY: never freed.
+                let p = unsafe { &*pnode };
+                let _g = p.lock.lock();
+                if p.obsolete.load(Ordering::Acquire)
+                    || p.children[pidx].load(Ordering::Acquire) != old
+                {
+                    return;
+                }
+                p.children[pidx].store(new, Ordering::Release);
+                P::mark_dirty_obj(&p.children[pidx]);
+                P::persist_obj(&p.children[pidx], true);
+            }
+            Some(Step::Cpd(pcpd, slot, _)) => {
+                // SAFETY: never freed.
+                let pc = unsafe { &*pcpd };
+                let _g = pc.lock.lock();
+                if pc.obsolete.load(Ordering::Acquire)
+                    || pc.children[slot].load(Ordering::Acquire) != old
+                {
+                    return;
+                }
+                pc.children[slot].store(new, Ordering::Release);
+                P::mark_dirty_obj(&pc.children[slot]);
+                P::persist_obj(&pc.children[slot], true);
+            }
+        }
+        P::crash_site("hot.widen.committed");
+        obs::event::emit("hot.smo", "regrow", c.bit_pos as u64, entries.len() as u64);
+        c.obsolete.store(true, Ordering::Release);
     }
 
     /// Rebuild an overflowed compound as plain nodes (built aside, flushed,
@@ -1461,7 +1527,7 @@ impl<P: PersistMode> Hot<P> {
                 let c = unsafe { &*compound_of(word) };
                 c.lock.force_unlock();
                 c.obsolete.store(false, Ordering::Relaxed);
-                let count = (c.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+                let count = (c.count.load(Ordering::Acquire) as usize).min(c.cap());
                 for slot in &c.children[..count] {
                     walk(slot.load(Ordering::Acquire));
                 }
@@ -1491,7 +1557,7 @@ impl<P: PersistMode> Hot<P> {
             if is_compound(word) {
                 // SAFETY: never freed.
                 let c = unsafe { &*compound_of(word) };
-                let count = (c.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+                let count = (c.count.load(Ordering::Acquire) as usize).min(c.cap());
                 return c.children[..count].iter().map(|s| walk(s.load(Ordering::Acquire))).sum();
             }
             // SAFETY: never freed.
@@ -1517,7 +1583,7 @@ impl<P: PersistMode> Hot<P> {
             if is_compound(word) {
                 // SAFETY: never freed.
                 let c = unsafe { &*compound_of(word) };
-                let count = (c.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+                let count = (c.count.load(Ordering::Acquire) as usize).min(c.cap());
                 return 1 + c.children[..count]
                     .iter()
                     .map(|s| walk(s.load(Ordering::Acquire)))
@@ -1542,7 +1608,7 @@ impl<P: PersistMode> Hot<P> {
             if is_compound(word) {
                 // SAFETY: never freed.
                 let c = unsafe { &*compound_of(word) };
-                let count = (c.count.load(Ordering::Acquire) as usize).min(COMPOUND_CAP);
+                let count = (c.count.load(Ordering::Acquire) as usize).min(c.cap());
                 return 1 + c.children[..count]
                     .iter()
                     .map(|s| walk(s.load(Ordering::Acquire)))

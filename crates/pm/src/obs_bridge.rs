@@ -20,6 +20,7 @@ pub const METRICS: &[&str] = &[
     "pm.probes.art_n256",
     "pm.probes.hot_node",
     "pm.probes.hot_compound",
+    "pm.probes.apex_node",
     "pm.charged.clwb_ns",
     "pm.charged.fence_ns",
     "pm.charged.read_ns",

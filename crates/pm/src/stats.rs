@@ -28,6 +28,7 @@ static PROBES: [AtomicU64; Mapping::COUNT] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
+    AtomicU64::new(0),
 ];
 
 thread_local! {
@@ -59,11 +60,14 @@ pub enum Mapping {
     HotNode = 4,
     /// HOT compound node: sparse partial-key array, occupancy slots probed.
     HotCompound = 5,
+    /// APEX data node: model-predicted probe + bounded exponential search, so
+    /// the count is a direct measure of model accuracy (1 = perfect prediction).
+    ApexNode = 6,
 }
 
 impl Mapping {
     /// Number of distinct mappings.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every mapping, in counter order.
     pub const ALL: [Mapping; Mapping::COUNT] = [
@@ -73,6 +77,7 @@ impl Mapping {
         Mapping::ArtN256,
         Mapping::HotNode,
         Mapping::HotCompound,
+        Mapping::ApexNode,
     ];
 
     /// Short stable label for reports/CSV.
@@ -85,6 +90,7 @@ impl Mapping {
             Mapping::ArtN256 => "art_n256",
             Mapping::HotNode => "hot_node",
             Mapping::HotCompound => "hot_compound",
+            Mapping::ApexNode => "apex_node",
         }
     }
 }

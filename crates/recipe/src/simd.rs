@@ -211,6 +211,52 @@ pub fn eq_mask16_simd(w0: u64, w1: u64, needle: u8) -> u32 {
 }
 
 // ---------------------------------------------------------------------------
+// 16-lane nonzero detect: which byte lanes of (w0, w1) hold a nonzero value?
+// ART's Node48 packs its 256-entry byte index (key byte -> child slot + 1,
+// 0 = empty) into u64 words; iterating the live entries is a nonzero-lane scan.
+// ---------------------------------------------------------------------------
+
+/// Bitmask (bit `i` = lane `i`) of the 16 byte lanes of `(w0, w1)` that are nonzero.
+///
+/// Dispatched per [`kind`]; all paths are bit-identical.
+#[inline]
+#[must_use]
+pub fn nonzero_mask16(w0: u64, w1: u64) -> u32 {
+    match kind() {
+        SearchKind::Simd => nonzero_mask16_simd(w0, w1),
+        SearchKind::Swar => nonzero_mask16_swar(w0, w1),
+    }
+}
+
+/// Scalar reference implementation of [`nonzero_mask16`] (per-lane loop).
+#[must_use]
+pub fn nonzero_mask16_scalar(w0: u64, w1: u64) -> u32 {
+    let mut m = 0u32;
+    for i in 0..16 {
+        let b = if i < 8 { get_lane8(w0, i) } else { get_lane8(w1, i - 8) };
+        if b != 0 {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+/// SWAR implementation of [`nonzero_mask16`]: zero-byte detect, inverted.
+#[inline]
+#[must_use]
+pub fn nonzero_mask16_swar(w0: u64, w1: u64) -> u32 {
+    !eq_mask16_swar(w0, w1, 0) & 0xFFFF
+}
+
+/// `std::arch` implementation of [`nonzero_mask16`]: compare-equal against a zero
+/// vector, inverted. Falls back to SWAR when no vectorized target path is built in.
+#[inline]
+#[must_use]
+pub fn nonzero_mask16_simd(w0: u64, w1: u64) -> u32 {
+    !eq_mask16_simd(w0, w1, 0) & 0xFFFF
+}
+
+// ---------------------------------------------------------------------------
 // 8-lane masked u16 equality: which lanes satisfy (ext & mask_i) == pkey_i?
 // HOT's compound nodes store sparse partial keys (pkey) with per-entry prefix
 // masks; a lookup extracts `ext` once and matches all entries at once.
@@ -463,6 +509,27 @@ mod tests {
                 assert_eq!(eq_mask16_simd(w0, w1, needle), scalar);
             }
         }
+    }
+
+    #[test]
+    fn nonzero_mask16_paths_agree() {
+        let mut s = 99u64;
+        for _ in 0..2000 {
+            // Mix sparse words (mostly-zero lanes, the common Node48 shape) with
+            // dense random ones.
+            let pick = mix(&mut s);
+            let (w0, w1) = if pick % 2 == 0 {
+                (mix(&mut s) & 0x0000_FF00_0000_00FF, mix(&mut s) & 0xFF00_0000_0012_0000)
+            } else {
+                (mix(&mut s), mix(&mut s))
+            };
+            let scalar = nonzero_mask16_scalar(w0, w1);
+            assert_eq!(nonzero_mask16_swar(w0, w1), scalar);
+            assert_eq!(nonzero_mask16_simd(w0, w1), scalar);
+            assert_eq!(nonzero_mask16(w0, w1), scalar);
+        }
+        assert_eq!(nonzero_mask16(0, 0), 0);
+        assert_eq!(nonzero_mask16(u64::MAX, u64::MAX), 0xFFFF);
     }
 
     #[test]
